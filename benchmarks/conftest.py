@@ -1,0 +1,32 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every benchmark prints a ``paper vs measured`` block so EXPERIMENTS.md can
+be regenerated from ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+import pytest
+
+from repro.msystem import demo_mixed_signal_system
+from repro.msystem.floorplan import WrightFloorplanner
+from repro.opt.anneal import AnnealSchedule
+
+
+def report(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured table block."""
+    print(f"\n=== {title} ===")
+    print(f"{'quantity':<38}{'paper':>18}{'measured':>18}")
+    for name, paper, measured in rows:
+        print(f"{name:<38}{paper:>18}{measured:>18}")
+
+
+@pytest.fixture(scope="session")
+def demo_system():
+    return demo_mixed_signal_system()
+
+
+@pytest.fixture(scope="session")
+def demo_floorplan(demo_system):
+    blocks, nets = demo_system
+    return WrightFloorplanner(blocks, nets, seed=1).run(
+        AnnealSchedule(moves_per_temperature=120, cooling=0.88,
+                       max_evaluations=10000))

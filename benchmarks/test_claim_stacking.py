@@ -1,0 +1,84 @@
+"""Claim C4: exact stack enumeration is exponential; the fast extractor
+is near-linear and still optimal.
+
+"[43] gave an exact algorithm to extract all the optimal stacks", "which
+can be time-consuming since the underlying algorithm is exponential";
+"[45] ... extracts one optimal set of stacks very fast" (an O(n)
+algorithm, per the DAC'96 reference).
+
+Shape checks: the number of optimal stackings grows super-linearly with
+parallel-device count while the fast extractor's runtime grows gently,
+and the fast extractor always achieves the Euler lower bound.
+"""
+
+import time
+
+from conftest import report
+
+from repro.circuits.devices import NMOS_DEFAULT
+from repro.circuits.netlist import Circuit
+from repro.layout.stacking import (
+    enumerate_stackings,
+    extract_stacks,
+    group_devices,
+    minimum_stack_count,
+)
+
+
+def _parallel_bank(n: int) -> Circuit:
+    """n parallel devices between two nets — the enumeration worst case."""
+    c = Circuit(f"bank_{n}")
+    for i in range(n):
+        c.mosfet(f"m{i}", "a", f"g{i}", "b", "0", NMOS_DEFAULT,
+                 10e-6, 1e-6)
+    return c
+
+
+def _chain_mesh(n: int) -> Circuit:
+    """A chain with cross links — a realistic mixed structure."""
+    c = Circuit(f"mesh_{n}")
+    for i in range(n):
+        c.mosfet(f"m{i}", f"n{i + 1}", f"g{i}", f"n{i}", "0",
+                 NMOS_DEFAULT, 10e-6, 1e-6)
+    for i in range(0, n - 2, 3):
+        c.mosfet(f"x{i}", f"n{i}", f"gx{i}", f"n{i + 2}", "0",
+                 NMOS_DEFAULT, 10e-6, 1e-6)
+    return c
+
+
+def test_c4_stacking_complexity(benchmark):
+    rows = []
+    enum_counts = []
+    enum_times = []
+    for n in (2, 4, 6, 8):
+        bank = _parallel_bank(n)
+        t0 = time.perf_counter()
+        partitions = enumerate_stackings(bank.mosfets, limit=200_000)
+        t_enum = time.perf_counter() - t0
+        enum_counts.append(len(partitions))
+        enum_times.append(t_enum)
+        rows.append((f"exact enumeration n={n}", "exponential count",
+                     f"{len(partitions)} in {t_enum * 1e3:.1f} ms"))
+    # Super-linear growth in the count of optimal stackings.
+    assert enum_counts[0] < enum_counts[1] < enum_counts[2] < enum_counts[3]
+    assert enum_counts[3] > 8 * enum_counts[1]
+
+    fast_times = []
+    for n in (10, 40, 160):
+        mesh = _chain_mesh(n)
+        t0 = time.perf_counter()
+        result = extract_stacks(mesh)
+        fast_times.append(time.perf_counter() - t0)
+        expected = sum(minimum_stack_count(devs)
+                       for devs in group_devices(mesh).values())
+        assert result.stack_count == expected  # provably minimum
+        rows.append((f"fast extractor n={n}", "near-linear",
+                     f"{fast_times[-1] * 1e3:.2f} ms, "
+                     f"{result.stack_count} stacks"))
+    # Near-linear: 16x devices costs far less than 16^2 = 256x time.
+    assert fast_times[2] < 80 * max(fast_times[0], 1e-5)
+
+    report("Claim C4: stack extraction complexity", rows)
+
+    mesh = _chain_mesh(40)
+    benchmark(lambda: extract_stacks(mesh))

@@ -1,0 +1,62 @@
+"""Claim C5: topology selection picks the right topology per spec region.
+
+The tutorial describes rule-based selection (OASYS/OPASYN), interval
+boundary checking [15], GA-based selection (DARWIN [28]) and boolean
+optimization [26].  The testable shape: across a spec sweep, all
+selectors agree with the exhaustive (enumeration) reference — cheap
+topologies win easy specs, high-gain topologies win hard ones, and the
+interval pre-filter never discards the topology the reference picks.
+"""
+
+from conftest import report
+
+from repro.core.specs import Spec, SpecSet
+from repro.synthesis import (
+    default_candidates,
+    select_enumerate,
+    select_genetic,
+    select_interval,
+    select_rule_based,
+)
+
+SWEEP = [
+    ("easy: 40 dB", SpecSet([Spec.at_least("gain_db", 40.0),
+                             Spec.at_least("gbw", 5e6),
+                             Spec.minimize("power", good=1e-4)])),
+    ("medium: 60 dB", SpecSet([Spec.at_least("gain_db", 60.0),
+                               Spec.at_least("gbw", 5e6),
+                               Spec.minimize("power", good=1e-4)])),
+    ("hard: 80 dB", SpecSet([Spec.at_least("gain_db", 80.0),
+                             Spec.at_least("gbw", 5e6),
+                             Spec.minimize("power", good=1e-4)])),
+]
+
+
+def test_c5_topology_selection_agreement(benchmark):
+    candidates = default_candidates()
+    rows = []
+    agreements = 0
+    for label, specs in SWEEP:
+        reference = select_enumerate(specs, candidates, seed=1)
+        ruled = select_rule_based(specs, candidates)
+        interval = select_interval(specs, candidates)
+        ga = select_genetic(specs, candidates, generations=25,
+                            population=36, seed=2)
+        rows.append((f"{label}: reference (exhaustive)", "-",
+                     reference.topology))
+        rows.append((f"{label}: rule-based first pick", "agrees",
+                     ruled[0] if ruled else "none"))
+        rows.append((f"{label}: GA pick", "agrees", ga.topology))
+        # Interval filter must never discard the reference winner.
+        assert reference.topology in interval
+        assert reference.sizing.feasible
+        assert ga.sizing.feasible
+        if ruled and ruled[0] == reference.topology:
+            agreements += 1
+    rows.append(("rule-based agreement with reference", "high",
+                 f"{agreements}/{len(SWEEP)}"))
+    report("Claim C5: topology selection", rows)
+    assert agreements >= 2
+
+    easy = SWEEP[0][1]
+    benchmark(lambda: select_rule_based(easy, candidates))

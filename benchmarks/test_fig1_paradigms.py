@@ -1,0 +1,121 @@
+"""Fig. 1 + claim C2: knowledge-based vs. optimization-based synthesis.
+
+Fig. 1 contrasts the two paradigms structurally; the prose claims design
+plans give "fast performance space explorations" while optimization-based
+approaches are open but slow, with simulation-in-the-loop slowest of all
+(the FRIDGE "long run times").
+
+Benchmarked: one sizing task per paradigm on the same OTA specs.
+Shape checks: every paradigm meets the specs; the runtime ordering is
+plan ≪ equation-based ≪ simulation-based, with the plan at least 10×
+faster per design point than the equation-based optimizer.
+"""
+
+import time
+
+import pytest
+from conftest import report
+
+from repro.circuits.library import five_transistor_ota
+from repro.core.specs import Spec, SpecSet
+from repro.opt.anneal import AnnealSchedule
+from repro.synthesis import (
+    DesignSpace,
+    EquationBasedSizer,
+    SimulationBasedSizer,
+    SimulationEvaluator,
+    default_candidates,
+    default_plan_library,
+)
+
+SPECS = SpecSet([
+    Spec.at_least("gain_db", 40.0),
+    Spec.at_least("gbw", 10e6),
+    Spec.at_least("slew_rate", 5e6),
+    Spec.minimize("power", good=1e-4),
+])
+
+PLAN_INPUT = {"gbw": 10e6, "slew_rate": 5e6, "c_load": 2e-12,
+              "gain": 100.0, "vdd": 3.3}
+
+
+def _sim_space():
+    return DesignSpace(
+        variables={"w_in": (5e-6, 500e-6), "w_load": (5e-6, 200e-6),
+                   "w_tail": (5e-6, 200e-6), "i_bias": (2e-6, 500e-6)},
+        fixed={"l_in": 2e-6, "l_load": 2e-6, "l_tail": 2e-6,
+               "c_load": 2e-12, "vdd": 3.3})
+
+
+def _ota_builder(sizes):
+    keys = ("w_in", "l_in", "w_load", "l_load", "w_tail", "l_tail",
+            "i_bias", "c_load", "vdd")
+    return five_transistor_ota({k: v for k, v in sizes.items()
+                                if k in keys})
+
+
+def test_fig1_knowledge_based_plan(benchmark):
+    plan = default_plan_library().get("five_transistor_ota")
+    result = benchmark(lambda: plan.execute(PLAN_INPUT))
+    perf = result.performance
+    assert perf["gbw"] >= 10e6 * 0.99
+    assert perf["slew_rate"] >= 5e6 * 0.99
+    assert perf["gain"] >= 100.0
+
+
+def test_fig1_equation_based_optimization(benchmark):
+    cand = default_candidates()[0]
+    sizer = EquationBasedSizer(cand.model, cand.space, SPECS, seed=1)
+    result = benchmark.pedantic(sizer.run, rounds=1, iterations=1)
+    assert result.feasible
+
+
+def test_fig1_simulation_based_optimization(benchmark):
+    sizer = SimulationBasedSizer(
+        SimulationEvaluator(builder=_ota_builder), _sim_space(), SPECS,
+        schedule=AnnealSchedule(moves_per_temperature=25, cooling=0.8,
+                                max_evaluations=700),
+        seed=2)
+    result = benchmark.pedantic(sizer.run, rounds=1, iterations=1)
+    assert result.performance.get("gain_db", 0) >= 40.0
+    assert result.performance.get("gbw", 0) >= 10e6 * 0.8
+
+
+def test_fig1_c2_runtime_ordering(benchmark):
+    """Claim C2: plans are orders of magnitude faster per design point."""
+    plan = default_plan_library().get("five_transistor_ota")
+    t0 = time.perf_counter()
+    for _ in range(50):
+        plan.execute(PLAN_INPUT)
+    t_plan = (time.perf_counter() - t0) / 50
+
+    cand = default_candidates()[0]
+    t0 = time.perf_counter()
+    eq_result = EquationBasedSizer(cand.model, cand.space, SPECS,
+                                   seed=1).run()
+    t_eq = time.perf_counter() - t0
+
+    sim_sizer = SimulationBasedSizer(
+        SimulationEvaluator(builder=_ota_builder), _sim_space(), SPECS,
+        schedule=AnnealSchedule(moves_per_temperature=25, cooling=0.8,
+                                max_evaluations=700), seed=2)
+    t0 = time.perf_counter()
+    sim_sizer.run()
+    t_sim = time.perf_counter() - t0
+
+    report("Fig. 1 / C2: synthesis paradigm runtimes", [
+        ("design plan per point", "'fast exploration'",
+         f"{t_plan * 1e3:.2f} ms"),
+        ("equation-based optimization", "minutes-class",
+         f"{t_eq:.2f} s"),
+        ("simulation-based optimization", "'long run times'",
+         f"{t_sim:.2f} s"),
+        ("plan vs equation speedup", ">>10x",
+         f"{t_eq / t_plan:.0f}x"),
+        ("equation vs simulation speedup", ">1x",
+         f"{t_sim / t_eq:.1f}x"),
+    ])
+    assert t_plan * 10 < t_eq, "plans must be >=10x faster than optimization"
+    assert t_eq < t_sim, "simulation-in-the-loop must be slowest"
+    assert eq_result.feasible
+    benchmark(lambda: plan.execute(PLAN_INPUT))

@@ -1,0 +1,69 @@
+"""Table 1: AMGIE pulse-detector frontend synthesis vs. expert design.
+
+Paper numbers (manual → synthesis): peaking 1.1 → 1.1 µs, rate 200 → 294
+kHz, noise 750 → 905 rms e⁻, gain 20 → 21 V/fC, range ±1 → ±1.5 V,
+power 40 → 7 mW (≈5.7×), area 0.7 → 0.6 mm².
+
+Shape checks: all specs met, power reduced by a mid-single-digit to
+low-double-digit factor, synthesis noise close to (but under) the bound,
+output range larger than manual's.
+"""
+
+from conftest import report
+
+from repro.synthesis.pulse_detector import (
+    MANUAL_DESIGN,
+    pulse_detector_performance,
+    pulse_detector_specs,
+    synthesize_pulse_detector,
+)
+
+
+def test_table1_pulse_detector(benchmark):
+    manual = pulse_detector_performance(MANUAL_DESIGN.sizes())
+    specs = pulse_detector_specs()
+    assert specs.all_satisfied(manual)
+
+    result = benchmark.pedantic(
+        lambda: synthesize_pulse_detector(seed=1), rounds=1, iterations=1)
+    synth = result.performance
+    assert result.feasible, specs.report(synth).to_text()
+
+    power_ratio = manual["power"] / synth["power"]
+    report("Table 1: pulse-detector synthesis", [
+        ("peaking time manual (us)", "1.1", f"{manual['peaking_time'] * 1e6:.2f}"),
+        ("peaking time synthesis (us)", "1.1",
+         f"{synth['peaking_time'] * 1e6:.2f}"),
+        ("counting rate manual (kHz)", "200",
+         f"{manual['counting_rate'] / 1e3:.0f}"),
+        ("counting rate synthesis (kHz)", "294",
+         f"{synth['counting_rate'] / 1e3:.0f}"),
+        ("noise manual (rms e-)", "750", f"{manual['noise_enc']:.0f}"),
+        ("noise synthesis (rms e-)", "905", f"{synth['noise_enc']:.0f}"),
+        ("gain synthesis (V/fC)", "21", f"{synth['gain']:.1f}"),
+        ("output range manual (V)", "1.0",
+         f"{manual['output_range']:.2f}"),
+        ("output range synthesis (V)", "1.5",
+         f"{synth['output_range']:.2f}"),
+        ("power manual (mW)", "40", f"{manual['power'] * 1e3:.1f}"),
+        ("power synthesis (mW)", "7", f"{synth['power'] * 1e3:.1f}"),
+        ("power reduction", "5.7x", f"{power_ratio:.1f}x"),
+        ("area manual (mm^2)", "0.7", f"{manual['area'] * 1e6:.2f}"),
+        ("area synthesis (mm^2)", "0.6", f"{synth['area'] * 1e6:.2f}"),
+    ])
+
+    # --- shape assertions -------------------------------------------------
+    import pytest
+    # Manual column calibration.
+    assert manual["peaking_time"] == pytest.approx(1.1e-6, rel=0.05)
+    assert manual["noise_enc"] == pytest.approx(750, rel=0.1)
+    assert manual["power"] == pytest.approx(40e-3, rel=0.1)
+    assert manual["area"] == pytest.approx(0.7e-6, rel=0.15)
+    # Synthesis beats manual on power by a large factor.
+    assert 3.0 <= power_ratio <= 16.0
+    # Synthesis trades noise margin for power: closer to the bound.
+    assert manual["noise_enc"] < synth["noise_enc"] <= 1000.0
+    # Output range grows (paper: ±1 → ±1.5).
+    assert synth["output_range"] > manual["output_range"]
+    # Area comparable or smaller.
+    assert synth["area"] <= manual["area"] * 1.1

@@ -1,0 +1,66 @@
+"""Quickstart: size, analyze and lay out an analog cell in ~40 lines.
+
+Runs the whole frontend+backend story on the 5-transistor OTA:
+specification → design-plan sizing → simulation → symbolic analysis →
+placement/routing → parasitic extraction → post-layout verification →
+GDSII export.
+
+Usage:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import ac_analysis, bode_metrics, logspace_frequencies
+from repro.circuits.library import five_transistor_ota
+from repro.core.specs import Spec, SpecSet
+from repro.flows import design_ota_cell
+from repro.layout.gdslite import save_gds
+from repro.symbolic import SymbolicAnalyzer
+
+
+def main() -> None:
+    # 1. The specification.
+    specs = SpecSet([
+        Spec.at_least("gbw", 10e6, unit="Hz"),
+        Spec.at_least("gain", 80.0, unit="V/V"),
+        Spec.at_least("slew_rate", 5e6, unit="V/s"),
+    ])
+    print("Specs:")
+    for s in specs:
+        print(f"  {s.name} {s.kind.value} {s.value:g} {s.unit}")
+
+    # 2. Run the closed-loop flow: plan sizing -> KOAN placement ->
+    #    ANAGRAM routing -> extraction -> post-layout verification.
+    design = design_ota_cell(specs, seed=1)
+    print(f"\nFlow converged in {design.iterations} iteration(s); "
+          f"layout area {design.area_um2:.0f} um^2")
+    print("Post-layout performance:")
+    for key, value in design.post_layout.items():
+        print(f"  {key:>14}: {value:.4g}")
+
+    # 3. Inspect the design symbolically (ISAAC-style).
+    circuit = design.schematic.copy()
+    circuit.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+    circuit.vsource("vin_", "inn", "0", dc=1.5)
+    tf = SymbolicAnalyzer(circuit).transfer_function("out").simplified(0.1)
+    print("\nSimplified symbolic transfer function (dominant terms):")
+    print(tf.to_string())
+
+    # 4. Sweep the AC response of the extracted (post-layout) netlist.
+    extracted = design.extracted_circuit.copy()
+    extracted.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+    extracted.vsource("vin_", "inn", "0", dc=1.5)
+    result = ac_analysis(extracted, logspace_frequencies(10, 1e9, 6))
+    metrics = bode_metrics(result, "out")
+    print(f"\nExtracted netlist: gain {metrics.dc_gain_db:.1f} dB, "
+          f"GBW {metrics.unity_gain_freq / 1e6:.2f} MHz, "
+          f"PM {metrics.phase_margin_deg:.0f} deg")
+
+    # 5. Export the layout.
+    save_gds([design.layout_cell], "quickstart_ota.gds")
+    print("\nWrote quickstart_ota.gds "
+          f"({len(design.layout_cell.shapes)} rectangles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — analog and mixed-signal IC synthesis and layout toolkit.
+
+A from-scratch Python reproduction of the tool landscape surveyed in
+Carley, Gielen, Rutenbar & Sansen, *Synthesis Tools for Mixed-Signal ICs*
+(DAC 1996): a circuit simulator, symbolic analysis, AWE, frontend circuit
+synthesis (knowledge-based and optimization-based), topology selection,
+analog cell layout (placement, routing, stacking, compaction) and
+mixed-signal system assembly (floorplanning, noise-aware routing, power
+grid synthesis).
+
+Subpackages
+-----------
+``repro.core``       units and performance specifications
+``repro.circuits``   netlists, devices, SPICE parser/writer, topologies
+``repro.analysis``   DC/AC/transient/noise simulator and sensitivities
+``repro.symbolic``   ISAAC-style symbolic small-signal analysis
+``repro.awe``        asymptotic waveform evaluation
+``repro.opt``        annealing, genetic search, intervals, equation ordering
+``repro.synthesis``  frontend: sizing, topology selection, manufacturability
+``repro.layout``     backend cell level: generators, placer, router, compactor
+``repro.msystem``    backend system level: floorplan, routing, power grids
+``repro.flows``      closed-loop cell and chip design flows
+"""
+
+__version__ = "1.0.0"

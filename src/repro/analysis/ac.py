@@ -1,0 +1,238 @@
+"""Small-signal AC analysis and Bode-plot metrics.
+
+Linearizes the circuit at a DC operating point (MOSFETs become
+gm/gds/gmb + Meyer capacitances, diodes become gd + junction cap) and
+solves ``(G + jωC)x = b_ac`` over a frequency sweep.  The same linearized
+matrices feed the AWE engine (:mod:`repro.awe`) and the noise analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.dcop import OperatingPoint, dc_operating_point
+from repro.analysis.mna import (
+    MnaSystem,
+    SingularCircuitError,
+    mos_capacitances,
+    solve_dense,
+)
+from repro.circuits.devices import THERMAL_VOLTAGE, Diode, Mosfet
+from repro.circuits.netlist import Circuit
+
+
+@dataclass
+class SmallSignalSystem:
+    """Linearized MNA matrices at one operating point."""
+
+    system: MnaSystem
+    G: np.ndarray
+    C: np.ndarray
+    b_ac: np.ndarray
+    op: OperatingPoint
+
+    def node(self, net: str) -> int:
+        return self.system.node(net)
+
+    def solve_at(self, freq_hz: float) -> np.ndarray:
+        s = 2j * math.pi * freq_hz
+        return solve_dense(self.G + s * self.C, self.b_ac)
+
+    def transfer_from_current(self, inject_plus: str, inject_minus: str,
+                              out: str, freq_hz: float) -> complex:
+        """V(out) per unit AC current injected between two nets.
+
+        Used by the noise analysis; solves the adjoint system so all
+        injection transfers at one frequency share a single factorization.
+        """
+        s = 2j * math.pi * freq_hz
+        A = self.G + s * self.C
+        e = np.zeros(self.system.size, dtype=complex)
+        iout = self.node(out)
+        if iout < 0:
+            return 0.0 + 0.0j
+        e[iout] = 1.0
+        z = solve_dense(A.T, e)
+        ip, im = self.node(inject_plus), self.node(inject_minus)
+        zp = z[ip] if ip >= 0 else 0.0
+        zm = z[im] if im >= 0 else 0.0
+        return complex(zp - zm)
+
+
+def small_signal_system(circuit: Circuit,
+                        op: OperatingPoint | None = None) -> SmallSignalSystem:
+    """Build the linearized (G, C, b_ac) system at an operating point."""
+    system = MnaSystem(circuit)
+    G, C, _, b_ac = system.linear_stamps()
+    if op is None:
+        op = dc_operating_point(circuit)
+    x = op.x
+    for dev in system.nonlinear:
+        if isinstance(dev, Mosfet):
+            _stamp_mos_small_signal(system, dev, op, G, C)
+        elif isinstance(dev, Diode):
+            _stamp_diode_small_signal(system, dev, x, G, C)
+    return SmallSignalSystem(system, G, C, b_ac, op)
+
+
+def _stamp_mos_small_signal(system: MnaSystem, dev: Mosfet,
+                            op: OperatingPoint, G: np.ndarray,
+                            C: np.ndarray) -> None:
+    mop = op.mos[dev.name]
+    d, g, s, b = (system.node(n) for n in dev.nodes)
+    if mop.vds < 0:  # device conducting in reverse: swap roles
+        d, s = s, d
+    add = system._add
+    gm, gds, gmb = mop.gm, mop.gds, mop.gmb
+    add(G, d, g, gm)
+    add(G, d, d, gds)
+    add(G, d, b, gmb)
+    add(G, d, s, -(gm + gds + gmb))
+    add(G, s, g, -gm)
+    add(G, s, d, -gds)
+    add(G, s, b, -gmb)
+    add(G, s, s, gm + gds + gmb)
+    # Meyer capacitances between gate and each terminal.
+    cgs, cgd, cgb = mos_capacitances(dev, mop.region)
+    _stamp_cap(system, C, g, s, cgs)
+    _stamp_cap(system, C, g, d, cgd)
+    _stamp_cap(system, C, g, b, cgb)
+    # Junction capacitances drain/source to bulk (area ~ W * 2.5 L_diff).
+    diff_area = dev.w * dev.m * 2.5 * dev.l
+    cj = dev.model.cj * diff_area + dev.model.cjsw * 2 * (dev.w * dev.m)
+    _stamp_cap(system, C, d, b, cj)
+    _stamp_cap(system, C, s, b, cj)
+
+
+def _stamp_diode_small_signal(system: MnaSystem, dev: Diode, x: np.ndarray,
+                              G: np.ndarray, C: np.ndarray) -> None:
+    a, c = system.node(dev.nodes[0]), system.node(dev.nodes[1])
+    va = x[a] if a >= 0 else 0.0
+    vc = x[c] if c >= 0 else 0.0
+    n_vt = dev.model.emission * THERMAL_VOLTAGE
+    i_s = dev.model.i_sat * dev.area
+    gd = i_s * math.exp(min((va - vc) / n_vt, 40.0)) / n_vt
+    system._add(G, a, a, gd)
+    system._add(G, c, c, gd)
+    system._add(G, a, c, -gd)
+    system._add(G, c, a, -gd)
+    _stamp_cap(system, C, a, c, dev.model.cj0 * dev.area)
+
+
+def _stamp_cap(system: MnaSystem, C: np.ndarray, a: int, b: int,
+               value: float) -> None:
+    if value == 0.0:
+        return
+    system._add(C, a, a, value)
+    system._add(C, b, b, value)
+    system._add(C, a, b, -value)
+    system._add(C, b, a, -value)
+
+
+@dataclass
+class AcResult:
+    """Frequency sweep result: per-net complex voltage arrays."""
+
+    freqs: np.ndarray
+    phasors: dict[str, np.ndarray]
+
+    def v(self, net: str) -> np.ndarray:
+        if net == "0":
+            return np.zeros_like(self.freqs, dtype=complex)
+        return self.phasors[net]
+
+    def magnitude_db(self, net: str) -> np.ndarray:
+        mag = np.abs(self.v(net))
+        return 20.0 * np.log10(np.maximum(mag, 1e-300))
+
+    def phase_deg(self, net: str) -> np.ndarray:
+        return np.unwrap(np.angle(self.v(net))) * 180.0 / math.pi
+
+
+def ac_analysis(circuit: Circuit, freqs: np.ndarray,
+                op: OperatingPoint | None = None,
+                ss: SmallSignalSystem | None = None) -> AcResult:
+    """Sweep ``(G + jωC)x = b_ac`` over ``freqs`` (Hz)."""
+    freqs = np.asarray(freqs, dtype=float)
+    if ss is None:
+        ss = small_signal_system(circuit, op)
+    n_nodes = len(ss.system.node_names)
+    data = np.zeros((len(freqs), n_nodes), dtype=complex)
+    for k, f in enumerate(freqs):
+        x = ss.solve_at(f)
+        data[k, :] = x[:n_nodes]
+    phasors = {
+        net: data[:, i] for net, i in ss.system.node_index.items()
+    }
+    return AcResult(freqs, phasors)
+
+
+def logspace_frequencies(f_start: float = 1.0, f_stop: float = 1e9,
+                         points_per_decade: int = 10) -> np.ndarray:
+    decades = math.log10(f_stop / f_start)
+    n = max(2, int(round(decades * points_per_decade)) + 1)
+    return np.logspace(math.log10(f_start), math.log10(f_stop), n)
+
+
+@dataclass
+class BodeMetrics:
+    """Standard opamp AC metrics extracted from a sweep."""
+
+    dc_gain: float            # linear V/V
+    dc_gain_db: float
+    bandwidth_3db: float      # Hz
+    unity_gain_freq: float    # Hz (GBW)
+    phase_margin_deg: float
+
+
+def bode_metrics(result: AcResult, out: str) -> BodeMetrics:
+    """Extract gain/bandwidth/phase-margin numbers from an AC sweep.
+
+    Assumes the sweep starts well below the dominant pole.  Interpolates
+    crossings on the log-frequency axis.
+    """
+    mag = np.abs(result.v(out))
+    if mag[0] <= 0:
+        raise ValueError(f"zero output magnitude at {out!r}")
+    phase = np.unwrap(np.angle(result.v(out)))
+    freqs = result.freqs
+    dc_gain = float(mag[0])
+    dc_gain_db = 20.0 * math.log10(dc_gain)
+
+    bandwidth = _crossing(freqs, mag, dc_gain / math.sqrt(2.0))
+    unity = _crossing(freqs, mag, 1.0)
+    if unity is None:
+        pm = float("nan")
+    else:
+        ph_at_unity = float(np.interp(
+            math.log10(unity), np.log10(freqs), phase))
+        ph0 = phase[0]
+        # Phase margin: 180° minus accumulated phase lag from DC.
+        pm = 180.0 - abs(ph_at_unity - ph0) * 180.0 / math.pi
+    return BodeMetrics(
+        dc_gain=dc_gain,
+        dc_gain_db=dc_gain_db,
+        bandwidth_3db=bandwidth if bandwidth is not None else float("nan"),
+        unity_gain_freq=unity if unity is not None else float("nan"),
+        phase_margin_deg=pm,
+    )
+
+
+def _crossing(freqs: np.ndarray, mag: np.ndarray,
+              level: float) -> float | None:
+    """First downward crossing of ``mag`` through ``level`` (log interp)."""
+    below = mag < level
+    if not below.any():
+        return None
+    if below[0]:
+        return float(freqs[0])
+    k = int(np.argmax(below))
+    f0, f1 = freqs[k - 1], freqs[k]
+    m0, m1 = mag[k - 1], mag[k]
+    if m0 == m1:
+        return float(f1)
+    t = (math.log10(m0 / level)) / math.log10(m0 / m1)
+    return float(10 ** (math.log10(f0) + t * math.log10(f1 / f0)))

@@ -1,0 +1,210 @@
+"""DC operating-point analysis: damped Newton–Raphson with homotopies.
+
+The solver applies the classic SPICE escalation ladder:
+
+1. plain damped Newton–Raphson from a flat start (or a supplied guess);
+2. *gmin stepping* — solve with a large shunt conductance on every node,
+   then relax it geometrically toward the target gmin;
+3. *source stepping* — ramp all independent sources from 0 to 100%.
+
+Analog cells with well-defined bias (the circuits the synthesis tools
+produce) almost always converge in stage 1; the later stages make the
+simulator robust inside optimization loops where intermediate sizings can
+be electrically absurd — exactly the situation FRIDGE-style tools face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.mna import (
+    MnaSystem,
+    MosOperatingPoint,
+    SingularCircuitError,
+    solve_dense,
+)
+from repro.circuits.devices import CurrentSource, Mosfet, VoltageSource
+from repro.circuits.netlist import Circuit
+
+MAX_NR_ITERATIONS = 150
+VOLTAGE_ABS_TOL = 1e-6
+CURRENT_ABS_TOL = 1e-9
+MAX_STEP_VOLTS = 0.5
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when all homotopy stages fail to converge."""
+
+
+@dataclass
+class OperatingPoint:
+    """DC solution: node voltages, branch currents and MOS small-signal data."""
+
+    voltages: dict[str, float]
+    branch_currents: dict[str, float]
+    mos: dict[str, MosOperatingPoint]
+    iterations: int
+    x: np.ndarray = field(repr=False, default=None)  # raw solution vector
+
+    def v(self, net: str) -> float:
+        if net == "0":
+            return 0.0
+        return self.voltages[net]
+
+    def i(self, source_name: str) -> float:
+        return self.branch_currents[source_name]
+
+    def supply_current(self, source_name: str = "vdd_src") -> float:
+        """Magnitude of the current delivered by a supply source."""
+        return abs(self.branch_currents[source_name])
+
+    def power(self, supply_names: tuple[str, ...] = ("vdd_src",),
+              circuit: Circuit | None = None) -> float:
+        """Total power drawn from the named supplies (requires the circuit
+        to look up supply voltages when provided; otherwise assumes the
+        branch voltage equals the source dc value is unavailable and uses
+        the stored node voltages)."""
+        total = 0.0
+        for name in supply_names:
+            i = abs(self.branch_currents.get(name, 0.0))
+            if circuit is not None:
+                dev = circuit.device(name)
+                v = abs(getattr(dev, "dc", 0.0))
+            else:
+                v = 0.0
+            total += v * i
+        return total
+
+    def saturated(self, *names: str) -> bool:
+        """True when every named MOSFET operates in saturation."""
+        return all(self.mos[n].region == "saturation" for n in names)
+
+
+def dc_operating_point(circuit: Circuit,
+                       x0: np.ndarray | None = None,
+                       gmin: float = 1e-12) -> OperatingPoint:
+    """Solve the DC operating point of ``circuit``.
+
+    Raises :class:`ConvergenceError` when Newton, gmin stepping and source
+    stepping all fail.
+    """
+    system = MnaSystem(circuit, gmin=gmin)
+    G, _, b_dc, _ = system.linear_stamps()
+    x = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float)
+    if x.shape != (system.size,):
+        x = np.zeros(system.size)
+
+    x, iters, ok = _newton(system, G, b_dc, x)
+    total_iters = iters
+    if not ok:
+        x, iters, ok = _gmin_stepping(system, G, b_dc)
+        total_iters += iters
+    if not ok:
+        x, iters, ok = _source_stepping(system, circuit, gmin)
+        total_iters += iters
+    if not ok:
+        raise ConvergenceError(
+            f"DC operating point of {circuit.name!r} did not converge "
+            f"after {total_iters} total Newton iterations")
+    return _package(system, x, total_iters)
+
+
+def _package(system: MnaSystem, x: np.ndarray, iterations: int) -> OperatingPoint:
+    voltages = {n: float(x[i]) for n, i in system.node_index.items()}
+    currents = {name: float(x[k]) for name, k in system.branch_index.items()}
+    mos = {
+        d.name: system.mos_op(d, x)
+        for d in system.nonlinear if isinstance(d, Mosfet)
+    }
+    return OperatingPoint(voltages, currents, mos, iterations, x=x)
+
+
+def _newton(system: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
+            x0: np.ndarray, gmin_extra: float = 0.0,
+            max_iter: int = MAX_NR_ITERATIONS):
+    """Damped NR iteration.  Returns (x, iterations, converged)."""
+    x = x0.copy()
+    n_nodes = len(system.node_names)
+    for it in range(1, max_iter + 1):
+        A = G_lin.copy()
+        rhs = b.copy()
+        if gmin_extra:
+            A[:n_nodes, :n_nodes] += np.eye(n_nodes) * gmin_extra
+        system.stamp_nonlinear(x, A, rhs)
+        try:
+            x_new = solve_dense(A, rhs)
+        except SingularCircuitError:
+            return x, it, False
+        delta = x_new - x
+        # Damp node-voltage updates; branch currents are left free.
+        dv = delta[:n_nodes]
+        max_dv = np.max(np.abs(dv)) if n_nodes else 0.0
+        if max_dv > MAX_STEP_VOLTS:
+            delta = delta * (MAX_STEP_VOLTS / max_dv)
+        x = x + delta
+        if _converged(delta, x, n_nodes):
+            return x, it, True
+    return x, max_iter, False
+
+
+def _converged(delta: np.ndarray, x: np.ndarray, n_nodes: int) -> bool:
+    dv = np.abs(delta[:n_nodes])
+    di = np.abs(delta[n_nodes:])
+    v_ok = np.all(dv <= VOLTAGE_ABS_TOL + 1e-6 * np.abs(x[:n_nodes]))
+    i_ok = np.all(di <= CURRENT_ABS_TOL + 1e-6 * np.abs(x[n_nodes:]))
+    return bool(v_ok and i_ok)
+
+
+def _gmin_stepping(system: MnaSystem, G_lin: np.ndarray, b: np.ndarray):
+    x = np.zeros(system.size)
+    total = 0
+    gmin_extra = 1e-2
+    while gmin_extra >= 1e-12:
+        x_new, iters, ok = _newton(system, G_lin, b, x, gmin_extra=gmin_extra,
+                                   max_iter=60)
+        total += iters
+        if not ok:
+            return x, total, False
+        x = x_new
+        gmin_extra /= 10.0
+    # Final solve without the extra shunt.
+    x, iters, ok = _newton(system, G_lin, b, x, max_iter=60)
+    return x, total + iters, ok
+
+
+def _source_stepping(system: MnaSystem, circuit: Circuit, gmin: float):
+    """Ramp all independent sources from 10% to 100%."""
+    total = 0
+    x = np.zeros(system.size)
+    for scale in (0.1, 0.3, 0.5, 0.7, 0.85, 1.0):
+        scaled = circuit.map_devices(lambda d: _scale_source(d, scale))
+        sys_scaled = MnaSystem(scaled, gmin=gmin)
+        G, _, b_dc, _ = sys_scaled.linear_stamps()
+        x, iters, ok = _newton(sys_scaled, G, b_dc, x, max_iter=80)
+        total += iters
+        if not ok:
+            return x, total, False
+    return x, total, True
+
+
+def _scale_source(dev, scale: float):
+    from dataclasses import replace
+    if isinstance(dev, (VoltageSource, CurrentSource)):
+        return replace(dev, dc=dev.dc * scale)
+    return dev
+
+
+def dc_sweep(circuit: Circuit, source_name: str,
+             values: np.ndarray) -> list[OperatingPoint]:
+    """Sweep the DC value of one source, warm-starting each point."""
+    results: list[OperatingPoint] = []
+    x_prev: np.ndarray | None = None
+    for value in values:
+        swept = circuit.copy()
+        swept.update_device(source_name, dc=float(value))
+        op = dc_operating_point(swept, x0=x_prev)
+        results.append(op)
+        x_prev = op.x
+    return results

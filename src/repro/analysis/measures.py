@@ -1,0 +1,170 @@
+"""Standard opamp measurements: CMRR, PSRR, offset, swing, settling.
+
+Every synthesis system in the tutorial reports these figures; they are
+the vocabulary of "design verification" in the §2.1 methodology.  Each
+measurement builds the appropriate testbench around a differential cell
+(ports ``inp``/``inn``/``out`` plus a ``vdd_src`` supply) and runs the
+simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.ac import ac_analysis, bode_metrics, logspace_frequencies
+from repro.analysis.dcop import dc_operating_point
+from repro.analysis.transient import transient
+from repro.circuits.devices import Waveform
+from repro.circuits.netlist import Circuit
+
+
+def _with_sources(circuit: Circuit, vip_ac: float, vin_ac: float,
+                  bias: float, vdd_ac: float = 0.0) -> Circuit:
+    tb = circuit.copy()
+    tb.vsource("tb_vip", "inp", "0", dc=bias, ac=vip_ac)
+    tb.vsource("tb_vin", "inn", "0", dc=bias, ac=vin_ac)
+    if vdd_ac:
+        tb.update_device("vdd_src", ac=vdd_ac)
+    return tb
+
+
+def differential_gain(circuit: Circuit, freq: float = 10.0,
+                      bias: float = 1.5, output: str = "out") -> float:
+    """|V(out)| per unit differential input (single-ended drive)."""
+    tb = _with_sources(circuit, 1.0, 0.0, bias)
+    result = ac_analysis(tb, np.array([freq]))
+    return float(abs(result.v(output)[0]))
+
+
+def common_mode_gain(circuit: Circuit, freq: float = 10.0,
+                     bias: float = 1.5, output: str = "out") -> float:
+    """|V(out)| per unit common-mode input (both inputs driven)."""
+    tb = _with_sources(circuit, 1.0, 1.0, bias)
+    result = ac_analysis(tb, np.array([freq]))
+    return float(abs(result.v(output)[0]))
+
+
+def cmrr_db(circuit: Circuit, freq: float = 10.0, bias: float = 1.5,
+            output: str = "out") -> float:
+    """Common-mode rejection ratio in dB at one frequency."""
+    a_dm = differential_gain(circuit, freq, bias, output)
+    a_cm = common_mode_gain(circuit, freq, bias, output)
+    if a_cm <= 0:
+        return float("inf")
+    return 20.0 * math.log10(a_dm / a_cm)
+
+
+def psrr_db(circuit: Circuit, freq: float = 10.0, bias: float = 1.5,
+            output: str = "out") -> float:
+    """Power-supply rejection ratio in dB (supply ripple → output)."""
+    a_dm = differential_gain(circuit, freq, bias, output)
+    tb = _with_sources(circuit, 0.0, 0.0, bias, vdd_ac=1.0)
+    a_ps = float(abs(ac_analysis(tb, np.array([freq])).v(output)[0]))
+    if a_ps <= 0:
+        return float("inf")
+    return 20.0 * math.log10(a_dm / a_ps)
+
+
+def systematic_offset(circuit: Circuit, bias: float = 1.5,
+                      output: str = "out",
+                      target: float | None = None) -> float:
+    """Input-referred systematic offset: output deviation / gain."""
+    tb = _with_sources(circuit, 0.0, 0.0, bias)
+    op = dc_operating_point(tb)
+    vdd = abs(circuit.device("vdd_src").dc)
+    reference = target if target is not None else vdd / 2.0
+    gain = differential_gain(circuit, 10.0, bias, output)
+    return (op.v(output) - reference) / max(gain, 1e-12)
+
+
+def output_swing(circuit: Circuit, bias: float = 1.5,
+                 output: str = "out",
+                 gain_floor_fraction: float = 0.25,
+                 n_points: int = 41) -> tuple[float, float]:
+    """(low, high) output levels where incremental gain stays above
+    ``gain_floor_fraction`` of its peak — the usable swing."""
+    vdd = abs(circuit.device("vdd_src").dc)
+    tb = _with_sources(circuit, 0.0, 0.0, bias)
+    offsets = np.linspace(-0.05, 0.05, n_points)
+    outs = []
+    for off in offsets:
+        sweep_tb = tb.copy()
+        sweep_tb.update_device("tb_vip", dc=bias + off)
+        try:
+            outs.append(dc_operating_point(sweep_tb).v(output))
+        except Exception:
+            outs.append(float("nan"))
+    outs_arr = np.array(outs)
+    gains = np.abs(np.gradient(outs_arr, offsets))
+    peak = np.nanmax(gains)
+    active = gains >= gain_floor_fraction * peak
+    if not active.any():
+        return (vdd / 2.0, vdd / 2.0)
+    lo = float(np.nanmin(outs_arr[active]))
+    hi = float(np.nanmax(outs_arr[active]))
+    return (lo, hi)
+
+
+@dataclass
+class StepResponse:
+    """Closed-loop unity-follower step measurement."""
+
+    slew_rate: float
+    settling_time_1pct: float
+    overshoot_fraction: float
+
+
+def unity_step_response(circuit: Circuit, step: float = 0.5,
+                        bias: float = 1.2, t_stop: float = 4e-6,
+                        output: str = "out") -> StepResponse:
+    """Connect the cell as a unity follower and measure the step response.
+
+    Requires a differential cell; ``inn`` is tied to ``out`` (feedback)
+    and ``inp`` receives the step.
+    """
+    tb = circuit.copy()
+    tb.vsource("tb_vip", "inp", "0", dc=bias,
+               waveform=Waveform("pulse",
+                                 (bias, bias + step, 50e-9,
+                                  1e-10, 1e-10, 1.0, 2.0)))
+    # Feedback: inn follows out (ideal wire via a tiny resistor).
+    tb.resistor("tb_fb", output, "inn", 1.0)
+    result = transient(tb, t_stop, t_stop / 2000.0)
+    wave = result.v(output)
+    t = result.times
+    v0 = wave[0]
+    v_final = wave[-1]
+    rise = v_final - v0
+    if abs(rise) < 1e-6:
+        return StepResponse(0.0, 0.0, 0.0)
+    # Slew rate: steepest 10-90% segment.
+    mask = (t >= 50e-9)
+    dv = np.gradient(wave[mask], t[mask])
+    slew = float(np.max(np.abs(dv)))
+    settle = result.settling_time(output, final=float(v_final), band=0.01)
+    peak = np.max(wave) if rise > 0 else np.min(wave)
+    overshoot = max(0.0, (peak - v_final) / rise) if rise > 0 else \
+        max(0.0, (v_final - peak) / abs(rise))
+    return StepResponse(slew, settle, float(overshoot))
+
+
+def full_characterization(circuit: Circuit, bias: float = 1.5,
+                          output: str = "out") -> dict[str, float]:
+    """The standard datasheet row: gain/GBW/PM/CMRR/PSRR/offset/swing."""
+    tb = _with_sources(circuit, 1.0, 0.0, bias)
+    metrics = bode_metrics(
+        ac_analysis(tb, logspace_frequencies(10, 1e9, 5)), output)
+    lo, hi = output_swing(circuit, bias, output)
+    return {
+        "gain_db": metrics.dc_gain_db,
+        "gbw": metrics.unity_gain_freq,
+        "phase_margin": metrics.phase_margin_deg,
+        "cmrr_db": cmrr_db(circuit, bias=bias, output=output),
+        "psrr_db": psrr_db(circuit, bias=bias, output=output),
+        "offset_v": systematic_offset(circuit, bias=bias, output=output),
+        "swing_low": lo,
+        "swing_high": hi,
+    }

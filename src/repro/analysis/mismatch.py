@@ -1,0 +1,126 @@
+"""Device mismatch analysis: Pelgrom statistics and layout gradients.
+
+The tutorial's closing point on synthesis — industry "expects high
+robustness and yield in the light of ... statistical process tolerances
+and mismatches" — and the entire matching discipline of the backend
+(common centroid, symmetric placement) exist because of two mismatch
+mechanisms:
+
+* **random (Pelgrom) mismatch** — σ(ΔVt) = A_vt/√(W·L): halved by 4× the
+  gate area;
+* **gradient mismatch** — a linear process gradient across the die adds
+  an offset proportional to the distance between the devices' centroids,
+  which is exactly what common-centroid layout nulls.
+
+This module provides both models plus the resulting opamp offset/yield
+statistics, so the frontend tools can reason quantitatively about the
+area-vs-matching trade and the backend's centroid errors translate into
+millivolts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.devices import Mosfet
+
+# Synthetic 0.8 µm process matching coefficients (typical published data).
+A_VT = 15e-9          # V·m  (15 mV·µm)
+A_BETA = 0.02e-6      # relative·m (2 %·µm)
+GRADIENT_VT_PER_M = 2.0e-3 / 1e-3   # 2 mV per mm of centroid separation
+
+
+@dataclass(frozen=True)
+class MismatchSigma:
+    """Standard deviations of the pair's threshold/current-factor deltas."""
+
+    sigma_vt: float       # V
+    sigma_beta_rel: float  # relative ΔΒ/Β
+
+    def offset_sigma(self, gm_over_id: float) -> float:
+        """Input-referred offset σ of a differential pair.
+
+        σ_vos² = σ_Vt² + (σ_β/ (gm/Id))² — the β term referred through
+        the bias point.
+        """
+        beta_term = self.sigma_beta_rel / gm_over_id
+        return math.sqrt(self.sigma_vt ** 2 + beta_term ** 2)
+
+
+def pelgrom_sigma(dev: Mosfet, a_vt: float = A_VT,
+                  a_beta: float = A_BETA) -> MismatchSigma:
+    """Pelgrom-law mismatch of one device pair with this geometry."""
+    area = dev.w * dev.l * dev.m
+    if area <= 0:
+        raise ValueError("device area must be positive")
+    sqrt_area = math.sqrt(area)
+    return MismatchSigma(a_vt / sqrt_area, a_beta / sqrt_area)
+
+
+def gradient_offset(centroid_distance_m: float,
+                    gradient: float = GRADIENT_VT_PER_M) -> float:
+    """Systematic ΔVt from a linear gradient across the pair's centroids.
+
+    Zero for a perfect common-centroid layout — the quantitative payoff of
+    :mod:`repro.layout.caparray`'s balancing.
+    """
+    return gradient * abs(centroid_distance_m)
+
+
+@dataclass
+class OffsetStatistics:
+    sigma_random: float      # V, Pelgrom
+    systematic: float        # V, gradient-induced
+    gm_over_id: float
+
+    @property
+    def three_sigma(self) -> float:
+        return self.systematic + 3.0 * self.sigma_random
+
+    def yield_within(self, limit_v: float) -> float:
+        """Fraction of pairs whose |offset| stays within ±limit (Gaussian)."""
+        from math import erf, sqrt
+        if self.sigma_random <= 0:
+            return 1.0 if abs(self.systematic) <= limit_v else 0.0
+        lo = (-limit_v - self.systematic) / (self.sigma_random * sqrt(2))
+        hi = (limit_v - self.systematic) / (self.sigma_random * sqrt(2))
+        return 0.5 * (erf(hi) - erf(lo))
+
+
+def pair_offset_statistics(dev: Mosfet, gm_over_id: float = 10.0,
+                           centroid_distance_m: float = 0.0,
+                           a_vt: float = A_VT,
+                           a_beta: float = A_BETA) -> OffsetStatistics:
+    """Offset statistics of a differential pair built from ``dev``."""
+    sigma = pelgrom_sigma(dev, a_vt, a_beta)
+    return OffsetStatistics(
+        sigma_random=sigma.offset_sigma(gm_over_id),
+        systematic=gradient_offset(centroid_distance_m),
+        gm_over_id=gm_over_id,
+    )
+
+
+def monte_carlo_offsets(dev: Mosfet, n: int = 1000,
+                        gm_over_id: float = 10.0,
+                        centroid_distance_m: float = 0.0,
+                        seed: int = 1) -> np.ndarray:
+    """Sampled input offsets (V) of n pair instances."""
+    stats = pair_offset_statistics(dev, gm_over_id, centroid_distance_m)
+    rng = np.random.default_rng(seed)
+    return stats.systematic + rng.normal(0.0, stats.sigma_random, size=n)
+
+
+def area_for_offset(sigma_target_v: float, gm_over_id: float = 10.0,
+                    a_vt: float = A_VT, a_beta: float = A_BETA) -> float:
+    """Minimum gate area (m²) for a target random-offset σ.
+
+    The inverse Pelgrom law the sizing tools use when a matching spec is
+    present: area = (A_vt² + (A_β/(gm/Id))²) / σ².
+    """
+    if sigma_target_v <= 0:
+        raise ValueError("offset target must be positive")
+    numerator = a_vt ** 2 + (a_beta / gm_over_id) ** 2
+    return numerator / sigma_target_v ** 2

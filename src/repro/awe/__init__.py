@@ -1,0 +1,22 @@
+"""Asymptotic Waveform Evaluation: moments, Padé models, waveforms."""
+
+from repro.awe.moments import MomentEngine, moments_from_system
+from repro.awe.pade import PadeError, ReducedOrderModel, pade_model
+from repro.awe.waveform import (
+    bandwidth_estimate,
+    delay_estimate,
+    peak_response,
+    reduce_circuit,
+)
+
+__all__ = [
+    "MomentEngine",
+    "PadeError",
+    "ReducedOrderModel",
+    "bandwidth_estimate",
+    "delay_estimate",
+    "moments_from_system",
+    "pade_model",
+    "peak_response",
+    "reduce_circuit",
+]

@@ -1,0 +1,54 @@
+"""Moment computation for Asymptotic Waveform Evaluation (AWE).
+
+Given the linear(ized) system ``(G + sC)x(s) = b`` the transfer function at
+an output node expands as ``H(s) = m0 + m1·s + m2·s² + ...`` with
+
+    G·x0 = b,      G·x_{k+1} = -C·x_k,      m_k = x_k[out].
+
+One LU factorization of ``G`` serves every moment — the property that made
+AWE fast enough for the ASTRX/OBLX inner loop and the RAIL power-grid
+evaluator [Pillage & Rohrer 1990].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.analysis.mna import SingularCircuitError
+
+
+class MomentEngine:
+    """Factorizes G once and produces state moment vectors on demand."""
+
+    def __init__(self, G: np.ndarray, C: np.ndarray, b: np.ndarray):
+        self.G = np.asarray(G, dtype=float)
+        self.C = np.asarray(C, dtype=float)
+        self.b = np.asarray(b, dtype=float)
+        try:
+            self._lu = sla.lu_factor(self.G)
+        except (ValueError, sla.LinAlgError) as exc:
+            raise SingularCircuitError("G matrix is singular") from exc
+        self._states: list[np.ndarray] = []
+
+    def state(self, k: int) -> np.ndarray:
+        """k-th moment state vector x_k (cached)."""
+        while len(self._states) <= k:
+            if not self._states:
+                nxt = sla.lu_solve(self._lu, self.b)
+            else:
+                nxt = sla.lu_solve(self._lu, -self.C @ self._states[-1])
+            if not np.all(np.isfinite(nxt)):
+                raise SingularCircuitError("moment recursion diverged")
+            self._states.append(nxt)
+        return self._states[k]
+
+    def moments(self, out_index: int, count: int) -> np.ndarray:
+        """First ``count`` transfer-function moments m_0..m_{count-1}."""
+        return np.array([self.state(k)[out_index] for k in range(count)])
+
+
+def moments_from_system(G: np.ndarray, C: np.ndarray, b: np.ndarray,
+                        out_index: int, count: int) -> np.ndarray:
+    """Convenience wrapper: moments of one output in one call."""
+    return MomentEngine(G, C, b).moments(out_index, count)

@@ -1,0 +1,125 @@
+"""Padé approximation of moment series: the heart of AWE.
+
+From ``2q`` moments a ``q``-pole reduced-order model is produced:
+
+    H(s) ≈ Σ_i k_i / (s - p_i)   (+ direct constant for proper systems)
+
+The denominator follows from the classic Hankel system over moments, the
+poles from its roots, and the residues from a Vandermonde solve against the
+low-order moments.  Unstable right-half-plane poles — the well-known AWE
+failure mode — are handled by dropping them and re-fitting residues, which
+preserves moment matching of the dominant (stable) behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class PadeError(ValueError):
+    """Raised when a Padé model cannot be constructed from the moments."""
+
+
+@dataclass
+class ReducedOrderModel:
+    """Pole/residue model H(s) = Σ k_i/(s − p_i)."""
+
+    poles: np.ndarray      # complex, strictly stable if stabilized
+    residues: np.ndarray   # complex, conjugate-paired with poles
+    moments: np.ndarray    # the moments the model was fitted to
+
+    @property
+    def order(self) -> int:
+        return len(self.poles)
+
+    def transfer(self, s: complex) -> complex:
+        return complex(np.sum(self.residues / (s - self.poles)))
+
+    def frequency_response(self, freqs_hz: np.ndarray) -> np.ndarray:
+        s = 2j * np.pi * np.asarray(freqs_hz, dtype=float)
+        return np.array([self.transfer(sv) for sv in s])
+
+    def dc_value(self) -> float:
+        return float(np.real(np.sum(-self.residues / self.poles)))
+
+    def impulse_response(self, t: np.ndarray) -> np.ndarray:
+        t = np.asarray(t, dtype=float)
+        out = np.zeros_like(t, dtype=complex)
+        for p, k in zip(self.poles, self.residues):
+            out += k * np.exp(p * t)
+        return np.real(out)
+
+    def step_response(self, t: np.ndarray) -> np.ndarray:
+        """Response to a unit step input (assuming H maps input→output)."""
+        t = np.asarray(t, dtype=float)
+        out = np.zeros_like(t, dtype=complex)
+        for p, k in zip(self.poles, self.residues):
+            out += (k / p) * (np.exp(p * t) - 1.0)
+        return np.real(out)
+
+    def dominant_pole(self) -> complex:
+        """The stable pole closest to the jω axis."""
+        if self.order == 0:
+            raise PadeError("empty model has no poles")
+        return self.poles[np.argmin(np.abs(self.poles.real))]
+
+    def time_constant(self) -> float:
+        return float(1.0 / abs(self.dominant_pole().real))
+
+
+def pade_model(moments: np.ndarray, order: int,
+               stabilize: bool = True) -> ReducedOrderModel:
+    """Fit a ``order``-pole model to the leading ``2·order`` moments."""
+    moments = np.asarray(moments, dtype=float)
+    if len(moments) < 2 * order:
+        raise PadeError(
+            f"need {2 * order} moments for order {order}, got {len(moments)}")
+    if order < 1:
+        raise PadeError("order must be >= 1")
+    poles = _pade_poles(moments, order)
+    if stabilize:
+        stable = poles[poles.real < 0]
+        if len(stable) == 0:
+            raise PadeError("no stable poles found in Padé model")
+        poles = stable
+    residues = _fit_residues(moments, poles)
+    return ReducedOrderModel(poles, residues, moments[:2 * order])
+
+
+def _pade_poles(moments: np.ndarray, order: int) -> np.ndarray:
+    """Solve the Hankel moment system for denominator coefficients."""
+    q = order
+    # Hankel matrix M a = -m_tail.
+    M = np.empty((q, q))
+    for i in range(q):
+        M[i, :] = moments[i:i + q]
+    rhs = -moments[q:2 * q]
+    try:
+        a = np.linalg.solve(M, rhs)
+    except np.linalg.LinAlgError:
+        # Degenerate (fewer true poles than requested): reduce the order.
+        if q == 1:
+            raise PadeError("Hankel system singular at order 1")
+        return _pade_poles(moments, q - 1)
+    # Denominator polynomial: a0 + a1 z + ... + a_{q-1} z^{q-1} + z^q,
+    # whose roots are the *reciprocal* poles (z = 1/s expansion).
+    coeffs = np.concatenate(([1.0], a[::-1]))  # descending in z
+    recip = np.roots(coeffs)
+    recip = recip[np.abs(recip) > 1e-30]
+    if len(recip) == 0:
+        raise PadeError("all Padé poles at infinity")
+    return 1.0 / recip
+
+
+def _fit_residues(moments: np.ndarray, poles: np.ndarray) -> np.ndarray:
+    """Least-squares residue fit: m_k = -Σ_i k_i / p_i^{k+1}."""
+    q = len(poles)
+    n_eq = min(len(moments), 2 * q)
+    V = np.empty((n_eq, q), dtype=complex)
+    for k in range(n_eq):
+        V[k, :] = -1.0 / poles ** (k + 1)
+    residues, *_ = np.linalg.lstsq(V, moments[:n_eq].astype(complex),
+                                   rcond=None)
+    return residues

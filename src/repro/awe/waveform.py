@@ -1,0 +1,71 @@
+"""Waveform-level conveniences on top of AWE reduced-order models.
+
+These are the quantities the tools in the tutorial actually consume:
+ASTRX/OBLX wants bandwidth/pole estimates of the linearized amplifier,
+RAIL wants supply-bounce peaks and settling under switching-current
+excitation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.ac import SmallSignalSystem
+from repro.awe.moments import MomentEngine
+from repro.awe.pade import PadeError, ReducedOrderModel, pade_model
+
+
+def reduce_circuit(ss: SmallSignalSystem, out: str,
+                   order: int = 4) -> ReducedOrderModel:
+    """AWE model of V(out)/input for a linearized circuit.
+
+    Falls back to lower orders when the Hankel system degenerates (fewer
+    physical poles than requested) — standard AWE practice.
+    """
+    out_index = ss.node(out)
+    if out_index < 0:
+        raise ValueError("output cannot be the ground net")
+    engine = MomentEngine(ss.G, ss.C, np.real(ss.b_ac))
+    for q in range(order, 0, -1):
+        try:
+            return pade_model(engine.moments(out_index, 2 * q), q)
+        except PadeError:
+            continue
+    raise PadeError(f"no AWE model of any order <= {order} for {out!r}")
+
+
+def bandwidth_estimate(model: ReducedOrderModel) -> float:
+    """-3 dB bandwidth estimate in Hz from the dominant pole."""
+    return abs(model.dominant_pole().real) / (2.0 * np.pi)
+
+
+def delay_estimate(model: ReducedOrderModel,
+                   threshold: float = 0.5) -> float:
+    """Elmore-like delay: time for the step response to cross ``threshold``
+    of its final value (bisection on the analytic step response)."""
+    final = model.dc_value()
+    if final == 0.0:
+        return 0.0
+    target = threshold * final
+    tau = model.time_constant()
+    lo, hi = 0.0, 50.0 * tau
+    resp = model.step_response(np.array([hi]))[0]
+    if (resp - target) * np.sign(final) < 0:
+        return float("inf")
+    for _ in range(80):
+        mid = 0.5 * (lo + hi)
+        val = model.step_response(np.array([mid]))[0]
+        if (val - target) * np.sign(final) >= 0:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def peak_response(model: ReducedOrderModel, t_max: float,
+                  n_points: int = 2000) -> tuple[float, float]:
+    """(time, value) of the maximum-magnitude step-response excursion."""
+    t = np.linspace(0.0, t_max, n_points)
+    y = model.step_response(t)
+    k = int(np.argmax(np.abs(y)))
+    return float(t[k]), float(y[k])

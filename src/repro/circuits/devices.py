@@ -1,0 +1,305 @@
+"""Device primitives and model cards for the circuit representation.
+
+Devices are deliberately *pure data*: they carry connectivity and parameters
+but no simulation behaviour.  The MNA stamping rules live in
+:mod:`repro.analysis.mna`, the symbolic stamps in :mod:`repro.symbolic`, and
+the layout generators in :mod:`repro.layout.devicegen`.  This keeps one
+netlist usable by every tool in the flow, the way the 1996-era tools shared
+SPICE decks.
+
+The MOS transistor uses the SPICE level-1 (square-law) model with channel-
+length modulation and body effect.  Level 1 is exactly what the surveyed
+synthesis tools (IDAC, OPASYN, OPTIMAN, ASTRX/OBLX) used for hand-derived
+design equations, so it preserves all the qualitative design trade-offs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+
+BOLTZMANN = 1.380649e-23
+Q_ELECTRON = 1.602176634e-19
+ROOM_TEMP_K = 300.15
+THERMAL_VOLTAGE = BOLTZMANN * ROOM_TEMP_K / Q_ELECTRON  # ~25.9 mV
+
+
+class MosPolarity(enum.Enum):
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass(frozen=True)
+class MosModel:
+    """SPICE level-1 MOS model card.
+
+    Parameters follow SPICE naming: ``kp`` is the transconductance factor
+    (µCox, A/V²), ``vto`` the zero-bias threshold, ``lambda_`` channel-length
+    modulation (1/V), ``gamma`` body-effect coefficient (V^0.5), ``phi``
+    surface potential (V).  Capacitance parameters: ``cox`` gate-oxide
+    capacitance per area (F/m²), ``cj``/``cjsw`` junction area/sidewall
+    capacitances, ``cgdo``/``cgso`` overlap capacitances per width (F/m).
+    Noise: ``kf``/``af`` flicker-noise parameters.
+    """
+
+    name: str
+    polarity: MosPolarity
+    kp: float = 50e-6
+    vto: float = 0.7
+    lambda_: float = 0.04
+    gamma: float = 0.45
+    phi: float = 0.7
+    cox: float = 2.3e-3
+    cj: float = 0.4e-3
+    cjsw: float = 0.4e-9
+    cgdo: float = 0.3e-9
+    cgso: float = 0.3e-9
+    kf: float = 1e-26
+    af: float = 1.0
+
+    @property
+    def is_nmos(self) -> bool:
+        return self.polarity is MosPolarity.NMOS
+
+    @property
+    def sign(self) -> float:
+        """+1 for NMOS, -1 for PMOS (applied to all terminal voltages)."""
+        return 1.0 if self.is_nmos else -1.0
+
+
+# A representative synthetic 0.8 µm CMOS process, scaled from mid-90s data.
+NMOS_DEFAULT = MosModel("nmos_08", MosPolarity.NMOS, kp=100e-6, vto=0.75,
+                        lambda_=0.05, gamma=0.5, phi=0.7)
+PMOS_DEFAULT = MosModel("pmos_08", MosPolarity.PMOS, kp=35e-6, vto=0.75,
+                        lambda_=0.07, gamma=0.45, phi=0.7, kf=4e-27)
+
+
+@dataclass(frozen=True)
+class DiodeModel:
+    name: str
+    i_sat: float = 1e-14
+    emission: float = 1.0
+    cj0: float = 0.0
+
+
+class Device:
+    """Base class for all circuit elements.
+
+    Subclasses define ``nodes`` (ordered terminal net names).  Devices are
+    value objects: renaming nets or scaling parameters returns new devices.
+    """
+
+    name: str
+    nodes: tuple[str, ...]
+
+    def renamed(self, mapping: dict[str, str]) -> "Device":
+        """Return a copy with nets renamed through ``mapping``."""
+        new_nodes = tuple(mapping.get(n, n) for n in self.nodes)
+        return replace(self, nodes=new_nodes)  # type: ignore[type-var]
+
+    def with_prefix(self, prefix: str) -> "Device":
+        return replace(self, name=prefix + self.name)  # type: ignore[type-var]
+
+
+@dataclass(frozen=True)
+class Resistor(Device):
+    name: str
+    nodes: tuple[str, str]
+    value: float
+    # Layout hints used by the device generators.
+    sheet_res: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError(f"resistor {self.name} must be positive, got {self.value}")
+
+
+@dataclass(frozen=True)
+class Capacitor(Device):
+    name: str
+    nodes: tuple[str, str]
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"capacitor {self.name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class Inductor(Device):
+    name: str
+    nodes: tuple[str, str]
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ValueError(f"inductor {self.name} must be positive")
+
+
+@dataclass(frozen=True)
+class Waveform:
+    """Time-dependent source description (subset of SPICE transient forms)."""
+
+    kind: str = "dc"  # "dc" | "pulse" | "sin" | "pwl"
+    params: tuple[float, ...] = ()
+    points: tuple[tuple[float, float], ...] = ()
+
+    def value_at(self, t: float, dc: float) -> float:
+        if self.kind == "dc":
+            return dc
+        if self.kind == "sin":
+            off, amp, freq = (tuple(self.params) + (0.0, 0.0, 1.0))[:3]
+            delay = self.params[3] if len(self.params) > 3 else 0.0
+            if t < delay:
+                return off
+            return off + amp * math.sin(2 * math.pi * freq * (t - delay))
+        if self.kind == "pulse":
+            v1, v2, delay, rise, fall, width, period = (
+                tuple(self.params) + (0.0,) * 7)[:7]
+            if period <= 0:
+                period = float("inf")
+            if t < delay:
+                return v1
+            tm = (t - delay) % period if period != float("inf") else (t - delay)
+            if rise > 0 and tm < rise:
+                return v1 + (v2 - v1) * tm / rise
+            tm2 = tm - rise
+            if tm2 < width:
+                return v2
+            tm3 = tm2 - width
+            if fall > 0 and tm3 < fall:
+                return v2 + (v1 - v2) * tm3 / fall
+            return v1
+        if self.kind == "pwl":
+            pts = self.points
+            if not pts:
+                return dc
+            if t <= pts[0][0]:
+                return pts[0][1]
+            for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+                if t <= t1:
+                    if t1 == t0:
+                        return v1
+                    return v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            return pts[-1][1]
+        raise ValueError(f"unknown waveform kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class VoltageSource(Device):
+    name: str
+    nodes: tuple[str, str]  # (plus, minus)
+    dc: float = 0.0
+    ac: float = 0.0
+    waveform: Waveform = field(default_factory=Waveform)
+
+
+@dataclass(frozen=True)
+class CurrentSource(Device):
+    name: str
+    nodes: tuple[str, str]  # current flows plus -> minus through the source
+    dc: float = 0.0
+    ac: float = 0.0
+    waveform: Waveform = field(default_factory=Waveform)
+
+
+@dataclass(frozen=True)
+class Vcvs(Device):
+    """E element: voltage-controlled voltage source."""
+
+    name: str
+    nodes: tuple[str, str, str, str]  # out+, out-, ctrl+, ctrl-
+    gain: float = 1.0
+
+
+@dataclass(frozen=True)
+class Vccs(Device):
+    """G element: voltage-controlled current source (transconductor)."""
+
+    name: str
+    nodes: tuple[str, str, str, str]  # out+, out-, ctrl+, ctrl-
+    gm: float = 1.0
+
+
+@dataclass(frozen=True)
+class Cccs(Device):
+    """F element: current-controlled current source; control is a V source."""
+
+    name: str
+    nodes: tuple[str, str]
+    control: str = ""
+    gain: float = 1.0
+
+
+@dataclass(frozen=True)
+class Ccvs(Device):
+    """H element: current-controlled voltage source; control is a V source."""
+
+    name: str
+    nodes: tuple[str, str]
+    control: str = ""
+    transres: float = 1.0
+
+
+@dataclass(frozen=True)
+class Diode(Device):
+    name: str
+    nodes: tuple[str, str]  # anode, cathode
+    model: DiodeModel = field(default_factory=lambda: DiodeModel("d_default"))
+    area: float = 1.0
+
+
+@dataclass(frozen=True)
+class Mosfet(Device):
+    """Four-terminal MOS transistor (drain, gate, source, bulk)."""
+
+    name: str
+    nodes: tuple[str, str, str, str]
+    model: MosModel = field(default_factory=lambda: NMOS_DEFAULT)
+    w: float = 10e-6
+    l: float = 1e-6
+    m: int = 1  # parallel multiplier (layout folding hint)
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.l <= 0:
+            raise ValueError(f"mosfet {self.name}: W and L must be positive")
+        if self.m < 1:
+            raise ValueError(f"mosfet {self.name}: multiplier must be >= 1")
+
+    @property
+    def drain(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def gate(self) -> str:
+        return self.nodes[1]
+
+    @property
+    def source(self) -> str:
+        return self.nodes[2]
+
+    @property
+    def bulk(self) -> str:
+        return self.nodes[3]
+
+    @property
+    def beta(self) -> float:
+        """kp·(W/L)·m — the square-law current factor."""
+        return self.model.kp * (self.w / self.l) * self.m
+
+    def gate_cap(self) -> float:
+        """Total gate capacitance estimate (Cox·W·L + overlaps)."""
+        area = self.w * self.l * self.m
+        overlap = (self.model.cgdo + self.model.cgso) * self.w * self.m
+        return self.model.cox * area + overlap
+
+
+@dataclass(frozen=True)
+class SubcktInstance(Device):
+    """X element: instance of a subcircuit definition."""
+
+    name: str
+    nodes: tuple[str, ...]
+    subckt: str = ""
+    params: tuple[tuple[str, float], ...] = ()

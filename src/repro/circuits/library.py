@@ -1,0 +1,342 @@
+"""Canned circuit topologies used across the frontend and backend tools.
+
+These are the workloads of the DAC'96 tutorial: operational amplifiers for
+sizing experiments (Fig. 1, Fig. 2), the charge-sensitive amplifier plus
+pulse shaper of the AMGIE experiment (Table 1), and simple RC/RLC networks
+for AWE and simulator regression.
+
+Each builder takes a ``sizes`` mapping so the synthesis tools can resize the
+same topology; defaults are hand-reasonable starting points for the
+synthetic 0.8 µm process in :mod:`repro.circuits.devices`.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.devices import (
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+    MosModel,
+    Waveform,
+)
+from repro.circuits.netlist import Circuit
+
+VDD = "vdd"
+VSS = "0"
+
+
+def _merged(defaults: dict[str, float], sizes: dict[str, float] | None) -> dict[str, float]:
+    merged = dict(defaults)
+    if sizes:
+        unknown = set(sizes) - set(defaults)
+        if unknown:
+            raise KeyError(f"unknown size parameters: {sorted(unknown)}")
+        merged.update(sizes)
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Operational amplifiers
+# ----------------------------------------------------------------------
+
+OTA_DEFAULTS = {
+    "w_in": 40e-6, "l_in": 2e-6,       # input differential pair (M1, M2)
+    "w_load": 20e-6, "l_load": 2e-6,   # current-mirror load (M3, M4)
+    "w_tail": 30e-6, "l_tail": 2e-6,   # tail current source (M5)
+    "i_bias": 20e-6,
+    "c_load": 2e-12,
+    "vdd": 3.3,
+}
+
+
+def five_transistor_ota(sizes: dict[str, float] | None = None,
+                        nmos: MosModel = NMOS_DEFAULT,
+                        pmos: MosModel = PMOS_DEFAULT) -> Circuit:
+    """Classic 5-transistor OTA with NMOS input pair and PMOS mirror load.
+
+    Ports: ``inp``, ``inn`` (inputs), ``out``, ``vdd``.  The tail current is
+    set by an ideal reference into a mirror for simplicity.
+    """
+    p = _merged(OTA_DEFAULTS, sizes)
+    c = Circuit("five_transistor_ota")
+    c.vsource("vdd_src", VDD, VSS, dc=p["vdd"])
+    # Input pair.
+    c.mosfet("m1", "x1", "inp", "tail", VSS, nmos, p["w_in"], p["l_in"])
+    c.mosfet("m2", "out", "inn", "tail", VSS, nmos, p["w_in"], p["l_in"])
+    # PMOS mirror load.
+    c.mosfet("m3", "x1", "x1", VDD, VDD, pmos, p["w_load"], p["l_load"])
+    c.mosfet("m4", "out", "x1", VDD, VDD, pmos, p["w_load"], p["l_load"])
+    # Tail mirror: M6 diode-connected reference, M5 tail.
+    c.mosfet("m5", "tail", "nbias", VSS, VSS, nmos, p["w_tail"], p["l_tail"])
+    c.mosfet("m6", "nbias", "nbias", VSS, VSS, nmos, p["w_tail"], p["l_tail"])
+    c.isource("ibias", VDD, "nbias", dc=p["i_bias"])
+    c.capacitor("cl", "out", VSS, p["c_load"])
+    return c
+
+
+TWO_STAGE_DEFAULTS = {
+    "w_in": 60e-6, "l_in": 2e-6,
+    "w_load": 30e-6, "l_load": 2e-6,
+    "w_tail": 40e-6, "l_tail": 2e-6,
+    # Second stage: the PMOS driver mirrors the first-stage load gate
+    # voltage, so its quiescent current is i_bias/2·(w_p2/l_p2)/(w_load/
+    # l_load); w_n2 is chosen to sink exactly that via the nbias mirror,
+    # which keeps both output devices saturated.
+    "w_p2": 120e-6, "l_p2": 1.5e-6,    # second-stage driver (PMOS)
+    "w_n2": 106.7e-6, "l_n2": 2e-6,    # second-stage current sink
+    "c_comp": 3e-12,
+    "r_zero": 3e3,
+    "i_bias": 25e-6,
+    "c_load": 5e-12,
+    "vdd": 3.3,
+}
+
+
+def two_stage_miller(sizes: dict[str, float] | None = None,
+                     nmos: MosModel = NMOS_DEFAULT,
+                     pmos: MosModel = PMOS_DEFAULT) -> Circuit:
+    """Two-stage Miller-compensated CMOS opamp (the Fig. 2 workhorse).
+
+    NMOS input pair + PMOS mirror, PMOS common-source second stage with
+    Miller capacitor and nulling resistor.  Ports: ``inp``, ``inn``,
+    ``out``, ``vdd``.
+    """
+    p = _merged(TWO_STAGE_DEFAULTS, sizes)
+    c = Circuit("two_stage_miller")
+    c.vsource("vdd_src", VDD, VSS, dc=p["vdd"])
+    c.mosfet("m1", "x1", "inp", "tail", VSS, nmos, p["w_in"], p["l_in"])
+    c.mosfet("m2", "x2", "inn", "tail", VSS, nmos, p["w_in"], p["l_in"])
+    c.mosfet("m3", "x1", "x1", VDD, VDD, pmos, p["w_load"], p["l_load"])
+    c.mosfet("m4", "x2", "x1", VDD, VDD, pmos, p["w_load"], p["l_load"])
+    c.mosfet("m5", "tail", "nbias", VSS, VSS, nmos, p["w_tail"], p["l_tail"])
+    c.mosfet("m6", "out", "x2", VDD, VDD, pmos, p["w_p2"], p["l_p2"])
+    c.mosfet("m7", "out", "nbias", VSS, VSS, nmos, p["w_n2"], p["l_n2"])
+    c.mosfet("m8", "nbias", "nbias", VSS, VSS, nmos, p["w_tail"], p["l_tail"])
+    c.isource("ibias", VDD, "nbias", dc=p["i_bias"])
+    c.resistor("rz", "x2", "cz", p["r_zero"])
+    c.capacitor("cc", "cz", "out", p["c_comp"])
+    c.capacitor("cl", "out", VSS, p["c_load"])
+    return c
+
+
+FOLDED_CASCODE_DEFAULTS = {
+    "w_in": 80e-6, "l_in": 1.5e-6,
+    "w_tail": 60e-6, "l_tail": 2e-6,
+    "w_psrc": 100e-6, "l_psrc": 2e-6,   # top PMOS current sources
+    "w_pcas": 80e-6, "l_pcas": 1.5e-6,  # PMOS cascodes
+    "w_ncas": 40e-6, "l_ncas": 1.5e-6,  # NMOS cascodes
+    "w_nsrc": 40e-6, "l_nsrc": 2e-6,    # bottom NMOS mirror
+    "i_bias": 40e-6,
+    "c_load": 3e-12,
+    "vdd": 3.3,
+}
+
+
+def folded_cascode_ota(sizes: dict[str, float] | None = None,
+                       nmos: MosModel = NMOS_DEFAULT,
+                       pmos: MosModel = PMOS_DEFAULT) -> Circuit:
+    """Folded-cascode OTA with NMOS input pair (high-gain single stage).
+
+    Bias voltages are generated with simple diode ladders so the circuit is
+    self-contained for DC analysis.  Ports: ``inp``, ``inn``, ``out``.
+    """
+    p = _merged(FOLDED_CASCODE_DEFAULTS, sizes)
+    c = Circuit("folded_cascode_ota")
+    c.vsource("vdd_src", VDD, VSS, dc=p["vdd"])
+    # Bias ladder: three stacked diode devices give cascode gate biases.
+    c.isource("ib1", VDD, "nbias", dc=p["i_bias"])
+    c.mosfet("mb1", "nbias", "nbias", VSS, VSS, nmos, p["w_nsrc"], p["l_nsrc"])
+    c.isource("ib2", "pbias", VSS, dc=p["i_bias"])
+    c.mosfet("mb2", "pbias", "pbias", VDD, VDD, pmos, p["w_psrc"], p["l_psrc"])
+    c.vsource("vcn", "vbn_cas", VSS, dc=1.4)
+    c.vsource("vcp", "vbp_cas", VSS, dc=p["vdd"] - 1.4)
+    # Input pair, folded into PMOS sources.
+    c.mosfet("m1", "f1", "inp", "tail", VSS, nmos, p["w_in"], p["l_in"])
+    c.mosfet("m2", "f2", "inn", "tail", VSS, nmos, p["w_in"], p["l_in"])
+    c.mosfet("m5", "tail", "nbias", VSS, VSS, nmos, p["w_tail"], p["l_tail"])
+    # Top PMOS current sources feeding the folding nodes.
+    c.mosfet("m6", "f1", "pbias", VDD, VDD, pmos, p["w_psrc"], p["l_psrc"])
+    c.mosfet("m7", "f2", "pbias", VDD, VDD, pmos, p["w_psrc"], p["l_psrc"])
+    # PMOS cascodes from folding nodes to the outputs.
+    c.mosfet("m8", "c1", "vbp_cas", "f1", VDD, pmos, p["w_pcas"], p["l_pcas"])
+    c.mosfet("m9", "out", "vbp_cas", "f2", VDD, pmos, p["w_pcas"], p["l_pcas"])
+    # NMOS cascode mirror.
+    c.mosfet("m10", "c1", "vbn_cas", "s1", VSS, nmos, p["w_ncas"], p["l_ncas"])
+    c.mosfet("m11", "out", "vbn_cas", "s2", VSS, nmos, p["w_ncas"], p["l_ncas"])
+    c.mosfet("m12", "s1", "c1", VSS, VSS, nmos, p["w_nsrc"], p["l_nsrc"])
+    c.mosfet("m13", "s2", "c1", VSS, VSS, nmos, p["w_nsrc"], p["l_nsrc"])
+    c.capacitor("cl", "out", VSS, p["c_load"])
+    return c
+
+
+def large_cascode_opamp(sizes: dict[str, float] | None = None) -> Circuit:
+    """A ~24-device opamp ("741-complexity" stand-in) for symbolic scaling.
+
+    Folded cascode first stage + class-A second stage + output buffer.
+    Only used to stress the symbolic analyzer and stack extractor.
+    """
+    c = folded_cascode_ota(sizes)
+    c.name = "large_cascode_opamp"
+    nmos, pmos = NMOS_DEFAULT, PMOS_DEFAULT
+    # Second stage.
+    c.mosfet("m20", "out2", "out", VDD, VDD, pmos, 160e-6, 1.5e-6)
+    c.mosfet("m21", "out2", "nbias", VSS, VSS, nmos, 80e-6, 2e-6)
+    c.resistor("rz2", "out", "cz2", 2e3)
+    c.capacitor("cc2", "cz2", "out2", 2e-12)
+    # Source-follower output buffer.
+    c.mosfet("m22", VDD, "out2", "outb", VSS, nmos, 200e-6, 1e-6)
+    c.mosfet("m23", "outb", "nbias", VSS, VSS, nmos, 100e-6, 2e-6)
+    c.capacitor("clb", "outb", VSS, 10e-12)
+    return c
+
+
+# ----------------------------------------------------------------------
+# Pulse-detector frontend (Table 1 workload)
+# ----------------------------------------------------------------------
+
+CSA_DEFAULTS = {
+    "w_in": 200e-6, "l_in": 1.2e-6,    # input device dominates noise
+    # The cascode is sized wide and biased high enough that it can never
+    # current-limit the input branch below the mirror current — otherwise
+    # the feedback loop has a second (latched) DC operating point.
+    "w_cas": 300e-6, "l_cas": 1.2e-6,
+    "w_src": 80e-6, "l_src": 2e-6,
+    "v_cas": 1.8,
+    "i_bias": 200e-6,
+    "c_fb": 0.5e-12,                   # feedback (integration) capacitor
+    "r_fb": 20e6,                      # continuous reset resistor
+    "c_det": 5e-12,                    # detector capacitance at the input
+    "vdd": 3.3,
+}
+
+
+def charge_sensitive_amplifier(sizes: dict[str, float] | None = None,
+                               nmos: MosModel = NMOS_DEFAULT,
+                               pmos: MosModel = PMOS_DEFAULT) -> Circuit:
+    """Charge-sensitive amplifier: cascoded common-source with C_fb feedback.
+
+    The detector is modelled as a current impulse into ``in`` in parallel
+    with ``c_det`` — exactly the testbench AMGIE used for the pulse
+    detector of Table 1.
+    """
+    p = _merged(CSA_DEFAULTS, sizes)
+    c = Circuit("charge_sensitive_amplifier")
+    c.vsource("vdd_src", VDD, VSS, dc=p["vdd"])
+    c.capacitor("cdet", "in", VSS, p["c_det"])
+    # Cascoded common-source gain stage.
+    c.mosfet("m1", "casc", "in", VSS, VSS, nmos, p["w_in"], p["l_in"])
+    c.vsource("vcas", "vb_cas", VSS, dc=p["v_cas"])
+    c.mosfet("m2", "out", "vb_cas", "casc", VSS, nmos, p["w_cas"], p["l_cas"])
+    c.mosfet("m3", "out", "pb", VDD, VDD, pmos, p["w_src"], p["l_src"])
+    c.mosfet("m4", "pb", "pb", VDD, VDD, pmos, p["w_src"], p["l_src"])
+    c.isource("ib", "pb", VSS, dc=p["i_bias"])
+    # Feedback network.  R_fb also self-biases the input device: at DC no
+    # current flows through it, so V(in) = V(out) settles at the unique
+    # point where M1 sinks the mirrored bias current (a deliberately
+    # unambiguous operating point — adding a separate gate bias creates a
+    # second high-state solution Newton can fall into).
+    c.capacitor("cfb", "in", "out", p["c_fb"])
+    c.resistor("rfb", "in", "out", p["r_fb"])
+    return c
+
+
+def shaper_stage(index: int, tau: float, gain: float,
+                 differentiator: bool = False,
+                 r_unit: float = 100e3) -> Circuit:
+    """One active pulse-shaping stage as an ideal-opamp RC network.
+
+    ``differentiator=True`` builds the CR stage ``-G·sτ/(1+sτ)`` (series
+    R-C input, resistive feedback — blocks the CSA's DC level);
+    otherwise an RC lowpass stage ``-G/(1+sτ)``.  A chain of one CR plus
+    n RC stages realizes the semi-Gaussian CR-RCⁿ shaper.
+
+    Implemented with a VCVS opamp so the shaper chain simulates at
+    behavioural level, matching the hierarchical methodology of §2.1
+    where subblocks stay behavioural until specification translation
+    reaches the device level.
+    """
+    c = Circuit(f"shaper_stage_{index}")
+    rin = r_unit / max(gain, 1e-9)
+    inp, out = "in", "out"
+    if differentiator:
+        # Zin = rin + 1/(s·cin) with rin·cin = tau; Zf = r_unit.
+        c.resistor("rin", inp, "mid", rin)
+        c.capacitor("cin", "mid", "vx", tau / rin)
+        c.resistor("rf", "vx", out, r_unit)
+    else:
+        # Zin = rin; Zf = r_unit ∥ cf with r_unit·cf = tau.
+        c.resistor("rin", inp, "vx", rin)
+        c.resistor("rf", "vx", out, r_unit)
+        c.capacitor("cf", "vx", out, tau / r_unit)
+    from repro.circuits.devices import Vcvs
+    c.add(Vcvs("eamp", (out, "0", "0", "vx"), gain=1e5))
+    return c
+
+
+# ----------------------------------------------------------------------
+# Passive networks for simulator/AWE regression
+# ----------------------------------------------------------------------
+
+def rc_ladder(n_sections: int, r: float = 1e3, c: float = 1e-12) -> Circuit:
+    """Uniform RC ladder driven by ``vin`` — the canonical AWE example."""
+    if n_sections < 1:
+        raise ValueError("need at least one RC section")
+    ckt = Circuit(f"rc_ladder_{n_sections}")
+    ckt.vsource("vin", "n0", VSS, dc=0.0, ac=1.0)
+    for i in range(n_sections):
+        ckt.resistor(f"r{i + 1}", f"n{i}", f"n{i + 1}", r)
+        ckt.capacitor(f"c{i + 1}", f"n{i + 1}", VSS, c)
+    return ckt
+
+
+def rlc_tank(r: float = 50.0, l: float = 1e-9, c: float = 1e-12) -> Circuit:
+    """Series R-L into parallel C: a 2nd-order response with complex poles."""
+    ckt = Circuit("rlc_tank")
+    ckt.vsource("vin", "a", VSS, dc=0.0, ac=1.0)
+    ckt.resistor("rs", "a", "b", r)
+    ckt.inductor("ls", "b", "out", l)
+    ckt.capacitor("cp", "out", VSS, c)
+    return ckt
+
+
+def voltage_divider(r1: float = 1e3, r2: float = 1e3, vin: float = 1.0) -> Circuit:
+    ckt = Circuit("voltage_divider")
+    ckt.vsource("vin", "a", VSS, dc=vin, ac=1.0)
+    ckt.resistor("r1", "a", "out", r1)
+    ckt.resistor("r2", "out", VSS, r2)
+    return ckt
+
+
+def common_source_amp(w: float = 50e-6, l: float = 1e-6,
+                      r_load: float = 20e3, vgs: float = 1.1,
+                      vdd: float = 3.3,
+                      nmos: MosModel = NMOS_DEFAULT) -> Circuit:
+    """Resistor-loaded common-source stage — smallest interesting MOS circuit."""
+    ckt = Circuit("common_source_amp")
+    ckt.vsource("vdd_src", VDD, VSS, dc=vdd)
+    ckt.vsource("vin", "g", VSS, dc=vgs, ac=1.0)
+    ckt.resistor("rl", VDD, "out", r_load)
+    ckt.mosfet("m1", "out", "g", VSS, VSS, nmos, w, l)
+    return ckt
+
+
+def switched_cap_integrator(c_sample: float = 1e-12,
+                            c_int: float = 4e-12,
+                            r_switch: float = 5e3) -> Circuit:
+    """Structural SC integrator (switches as on-resistances, AC view).
+
+    Used by the layout tools as an example of the regular, procedurally
+    generated structures of [52].  In this continuous-time approximation
+    (both switches closed) the circuit is a charge amplifier with flat
+    gain C_sample/C_int; the integration behaviour is a discrete-time
+    property of the switch phases, which this structural view does not
+    model.
+    """
+    from repro.circuits.devices import Vcvs
+    ckt = Circuit("sc_integrator")
+    ckt.vsource("vin", "in", VSS, dc=0.0, ac=1.0)
+    ckt.resistor("rsw1", "in", "cs_top", r_switch)
+    ckt.capacitor("cs", "cs_top", "vx", c_sample)
+    ckt.resistor("rsw2", "vx", VSS, 1e9)  # virtual-ground leak
+    ckt.capacitor("ci", "vx", "out", c_int)
+    ckt.add(Vcvs("eamp", ("out", "0", "0", "vx"), gain=1e5))
+    return ckt

@@ -1,0 +1,217 @@
+"""Circuit container: nets, devices, subcircuits and flattening.
+
+A :class:`Circuit` is the common currency of the whole toolkit.  The
+frontend sizes its devices, the simulator stamps it, the symbolic analyzer
+linearizes it, and the backend reads its connectivity to place and route.
+
+Hierarchy is supported through :class:`SubcktDef` definitions plus
+``SubcktInstance`` devices, resolved by :meth:`Circuit.flattened` — the same
+flatten-before-analysis model SPICE uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable
+
+from repro.circuits.devices import (
+    Capacitor,
+    CurrentSource,
+    Device,
+    Inductor,
+    Mosfet,
+    Resistor,
+    SubcktInstance,
+    VoltageSource,
+)
+
+GROUND = "0"
+
+
+class NetlistError(ValueError):
+    """Raised on malformed circuit construction or hierarchy resolution."""
+
+
+@dataclass
+class SubcktDef:
+    """A subcircuit definition: external port names plus a body circuit."""
+
+    name: str
+    ports: tuple[str, ...]
+    body: "Circuit"
+
+
+@dataclass
+class Circuit:
+    """A named collection of devices with optional subcircuit definitions."""
+
+    name: str = "circuit"
+    devices: list[Device] = field(default_factory=list)
+    subckts: dict[str, SubcktDef] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def add(self, device: Device) -> Device:
+        """Add a device; names must be unique within the circuit."""
+        if any(d.name == device.name for d in self.devices):
+            raise NetlistError(f"duplicate device name {device.name!r}")
+        self.devices.append(device)
+        return device
+
+    def extend(self, devices: Iterable[Device]) -> None:
+        for d in devices:
+            self.add(d)
+
+    def define_subckt(self, definition: SubcktDef) -> None:
+        if definition.name in self.subckts:
+            raise NetlistError(f"duplicate subckt {definition.name!r}")
+        self.subckts[definition.name] = definition
+
+    # shorthand element constructors -----------------------------------
+    def resistor(self, name: str, n1: str, n2: str, value: float) -> Resistor:
+        return self.add(Resistor(name, (n1, n2), value))  # type: ignore[return-value]
+
+    def capacitor(self, name: str, n1: str, n2: str, value: float) -> Capacitor:
+        return self.add(Capacitor(name, (n1, n2), value))  # type: ignore[return-value]
+
+    def inductor(self, name: str, n1: str, n2: str, value: float) -> Inductor:
+        return self.add(Inductor(name, (n1, n2), value))  # type: ignore[return-value]
+
+    def vsource(self, name: str, plus: str, minus: str,
+                dc: float = 0.0, ac: float = 0.0, waveform=None) -> VoltageSource:
+        from repro.circuits.devices import Waveform
+        wf = waveform if waveform is not None else Waveform()
+        return self.add(VoltageSource(name, (plus, minus), dc, ac, wf))  # type: ignore[return-value]
+
+    def isource(self, name: str, plus: str, minus: str,
+                dc: float = 0.0, ac: float = 0.0, waveform=None) -> CurrentSource:
+        from repro.circuits.devices import Waveform
+        wf = waveform if waveform is not None else Waveform()
+        return self.add(CurrentSource(name, (plus, minus), dc, ac, wf))  # type: ignore[return-value]
+
+    def mosfet(self, name: str, d: str, g: str, s: str, b: str,
+               model, w: float, l: float, m: int = 1) -> Mosfet:
+        return self.add(Mosfet(name, (d, g, s, b), model, w, l, m))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nets(self) -> list[str]:
+        """All net names, ground first if present, otherwise sorted by first use."""
+        seen: dict[str, None] = {}
+        for d in self.devices:
+            for n in d.nodes:
+                seen.setdefault(n, None)
+        names = list(seen)
+        if GROUND in seen:
+            names.remove(GROUND)
+            names.insert(0, GROUND)
+        return names
+
+    def device(self, name: str) -> Device:
+        for d in self.devices:
+            if d.name == name:
+                return d
+        raise KeyError(f"no device named {name!r} in circuit {self.name!r}")
+
+    def devices_of_type(self, cls: type) -> list[Device]:
+        return [d for d in self.devices if isinstance(d, cls)]
+
+    @property
+    def mosfets(self) -> list[Mosfet]:
+        return self.devices_of_type(Mosfet)  # type: ignore[return-value]
+
+    def connected_devices(self, net: str) -> list[Device]:
+        return [d for d in self.devices if net in d.nodes]
+
+    def replace_device(self, name: str, new_device: Device) -> None:
+        for i, d in enumerate(self.devices):
+            if d.name == name:
+                self.devices[i] = new_device
+                return
+        raise KeyError(f"no device named {name!r}")
+
+    def update_device(self, name: str, **changes) -> Device:
+        """Replace fields of a device in place (devices are frozen dataclasses)."""
+        current = self.device(name)
+        updated = replace(current, **changes)  # type: ignore[type-var]
+        self.replace_device(name, updated)
+        return updated
+
+    def copy(self) -> "Circuit":
+        return Circuit(self.name, list(self.devices), dict(self.subckts))
+
+    # ------------------------------------------------------------------
+    # hierarchy
+    # ------------------------------------------------------------------
+    def flattened(self, separator: str = ".") -> "Circuit":
+        """Resolve all subcircuit instances into a flat device list.
+
+        Internal nets and device names of an instance ``X1`` of subckt ``ota``
+        become ``X1.net`` / ``X1.M1``; port nets map to the instance's
+        connection nets.  Ground is never renamed.
+        """
+        flat = Circuit(self.name, [], {})
+        self._flatten_into(flat, prefix="", separator=separator, depth=0)
+        return flat
+
+    def _flatten_into(self, flat: "Circuit", prefix: str,
+                      separator: str, depth: int,
+                      port_map: dict[str, str] | None = None) -> None:
+        if depth > 50:
+            raise NetlistError("subckt recursion deeper than 50 levels")
+        port_map = port_map or {}
+        for dev in self.devices:
+            if isinstance(dev, SubcktInstance):
+                definition = self._lookup_subckt(dev.subckt)
+                if definition is None:
+                    raise NetlistError(
+                        f"instance {dev.name!r} references unknown subckt "
+                        f"{dev.subckt!r}")
+                if len(dev.nodes) != len(definition.ports):
+                    raise NetlistError(
+                        f"instance {dev.name!r}: {len(dev.nodes)} connections "
+                        f"for {len(definition.ports)} ports of {dev.subckt!r}")
+                inner_prefix = prefix + dev.name + separator
+                # Map subckt port names to the nets this instance connects to
+                # (which themselves may need mapping at our level).
+                outer = {
+                    port: self._resolve_net(net, prefix, port_map)
+                    for port, net in zip(definition.ports, dev.nodes)
+                }
+                definition.body._flatten_into(
+                    flat, inner_prefix, separator, depth + 1, outer)
+            else:
+                mapping = {
+                    n: self._resolve_net(n, prefix, port_map) for n in dev.nodes
+                }
+                flat.add(dev.renamed(mapping).with_prefix(prefix))
+
+    def _resolve_net(self, net: str, prefix: str,
+                     port_map: dict[str, str]) -> str:
+        if net == GROUND:
+            return GROUND
+        if net in port_map:
+            return port_map[net]
+        return prefix + net
+
+    def _lookup_subckt(self, name: str) -> SubcktDef | None:
+        return self.subckts.get(name)
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def map_devices(self, fn: Callable[[Device], Device]) -> "Circuit":
+        """Return a new circuit with ``fn`` applied to each device."""
+        out = Circuit(self.name, [], dict(self.subckts))
+        for d in self.devices:
+            out.add(fn(d))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, {len(self.devices)} devices, "
+                f"{len(self.nets())} nets)")

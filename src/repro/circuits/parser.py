@@ -1,0 +1,444 @@
+"""SPICE-dialect netlist parser.
+
+Parses the subset of SPICE used by the tools the tutorial surveys: element
+cards (R, C, L, V, I, E, G, F, H, M, D, X), ``.model`` cards for MOS and
+diode, hierarchical ``.subckt``/``.ends`` blocks, ``.param`` definitions
+with arithmetic expressions, continuation lines and comments.
+
+This lets all example circuits and regression decks live as plain text, the
+way 1990s analog CAD systems exchanged designs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuits.devices import (
+    Capacitor,
+    Cccs,
+    Ccvs,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Inductor,
+    MosModel,
+    Mosfet,
+    MosPolarity,
+    Resistor,
+    SubcktInstance,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+    Waveform,
+)
+from repro.circuits.netlist import Circuit, NetlistError, SubcktDef
+from repro.core.units import parse_value
+
+
+class ParseError(NetlistError):
+    """Raised with line information when a netlist card is malformed."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+_EXPR_TOKEN = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|\d+\.?\d*(?:[eE][-+]?\d+)?"
+                         r"[A-Za-z]*|\*\*|[-+*/()])")
+
+_EXPR_FUNCS = {
+    "sqrt": math.sqrt,
+    "log": math.log,
+    "log10": math.log10,
+    "exp": math.exp,
+    "abs": abs,
+    "min": min,
+    "max": max,
+}
+
+
+class _ExprParser:
+    """Tiny recursive-descent evaluator for .param arithmetic expressions."""
+
+    def __init__(self, text: str, params: dict[str, float]):
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+        self.params = params
+
+    @staticmethod
+    def _tokenize(text: str) -> list[str]:
+        tokens = []
+        pos = 0
+        while pos < len(text):
+            m = _EXPR_TOKEN.match(text, pos)
+            if not m:
+                if text[pos:].strip():
+                    raise ParseError(f"bad expression near {text[pos:]!r}")
+                break
+            tokens.append(m.group(1))
+            pos = m.end()
+        return tokens
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> float:
+        value = self.expr()
+        if self.peek() is not None:
+            raise ParseError(f"trailing tokens in expression: {self.peek()!r}")
+        return value
+
+    def expr(self) -> float:
+        value = self.term()
+        while self.peek() in ("+", "-"):
+            op = self.take()
+            rhs = self.term()
+            value = value + rhs if op == "+" else value - rhs
+        return value
+
+    def term(self) -> float:
+        value = self.power()
+        while self.peek() in ("*", "/"):
+            op = self.take()
+            rhs = self.power()
+            value = value * rhs if op == "*" else value / rhs
+        return value
+
+    def power(self) -> float:
+        value = self.unary()
+        if self.peek() == "**":
+            self.take()
+            value = value ** self.power()
+        return value
+
+    def unary(self) -> float:
+        if self.peek() == "-":
+            self.take()
+            return -self.unary()
+        if self.peek() == "+":
+            self.take()
+            return self.unary()
+        return self.atom()
+
+    def atom(self) -> float:
+        tok = self.take()
+        if tok == "(":
+            value = self.expr()
+            if self.take() != ")":
+                raise ParseError("missing ')' in expression")
+            return value
+        if tok in _EXPR_FUNCS:
+            if self.take() != "(":
+                raise ParseError(f"expected '(' after {tok}")
+            args = [self.expr()]
+            while self.peek() == ",":  # pragma: no cover - commas not tokenized
+                self.take()
+                args.append(self.expr())
+            if self.take() != ")":
+                raise ParseError(f"missing ')' after {tok}(...)")
+            return _EXPR_FUNCS[tok](*args)
+        if tok[0].isalpha() or tok[0] == "_":
+            if tok.lower() in self.params:
+                return self.params[tok.lower()]
+            raise ParseError(f"unknown parameter {tok!r}")
+        return parse_value(tok)
+
+
+def evaluate_expression(text: str, params: dict[str, float] | None = None) -> float:
+    """Evaluate a .param arithmetic expression with SI suffixes."""
+    return _ExprParser(text, params or {}).parse()
+
+
+class NetlistParser:
+    """Stateful parser producing a :class:`Circuit` from SPICE text."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, float] = {}
+        self.mos_models: dict[str, MosModel] = {}
+        self.diode_models: dict[str, DiodeModel] = {}
+
+    # ------------------------------------------------------------------
+    def parse(self, text: str, name: str = "main") -> Circuit:
+        lines = self._logical_lines(text)
+        circuit = Circuit(name)
+        stack: list[tuple[Circuit, SubcktDef | None]] = [(circuit, None)]
+        for line_no, line in lines:
+            try:
+                self._dispatch(line, stack)
+            except ParseError:
+                # SPICE decks may start with a free-text title; only the very
+                # first raw line gets this forgiveness.
+                if line_no == 1 and not line.lstrip().startswith("."):
+                    continue
+                raise
+            except (ValueError, KeyError) as exc:
+                raise ParseError(str(exc), line_no) from exc
+        if len(stack) != 1:
+            raise ParseError("unterminated .subckt block")
+        return circuit
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _logical_lines(text: str) -> list[tuple[int, str]]:
+        """Strip comments, join '+' continuations, keep line numbers."""
+        raw = text.splitlines()
+        out: list[tuple[int, str]] = []
+        for i, line in enumerate(raw, start=1):
+            line = line.split(";")[0].rstrip()
+            if i == 1 and line and not line.lstrip().startswith(
+                    (".", "*")) and _looks_like_title(line):
+                continue
+            if not line.strip():
+                continue
+            if line.lstrip().startswith("*"):
+                continue
+            if line.lstrip().startswith("+"):
+                if not out:
+                    raise ParseError("continuation line with nothing to continue", i)
+                prev_no, prev = out[-1]
+                out[-1] = (prev_no, prev + " " + line.lstrip()[1:])
+            else:
+                out.append((i, line.strip()))
+        return out
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, line: str, stack) -> None:
+        lower = line.lower()
+        current, _ = stack[-1]
+        if lower.startswith(".param"):
+            self._parse_param(line)
+        elif lower.startswith(".model"):
+            self._parse_model(line)
+        elif lower.startswith(".subckt"):
+            tokens = line.split()
+            if len(tokens) < 3:
+                raise ParseError(".subckt needs a name and at least one port")
+            body = Circuit(tokens[1])
+            definition = SubcktDef(tokens[1].lower(), tuple(tokens[2:]), body)
+            stack.append((body, definition))
+        elif lower.startswith(".ends"):
+            if len(stack) == 1:
+                raise ParseError(".ends without matching .subckt")
+            _, definition = stack.pop()
+            assert definition is not None
+            parent, _ = stack[-1]
+            parent.define_subckt(definition)
+        elif lower.startswith((".end", ".op", ".ac", ".tran", ".dc", ".noise",
+                               ".include", ".options", ".print", ".plot")):
+            return  # analysis/control cards are handled by callers, not here
+        elif lower.startswith("."):
+            raise ParseError(f"unsupported control card {line.split()[0]!r}")
+        else:
+            current.add(self._parse_element(line))
+
+    # ------------------------------------------------------------------
+    def _parse_param(self, line: str) -> None:
+        body = line[len(".param"):]
+        for match in re.finditer(r"(\w+)\s*=\s*([^\s=]+(?:\([^)]*\))?)", body):
+            name, expr = match.group(1).lower(), match.group(2)
+            self.params[name] = self._value(expr)
+
+    def _parse_model(self, line: str) -> None:
+        tokens = self._split_with_params(line)
+        if len(tokens) < 3:
+            raise ParseError(".model needs a name and a type")
+        name = tokens[1].lower()
+        mtype = tokens[2].lower()
+        kv = self._keyword_values(tokens[3:])
+        if mtype in ("nmos", "pmos"):
+            polarity = MosPolarity.NMOS if mtype == "nmos" else MosPolarity.PMOS
+            base = MosModel(name, polarity)
+            fields = {
+                "kp": kv.get("kp", base.kp),
+                "vto": kv.get("vto", base.vto),
+                "lambda_": kv.get("lambda", base.lambda_),
+                "gamma": kv.get("gamma", base.gamma),
+                "phi": kv.get("phi", base.phi),
+                "cox": kv.get("cox", base.cox),
+                "cgdo": kv.get("cgdo", base.cgdo),
+                "cgso": kv.get("cgso", base.cgso),
+                "cj": kv.get("cj", base.cj),
+                "cjsw": kv.get("cjsw", base.cjsw),
+                "kf": kv.get("kf", base.kf),
+                "af": kv.get("af", base.af),
+            }
+            self.mos_models[name] = MosModel(name, polarity, **fields)
+        elif mtype == "d":
+            self.diode_models[name] = DiodeModel(
+                name,
+                i_sat=kv.get("is", 1e-14),
+                emission=kv.get("n", 1.0),
+                cj0=kv.get("cjo", kv.get("cj0", 0.0)),
+            )
+        else:
+            raise ParseError(f"unsupported model type {mtype!r}")
+
+    # ------------------------------------------------------------------
+    def _parse_element(self, line: str) -> object:
+        tokens = self._split_with_params(line)
+        name = tokens[0]
+        kind = name[0].lower()
+        if kind == "r":
+            self._need(tokens, 4, "R name n1 n2 value")
+            return Resistor(name, (tokens[1], tokens[2]), self._value(tokens[3]))
+        if kind == "c":
+            self._need(tokens, 4, "C name n1 n2 value")
+            return Capacitor(name, (tokens[1], tokens[2]), self._value(tokens[3]))
+        if kind == "l":
+            self._need(tokens, 4, "L name n1 n2 value")
+            return Inductor(name, (tokens[1], tokens[2]), self._value(tokens[3]))
+        if kind in ("v", "i"):
+            return self._parse_source(kind, name, tokens)
+        if kind == "e":
+            self._need(tokens, 6, "E name out+ out- ctrl+ ctrl- gain")
+            return Vcvs(name, tuple(tokens[1:5]), self._value(tokens[5]))
+        if kind == "g":
+            self._need(tokens, 6, "G name out+ out- ctrl+ ctrl- gm")
+            return Vccs(name, tuple(tokens[1:5]), self._value(tokens[5]))
+        if kind == "f":
+            self._need(tokens, 5, "F name n+ n- vcontrol gain")
+            return Cccs(name, (tokens[1], tokens[2]), tokens[3],
+                        self._value(tokens[4]))
+        if kind == "h":
+            self._need(tokens, 5, "H name n+ n- vcontrol transres")
+            return Ccvs(name, (tokens[1], tokens[2]), tokens[3],
+                        self._value(tokens[4]))
+        if kind == "d":
+            self._need(tokens, 4, "D name anode cathode model")
+            model = self.diode_models.get(tokens[3].lower())
+            if model is None:
+                raise ParseError(f"unknown diode model {tokens[3]!r}")
+            kv = self._keyword_values(tokens[4:])
+            return Diode(name, (tokens[1], tokens[2]), model,
+                         area=kv.get("area", 1.0))
+        if kind == "m":
+            self._need(tokens, 6, "M name d g s b model [W= L= M=]")
+            model = self.mos_models.get(tokens[5].lower())
+            if model is None:
+                raise ParseError(f"unknown MOS model {tokens[5]!r}")
+            kv = self._keyword_values(tokens[6:])
+            return Mosfet(name, tuple(tokens[1:5]), model,
+                          w=kv.get("w", 10e-6), l=kv.get("l", 1e-6),
+                          m=int(kv.get("m", 1)))
+        if kind == "x":
+            self._need(tokens, 3, "X name nodes... subckt")
+            return SubcktInstance(name, tuple(tokens[1:-1]), tokens[-1].lower())
+        raise ParseError(f"unknown element type {name!r}")
+
+    def _parse_source(self, kind: str, name: str, tokens: list[str]):
+        self._need(tokens, 3, f"{kind.upper()} name n+ n- [DC v] [AC v] [PULSE/SIN/PWL ...]")
+        nodes = (tokens[1], tokens[2])
+        rest = tokens[3:]
+        dc = ac = 0.0
+        waveform = Waveform()
+        i = 0
+        while i < len(rest):
+            tok = rest[i].lower()
+            if tok == "dc":
+                dc = self._value(rest[i + 1])
+                i += 2
+            elif tok == "ac":
+                ac = self._value(rest[i + 1])
+                i += 2
+            elif tok.startswith(("pulse", "sin", "pwl")):
+                wf_kind = "pulse" if tok.startswith("pulse") else (
+                    "sin" if tok.startswith("sin") else "pwl")
+                args = self._collect_wave_args(rest, i)
+                if wf_kind == "pwl":
+                    vals = [self._value(a) for a in args]
+                    points = tuple(
+                        (vals[j], vals[j + 1]) for j in range(0, len(vals) - 1, 2))
+                    waveform = Waveform("pwl", points=points)
+                else:
+                    waveform = Waveform(
+                        wf_kind, tuple(self._value(a) for a in args))
+                break
+            else:
+                dc = self._value(rest[i])
+                i += 1
+        if kind == "v":
+            return VoltageSource(name, nodes, dc, ac, waveform)
+        return CurrentSource(name, nodes, dc, ac, waveform)
+
+    @staticmethod
+    def _collect_wave_args(rest: list[str], start: int) -> list[str]:
+        """Gather 'PULSE(a b c)' or 'PULSE a b c' argument forms."""
+        joined = " ".join(rest[start:])
+        if "(" in joined:
+            inner = joined[joined.index("(") + 1:]
+            inner = inner.rsplit(")", 1)[0]
+            return inner.replace(",", " ").split()
+        return rest[start + 1:]
+
+    # ------------------------------------------------------------------
+    def _value(self, token: str) -> float:
+        token = token.strip()
+        if token.startswith("{") and token.endswith("}"):
+            return evaluate_expression(token[1:-1], self.params)
+        if token.startswith("'") and token.endswith("'"):
+            return evaluate_expression(token[1:-1], self.params)
+        lower = token.lower()
+        if lower in self.params:
+            return self.params[lower]
+        try:
+            return parse_value(token)
+        except ValueError:
+            return evaluate_expression(token, self.params)
+
+    def _keyword_values(self, tokens: list[str]) -> dict[str, float]:
+        kv: dict[str, float] = {}
+        for tok in tokens:
+            if "=" not in tok:
+                raise ParseError(f"expected key=value, got {tok!r}")
+            key, raw = tok.split("=", 1)
+            kv[key.lower()] = self._value(raw)
+        return kv
+
+    @staticmethod
+    def _split_with_params(line: str) -> list[str]:
+        """Split on whitespace but keep 'key = value' and '{expr}' together."""
+        line = re.sub(r"\s*=\s*", "=", line)
+        tokens: list[str] = []
+        depth = 0
+        current = ""
+        for ch in line:
+            if ch in "{(":
+                depth += 1
+            elif ch in "})":
+                depth -= 1
+            if ch.isspace() and depth == 0:
+                if current:
+                    tokens.append(current)
+                    current = ""
+            else:
+                current += ch
+        if current:
+            tokens.append(current)
+        return tokens
+
+    @staticmethod
+    def _need(tokens: list[str], count: int, usage: str) -> None:
+        if len(tokens) < count:
+            raise ParseError(f"too few fields, expected: {usage}")
+
+
+def _looks_like_title(line: str) -> bool:
+    """First line of a SPICE deck is a title unless it parses as an element."""
+    first = line.split()[0]
+    if first[0].lower() in "rclvigefhmdx" and len(line.split()) >= 3:
+        return False
+    return True
+
+
+def parse_netlist(text: str, name: str = "main") -> Circuit:
+    """Parse SPICE text into a :class:`Circuit` (convenience wrapper)."""
+    return NetlistParser().parse(text, name)

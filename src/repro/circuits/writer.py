@@ -1,0 +1,117 @@
+"""SPICE-dialect netlist writer — the inverse of :mod:`repro.circuits.parser`.
+
+Round-tripping (write → parse) is covered by property tests; the writer is
+also what the layout flow uses to hand extracted circuits back to the
+simulator for post-layout verification.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.devices import (
+    Capacitor,
+    Cccs,
+    Ccvs,
+    CurrentSource,
+    Device,
+    Diode,
+    DiodeModel,
+    Inductor,
+    MosModel,
+    Mosfet,
+    Resistor,
+    SubcktInstance,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+    Waveform,
+)
+from repro.circuits.netlist import Circuit
+
+
+def write_netlist(circuit: Circuit, title: str | None = None) -> str:
+    """Serialize a circuit (with its models and subckts) to SPICE text."""
+    lines = [f"* {title or circuit.name}"]
+    for model in _collect_models(circuit):
+        lines.append(_model_card(model))
+    for definition in circuit.subckts.values():
+        lines.append(f".subckt {definition.name} {' '.join(definition.ports)}")
+        for dev in definition.body.devices:
+            lines.append("  " + _element_card(dev))
+        lines.append(".ends")
+    for dev in circuit.devices:
+        lines.append(_element_card(dev))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _collect_models(circuit: Circuit) -> list[object]:
+    models: dict[str, object] = {}
+
+    def visit(c: Circuit) -> None:
+        for dev in c.devices:
+            if isinstance(dev, Mosfet):
+                models.setdefault(dev.model.name, dev.model)
+            elif isinstance(dev, Diode):
+                models.setdefault(dev.model.name, dev.model)
+        for sub in c.subckts.values():
+            visit(sub.body)
+
+    visit(circuit)
+    return list(models.values())
+
+
+def _model_card(model: object) -> str:
+    if isinstance(model, MosModel):
+        return (f".model {model.name} {model.polarity.value} "
+                f"kp={model.kp:g} vto={model.vto:g} lambda={model.lambda_:g} "
+                f"gamma={model.gamma:g} phi={model.phi:g} cox={model.cox:g} "
+                f"cgdo={model.cgdo:g} cgso={model.cgso:g} "
+                f"cj={model.cj:g} cjsw={model.cjsw:g} "
+                f"kf={model.kf:g} af={model.af:g}")
+    if isinstance(model, DiodeModel):
+        return (f".model {model.name} d is={model.i_sat:g} "
+                f"n={model.emission:g} cjo={model.cj0:g}")
+    raise TypeError(f"unknown model type {type(model).__name__}")
+
+
+def _waveform_text(wf: Waveform) -> str:
+    if wf.kind == "dc":
+        return ""
+    if wf.kind == "pwl":
+        flat = " ".join(f"{t:g} {v:g}" for t, v in wf.points)
+        return f" pwl({flat})"
+    args = " ".join(f"{p:g}" for p in wf.params)
+    return f" {wf.kind}({args})"
+
+
+def _element_card(dev: Device) -> str:
+    if isinstance(dev, Resistor):
+        return f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} {dev.value:g}"
+    if isinstance(dev, Capacitor):
+        return f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} {dev.value:g}"
+    if isinstance(dev, Inductor):
+        return f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} {dev.value:g}"
+    if isinstance(dev, VoltageSource):
+        return (f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} dc {dev.dc:g} "
+                f"ac {dev.ac:g}" + _waveform_text(dev.waveform))
+    if isinstance(dev, CurrentSource):
+        return (f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} dc {dev.dc:g} "
+                f"ac {dev.ac:g}" + _waveform_text(dev.waveform))
+    if isinstance(dev, Vcvs):
+        return f"{dev.name} {' '.join(dev.nodes)} {dev.gain:g}"
+    if isinstance(dev, Vccs):
+        return f"{dev.name} {' '.join(dev.nodes)} {dev.gm:g}"
+    if isinstance(dev, Cccs):
+        return f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} {dev.control} {dev.gain:g}"
+    if isinstance(dev, Ccvs):
+        return (f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} {dev.control} "
+                f"{dev.transres:g}")
+    if isinstance(dev, Diode):
+        return (f"{dev.name} {dev.nodes[0]} {dev.nodes[1]} {dev.model.name} "
+                f"area={dev.area:g}")
+    if isinstance(dev, Mosfet):
+        return (f"{dev.name} {' '.join(dev.nodes)} {dev.model.name} "
+                f"w={dev.w:g} l={dev.l:g} m={dev.m}")
+    if isinstance(dev, SubcktInstance):
+        return f"{dev.name} {' '.join(dev.nodes)} {dev.subckt}"
+    raise TypeError(f"cannot serialize device type {type(dev).__name__}")

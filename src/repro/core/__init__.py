@@ -1,0 +1,16 @@
+"""Core vocabulary shared by all repro subsystems: units and specifications."""
+
+from repro.core.specs import Spec, SpecKind, SpecReport, SpecSet
+from repro.core.units import UnitError, db20, format_si, from_db20, parse_value
+
+__all__ = [
+    "Spec",
+    "SpecKind",
+    "SpecReport",
+    "SpecSet",
+    "UnitError",
+    "db20",
+    "format_si",
+    "from_db20",
+    "parse_value",
+]

@@ -1,0 +1,135 @@
+"""Engineering-unit parsing and formatting.
+
+Analog design tools live and die by SI-suffixed numbers ("1.5u", "20k",
+"3.3MEG").  This module provides the tiny, well-tested kernel used by the
+netlist parser, the spec system and all reporting code.
+
+The suffix grammar follows SPICE conventions: suffixes are case-insensitive,
+``MEG`` (or ``X``) means 1e6 while ``m`` means 1e-3, and trailing unit names
+("1.5uF", "20kOhm") are ignored after the scale suffix.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Ordered so that longer suffixes are tried first ("meg" before "m").
+_SUFFIXES = [
+    ("meg", 1e6),
+    ("mil", 25.4e-6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("x", 1e6),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+    ("f", 1e-15),
+    ("a", 1e-18),
+]
+
+_FORMAT_STEPS = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "meg"),  # SPICE convention: 'M' means milli, so 1e6 is 'meg'
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+class UnitError(ValueError):
+    """Raised when a numeric literal with unit suffix cannot be parsed."""
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style numeric literal into a float.
+
+    Accepts plain numbers, exponent notation and SI/SPICE suffixes::
+
+        >>> parse_value("1.5u")
+        1.5e-06
+        >>> parse_value("20k")
+        20000.0
+        >>> parse_value("3meg")
+        3000000.0
+        >>> parse_value(42)
+        42.0
+
+    Anything after the scale suffix (a unit name such as ``F`` or ``Ohm``)
+    is ignored, matching SPICE behaviour.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    s = text.strip().lower()
+    if not s:
+        raise UnitError("empty numeric literal")
+    # Split the leading numeric part from the suffix.
+    idx = len(s)
+    for i, ch in enumerate(s):
+        if ch.isalpha() and not (ch in "e" and _is_exponent(s, i)):
+            idx = i
+            break
+    num_part, suffix = s[:idx], s[idx:]
+    try:
+        value = float(num_part)
+    except ValueError as exc:
+        raise UnitError(f"cannot parse numeric literal {text!r}") from exc
+    if not suffix:
+        return value
+    for name, scale in _SUFFIXES:
+        if suffix.startswith(name):
+            return value * scale
+    # Unknown leading letter: treat the whole suffix as a unit name.
+    return value
+
+
+def _is_exponent(s: str, i: int) -> bool:
+    """True when ``s[i]`` is the 'e' of an exponent like ``1e-6``."""
+    if i == 0 or not (s[i] == "e"):
+        return False
+    if not (s[i - 1].isdigit() or s[i - 1] == "."):
+        return False
+    rest = s[i + 1:i + 2]
+    return rest.isdigit() or rest in {"+", "-"}
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with an SI prefix: ``format_si(1.5e-6, 'F')`` → ``'1.5uF'``.
+
+    Zero, NaN and infinities are rendered literally.
+    """
+    if value == 0:
+        return f"0{unit}"
+    if math.isnan(value) or math.isinf(value):
+        return f"{value}{unit}"
+    mag = abs(value)
+    for scale, prefix in _FORMAT_STEPS:
+        if mag >= scale:
+            scaled = value / scale
+            return f"{_trim(scaled, digits)}{prefix}{unit}"
+    scale, prefix = _FORMAT_STEPS[-1]
+    return f"{_trim(value / scale, digits)}{prefix}{unit}"
+
+
+def _trim(value: float, digits: int) -> str:
+    text = f"{value:.{digits}g}"
+    return text
+
+
+def db20(ratio: float) -> float:
+    """Voltage ratio → decibels (20·log10)."""
+    if ratio <= 0:
+        return float("-inf")
+    return 20.0 * math.log10(ratio)
+
+
+def from_db20(db: float) -> float:
+    """Decibels → voltage ratio."""
+    return 10.0 ** (db / 20.0)

@@ -1,0 +1,19 @@
+"""End-to-end design flows: closed-loop cell design and chip assembly."""
+
+from repro.flows.cell_flow import (
+    CellDesign,
+    CellFlowError,
+    design_ota_cell,
+    layout_cell,
+)
+from repro.flows.chip_flow import ChipFlowError, ChipPlan, assemble_chip
+
+__all__ = [
+    "CellDesign",
+    "CellFlowError",
+    "ChipFlowError",
+    "ChipPlan",
+    "assemble_chip",
+    "design_ota_cell",
+    "layout_cell",
+]

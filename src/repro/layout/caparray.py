@@ -1,0 +1,192 @@
+"""Common-centroid unit-capacitor array generation.
+
+The backend of the [52]-style SC-filter silicon compiler: matched
+capacitors are realized as arrays of identical unit capacitors arranged
+so that each logical capacitor's units share a common centroid, which
+cancels linear process gradients — the foundational analog matching
+technique the tutorial's constraint-extraction and matching work ([47])
+assumes.
+
+The assignment algorithm is the standard greedy centroid balancer: unit
+cells are handed out in center-symmetric pairs, largest capacitor first,
+and the result is checked by computing every capacitor's centroid offset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.layout.geometry import Cell, Rect
+from repro.layout.technology import (
+    DEFAULT_TECH,
+    LAYER_CAPTOP,
+    LAYER_METAL1,
+    LAYER_POLY,
+    Technology,
+)
+
+
+class CapArrayError(ValueError):
+    pass
+
+
+@dataclass
+class CapArrayResult:
+    cell: Cell
+    assignment: list[list[str | None]]   # [row][col] -> cap name
+    centroid_error: dict[str, float]     # per-cap centroid offset (cells)
+    rows: int
+    cols: int
+    unit_cap: float
+
+    def units_of(self, name: str) -> int:
+        return sum(row.count(name) for row in self.assignment)
+
+
+def _grid_shape(total_units: int) -> tuple[int, int]:
+    """Near-square grid with an exact center (odd benefits symmetry)."""
+    side = max(2, math.ceil(math.sqrt(total_units)))
+    rows = side
+    cols = math.ceil(total_units / side)
+    return rows, cols
+
+
+def common_centroid_assignment(units: dict[str, int]) -> list[list[str | None]]:
+    """Assign unit cells to capacitors with center-symmetric pairing.
+
+    Cells are visited outward-in in centrosymmetric pairs; each pair goes
+    to the capacitor with the most unassigned units (largest remaining
+    first), so every capacitor's units balance about the array center.
+    Odd unit counts place their odd cell as close to the center as
+    possible.
+    """
+    if not units:
+        raise CapArrayError("no capacitors to place")
+    if any(n <= 0 for n in units.values()):
+        raise CapArrayError("unit counts must be positive")
+    total = sum(units.values())
+    rows, cols = _grid_shape(total)
+    grid: list[list[str | None]] = [[None] * cols for _ in range(rows)]
+    cy, cx = (rows - 1) / 2.0, (cols - 1) / 2.0
+
+    cells = [(r, c) for r in range(rows) for c in range(cols)]
+    cells.sort(key=lambda rc: (abs(rc[0] - cy) + abs(rc[1] - cx),
+                               rc[0], rc[1]))
+    remaining = dict(units)
+
+    def partner(rc):
+        return (rows - 1 - rc[0], cols - 1 - rc[1])
+
+    used = set()
+    # Odd-count capacitors first claim one cell as close to the center as
+    # possible — their unpaired unit is the only one that cannot be
+    # balanced, so it must sit where the gradient error is smallest.
+    odd_names = sorted((n for n, c in remaining.items() if c % 2 == 1),
+                       key=lambda n: remaining[n])
+    for name in odd_names:
+        for rc in cells:
+            if rc in used:
+                continue
+            grid[rc[0]][rc[1]] = name
+            used.add(rc)
+            remaining[name] -= 1
+            break
+    # Then center-symmetric pairs, largest remaining capacitor first.
+    for rc in cells:
+        if rc in used:
+            continue
+        pr = partner(rc)
+        if pr == rc or pr in used:
+            continue
+        name = max((n for n in remaining if remaining[n] >= 2),
+                   key=lambda n: remaining[n], default=None)
+        if name is None:
+            break
+        grid[rc[0]][rc[1]] = name
+        grid[pr[0]][pr[1]] = name
+        used.add(rc)
+        used.add(pr)
+        remaining[name] -= 2
+    # Fallback: cells whose partners were consumed by the odd pre-pass
+    # cannot host a symmetric pair; fill them nearest-center first.
+    for rc in cells:
+        if rc in used:
+            continue
+        name = max((n for n in remaining if remaining[n] > 0),
+                   key=lambda n: remaining[n], default=None)
+        if name is None:
+            break
+        grid[rc[0]][rc[1]] = name
+        used.add(rc)
+        remaining[name] -= 1
+    if any(v > 0 for v in remaining.values()):
+        raise CapArrayError("grid too small for the requested units")
+    return grid
+
+
+def centroid_errors(assignment: list[list[str | None]]) -> dict[str, float]:
+    """Distance of each capacitor's centroid from the array center,
+    in unit-cell pitches."""
+    rows = len(assignment)
+    cols = len(assignment[0])
+    cy, cx = (rows - 1) / 2.0, (cols - 1) / 2.0
+    sums: dict[str, list[float]] = {}
+    for r in range(rows):
+        for c in range(cols):
+            name = assignment[r][c]
+            if name is None:
+                continue
+            acc = sums.setdefault(name, [0.0, 0.0, 0.0])
+            acc[0] += r
+            acc[1] += c
+            acc[2] += 1
+    return {
+        name: math.hypot(acc[0] / acc[2] - cy, acc[1] / acc[2] - cx)
+        for name, acc in sums.items()
+    }
+
+
+def generate_cap_array(units: dict[str, int], unit_cap: float,
+                       tech: Technology = DEFAULT_TECH,
+                       name: str = "cap_array") -> CapArrayResult:
+    """Generate the layout of a matched common-centroid capacitor array.
+
+    Each unit is a double-poly square sized from the technology's cap
+    density; per-capacitor metal1 strap rectangles tag ownership for the
+    router.  Dummy cells (``None``) fill the grid rim positions left
+    unassigned, preserving the etch environment.
+    """
+    assignment = common_centroid_assignment(units)
+    rows, cols = len(assignment), len(assignment[0])
+    side = max(int(round(math.sqrt(unit_cap / tech.cap_density) * 1e9)),
+               tech.L(8))
+    margin = tech.L(2)
+    pitch = side + 2 * margin + tech.L(3)
+    cell = Cell(name)
+    for r in range(rows):
+        for c in range(cols):
+            x0, y0 = c * pitch, r * pitch
+            owner = assignment[r][c]
+            bottom = Rect(x0, y0, x0 + side + 2 * margin,
+                          y0 + side + 2 * margin)
+            top = Rect(x0 + margin, y0 + margin, x0 + margin + side,
+                       y0 + margin + side)
+            net = owner if owner is not None else "dummy"
+            cell.add_shape(LAYER_POLY, bottom, f"{net}_bot")
+            cell.add_shape(LAYER_CAPTOP, top, f"{net}_top")
+            cell.add_shape(LAYER_METAL1,
+                           Rect(x0 + margin, y0 + margin,
+                                x0 + margin + tech.L(2),
+                                y0 + margin + tech.L(2)),
+                           f"{net}_top")
+    for cap_name in units:
+        first = next((r, c) for r in range(rows) for c in range(cols)
+                     if assignment[r][c] == cap_name)
+        r, c = first
+        x0, y0 = c * pitch + margin, r * pitch + margin
+        cell.add_port(cap_name, LAYER_METAL1,
+                      Rect(x0, y0, x0 + tech.L(2), y0 + tech.L(2)),
+                      cap_name)
+    return CapArrayResult(cell, assignment, centroid_errors(assignment),
+                          rows, cols, unit_cap)

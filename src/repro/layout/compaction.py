@@ -1,0 +1,129 @@
+"""Constraint-graph layout compaction with symmetry constraints.
+
+The classic 1-D compactor [48, 49]: objects become graph nodes, minimum
+spacing between objects that overlap in the orthogonal projection becomes
+a weighted edge, and the longest path from the source assigns each object
+its smallest legal coordinate.  Symmetric pairs are kept symmetric by
+compacting the master set and reflecting slaves — the "symbolic
+compaction with analog constraints" of [49] in its simplest faithful
+form.
+
+Used by the cell flow after placement ("leave extra space during device
+placement and then compact", §3.1) and testable standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.constraints import ConstraintSet
+from repro.layout.geometry import Rect
+from repro.layout.placer import Placement
+from repro.layout.technology import DEFAULT_TECH, Technology
+
+
+@dataclass
+class CompactionReport:
+    area_before: int
+    area_after: int
+
+    @property
+    def area_ratio(self) -> float:
+        if self.area_before == 0:
+            return 1.0
+        return self.area_after / self.area_before
+
+
+def _longest_path_positions(names: list[str], boxes: dict[str, Rect],
+                            axis: str, spacing: int) -> dict[str, int]:
+    """Minimal coordinates along ``axis`` respecting pairwise spacing.
+
+    Constraint edge a→b exists when a is left of (below) b and their
+    orthogonal projections overlap; then pos_b >= pos_a + size_a + spacing.
+    The DAG longest path gives minimal legal positions.
+    """
+    if axis == "x":
+        lo = {n: boxes[n].x1 for n in names}
+        size = {n: boxes[n].width for n in names}
+
+        def overlaps(a: str, b: str) -> bool:
+            return (boxes[a].y1 < boxes[b].y2
+                    and boxes[b].y1 < boxes[a].y2)
+    else:
+        lo = {n: boxes[n].y1 for n in names}
+        size = {n: boxes[n].height for n in names}
+
+        def overlaps(a: str, b: str) -> bool:
+            return (boxes[a].x1 < boxes[b].x2
+                    and boxes[b].x1 < boxes[a].x2)
+
+    order = sorted(names, key=lambda n: lo[n])
+    position = {n: 0 for n in order}
+    for i, b in enumerate(order):
+        for a in order[:i]:
+            if overlaps(a, b) and lo[a] <= lo[b]:
+                required = position[a] + size[a] + spacing
+                if required > position[b]:
+                    position[b] = required
+    return position
+
+
+def compact_placement(placement: Placement,
+                      constraints: ConstraintSet | None = None,
+                      tech: Technology = DEFAULT_TECH,
+                      spacing: int | None = None) -> CompactionReport:
+    """Compact a placement in x then y, preserving symmetry pairs.
+
+    Mutates the placement in place and returns before/after areas.
+    """
+    constraints = constraints or ConstraintSet()
+    spacing = spacing if spacing is not None else tech.min_space_diff
+    area_before = placement.bbox().area
+
+    slave_of = {}
+    for pair in constraints.symmetry_pairs:
+        if (pair.device_a in placement.objects
+                and pair.device_b in placement.objects):
+            slave_of[pair.device_b] = pair.device_a
+
+    # ---- x direction: compact the left half-plane masters + free objects,
+    # reflect slaves afterwards.
+    names = [n for n in placement.objects if n not in slave_of]
+    boxes = {n: placement.objects[n].bbox() for n in names}
+    new_x = _longest_path_positions(names, boxes, "x", spacing)
+    for n in names:
+        obj = placement.objects[n]
+        obj.x += new_x[n] - boxes[n].x1
+    # Recompute the axis as the centroid of masters with slaves.
+    masters_with_slaves = set(slave_of.values())
+    if masters_with_slaves:
+        rightmost = max(placement.objects[m].bbox().x2
+                        for m in masters_with_slaves)
+        placement.axis_x = rightmost + spacing
+    for slave, master in slave_of.items():
+        m_box = placement.objects[master].bbox()
+        s = placement.objects[slave]
+        s_box = s.bbox()
+        target_x1 = 2 * placement.axis_x - m_box.x2
+        s.x += target_x1 - s_box.x1
+        s.y += m_box.y1 - s_box.y1
+
+    # ---- y direction: move pairs together so symmetry survives.
+    groups: dict[str, list[str]] = {}
+    for n in placement.objects:
+        master = slave_of.get(n, n)
+        groups.setdefault(master, []).append(n)
+    group_names = list(groups)
+    group_boxes = {}
+    for g, members in groups.items():
+        box = placement.objects[members[0]].bbox()
+        for m in members[1:]:
+            box = box.union(placement.objects[m].bbox())
+        group_boxes[g] = box
+    new_y = _longest_path_positions(group_names, group_boxes, "y", spacing)
+    for g, members in groups.items():
+        dy = new_y[g] - group_boxes[g].y1
+        for m in members:
+            placement.objects[m].y += dy
+
+    return CompactionReport(area_before, placement.bbox().area)

@@ -1,0 +1,139 @@
+"""Symmetry and matching constraint extraction from the schematic.
+
+[Charbon, Malavasi & Sangiovanni-Vincentelli, ICCAD'93] showed how
+constraints on symmetry and matching can be extracted *directly from the
+device schematic* instead of being hand-annotated.  This module
+implements the recognizers the analog placer and router consume:
+
+* differential pairs — two same-type devices sharing a source net whose
+  gates carry a differential signal → symmetric placement + matched
+  layout + symmetric routing of the gate/drain nets;
+* current mirrors — devices sharing a gate net where one is
+  diode-connected → matched layout, common orientation;
+* matched passives — equal-value resistor/capacitor pairs on
+  symmetric nets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.circuits.devices import Capacitor, Mosfet, Resistor
+from repro.circuits.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class SymmetryPair:
+    """Two devices to be placed mirror-symmetrically about a common axis."""
+
+    device_a: str
+    device_b: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class MatchGroup:
+    """Devices needing identical geometry and orientation."""
+
+    devices: tuple[str, ...]
+    reason: str
+
+
+@dataclass(frozen=True)
+class NetPair:
+    """Two nets to be routed as mirrored twins (differential signals)."""
+
+    net_a: str
+    net_b: str
+
+
+@dataclass
+class ConstraintSet:
+    symmetry_pairs: list[SymmetryPair] = field(default_factory=list)
+    match_groups: list[MatchGroup] = field(default_factory=list)
+    net_pairs: list[NetPair] = field(default_factory=list)
+
+    def symmetric_devices(self) -> set[str]:
+        out = set()
+        for pair in self.symmetry_pairs:
+            out.add(pair.device_a)
+            out.add(pair.device_b)
+        return out
+
+    def partner_of(self, device: str) -> str | None:
+        for pair in self.symmetry_pairs:
+            if pair.device_a == device:
+                return pair.device_b
+            if pair.device_b == device:
+                return pair.device_a
+        return None
+
+
+def extract_constraints(circuit: Circuit) -> ConstraintSet:
+    """Recognize diff pairs, mirrors and matched passives in a netlist."""
+    cs = ConstraintSet()
+    mosfets = circuit.mosfets
+    _find_differential_pairs(mosfets, cs)
+    _find_current_mirrors(mosfets, cs)
+    _find_matched_passives(circuit, cs)
+    return cs
+
+
+def _find_differential_pairs(mosfets: list[Mosfet],
+                             cs: ConstraintSet) -> None:
+    by_source: dict[tuple, list[Mosfet]] = defaultdict(list)
+    for dev in mosfets:
+        by_source[(dev.source, dev.model.polarity)].append(dev)
+    for (source, _), devices in by_source.items():
+        if len(devices) != 2:
+            continue
+        a, b = devices
+        same_size = (abs(a.w - b.w) < 1e-12 and abs(a.l - b.l) < 1e-12
+                     and a.m == b.m)
+        distinct_gates = a.gate != b.gate
+        if same_size and distinct_gates:
+            cs.symmetry_pairs.append(SymmetryPair(
+                a.name, b.name, f"differential pair at source {source!r}"))
+            cs.match_groups.append(MatchGroup(
+                (a.name, b.name), "differential pair"))
+            cs.net_pairs.append(NetPair(a.gate, b.gate))
+            if a.drain != b.drain:
+                cs.net_pairs.append(NetPair(a.drain, b.drain))
+
+
+def _find_current_mirrors(mosfets: list[Mosfet], cs: ConstraintSet) -> None:
+    by_gate: dict[tuple, list[Mosfet]] = defaultdict(list)
+    for dev in mosfets:
+        by_gate[(dev.gate, dev.model.polarity, dev.source)].append(dev)
+    already = {frozenset((p.device_a, p.device_b))
+               for p in cs.symmetry_pairs}
+    for (gate, _, _), devices in by_gate.items():
+        if len(devices) < 2:
+            continue
+        diode = [d for d in devices if d.drain == d.gate]
+        if not diode:
+            continue
+        names = tuple(sorted(d.name for d in devices))
+        cs.match_groups.append(MatchGroup(
+            names, f"current mirror on gate {gate!r}"))
+        # Mirror outputs with equal sizes get symmetric placement too.
+        outputs = [d for d in devices if d.drain != d.gate]
+        if len(outputs) == 2:
+            a, b = outputs
+            key = frozenset((a.name, b.name))
+            if (abs(a.w - b.w) < 1e-12 and key not in already):
+                cs.symmetry_pairs.append(SymmetryPair(
+                    a.name, b.name, f"mirror outputs on gate {gate!r}"))
+
+
+def _find_matched_passives(circuit: Circuit, cs: ConstraintSet) -> None:
+    values: dict[tuple, list] = defaultdict(list)
+    for dev in circuit.devices:
+        if isinstance(dev, (Resistor, Capacitor)):
+            values[(type(dev).__name__, dev.value)].append(dev)
+    for (_, _), devices in values.items():
+        if len(devices) == 2:
+            cs.match_groups.append(MatchGroup(
+                tuple(sorted(d.name for d in devices)),
+                "equal-value passive pair"))

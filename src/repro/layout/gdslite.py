@@ -1,0 +1,159 @@
+"""Layout export: binary GDSII stream writer plus a readable text dump.
+
+The GDSII writer emits genuine stream-format records (HEADER/BGNLIB/
+BGNSTR/BOUNDARY/...) so the cells this toolkit produces open in any layout
+viewer; the text format is for diffing and tests.  Only BOUNDARY records
+are needed — every shape in this backend is a rectangle.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.layout.geometry import Cell
+from repro.layout.technology import GDS_LAYER_NUMBERS
+
+# GDSII record types.
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_ENDLIB = 0x0400
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+
+_FIXED_TIME = (1996, 6, 3, 12, 0, 0)  # DAC'96 week; deterministic output
+
+
+def _record(rec_type: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    return struct.pack(">HH", length, rec_type) + payload
+
+
+def _int16s(values) -> bytes:
+    return b"".join(struct.pack(">h", v) for v in values)
+
+
+def _int32s(values) -> bytes:
+    return b"".join(struct.pack(">i", v) for v in values)
+
+
+def _gds_double(value: float) -> bytes:
+    """Encode an 8-byte GDSII excess-64 real."""
+    if value == 0.0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return bytes([sign | exponent]) + mantissa.to_bytes(7, "big")
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\x00"
+    return data
+
+
+def _timestamp() -> bytes:
+    y, mo, d, h, mi, s = _FIXED_TIME
+    stamp = _int16s([y, mo, d, h, mi, s])
+    return stamp + stamp  # modification + access
+
+
+def write_gds(cells: list[Cell], library: str = "repro") -> bytes:
+    """Serialize cells to a GDSII stream (1 nm database unit)."""
+    out = bytearray()
+    out += _record(_HEADER, _int16s([600]))
+    out += _record(_BGNLIB, _timestamp())
+    out += _record(_LIBNAME, _ascii(library))
+    # User unit = 1 µm, database unit = 1 nm.
+    out += _record(_UNITS, _gds_double(1e-3) + _gds_double(1e-9))
+    for cell in cells:
+        out += _record(_BGNSTR, _timestamp())
+        out += _record(_STRNAME, _ascii(_sanitize(cell.name)))
+        for shape in cell.shapes:
+            layer_no = GDS_LAYER_NUMBERS.get(shape.layer)
+            if layer_no is None:
+                continue
+            out += _record(_BOUNDARY)
+            out += _record(_LAYER, _int16s([layer_no]))
+            out += _record(_DATATYPE, _int16s([0]))
+            r = shape.rect
+            pts = [r.x1, r.y1, r.x2, r.y1, r.x2, r.y2, r.x1, r.y2,
+                   r.x1, r.y1]
+            out += _record(_XY, _int32s(pts))
+            out += _record(_ENDEL)
+        out += _record(_ENDSTR)
+    out += _record(_ENDLIB)
+    return bytes(out)
+
+
+def _sanitize(name: str) -> str:
+    allowed = "ABCDEFGHIJKLMNOPQRSTUVWXYZ" \
+              "abcdefghijklmnopqrstuvwxyz0123456789_?$"
+    return "".join(ch if ch in allowed else "_" for ch in name)[:32] or "CELL"
+
+
+def save_gds(cells: list[Cell], path: str, library: str = "repro") -> None:
+    with open(path, "wb") as f:
+        f.write(write_gds(cells, library))
+
+
+def read_gds_cell_names(data: bytes) -> list[str]:
+    """Parse structure names back out of a GDSII stream (round-trip check)."""
+    names = []
+    pos = 0
+    while pos + 4 <= len(data):
+        length, rec_type = struct.unpack(">HH", data[pos:pos + 4])
+        if length < 4:
+            break
+        if rec_type == _STRNAME:
+            raw = data[pos + 4:pos + length]
+            names.append(raw.rstrip(b"\x00").decode("ascii"))
+        pos += length
+    return names
+
+
+def read_gds_rect_count(data: bytes) -> int:
+    count = 0
+    pos = 0
+    while pos + 4 <= len(data):
+        length, rec_type = struct.unpack(">HH", data[pos:pos + 4])
+        if length < 4:
+            break
+        if rec_type == _BOUNDARY:
+            count += 1
+        pos += length
+    return count
+
+
+def cell_to_text(cell: Cell) -> str:
+    """Human-readable layout dump (sorted; stable for golden tests)."""
+    lines = [f"cell {cell.name}"]
+    for shape in sorted(cell.shapes,
+                        key=lambda s: (s.layer, s.rect.x1, s.rect.y1,
+                                       s.rect.x2, s.rect.y2)):
+        r = shape.rect
+        net = f" net={shape.net}" if shape.net else ""
+        lines.append(f"  rect {shape.layer} {r.x1} {r.y1} {r.x2} {r.y2}{net}")
+    for port in sorted(cell.ports.values(), key=lambda p: p.name):
+        r = port.rect
+        lines.append(
+            f"  port {port.name} {port.layer} {r.x1} {r.y1} {r.x2} {r.y2}")
+    return "\n".join(lines)

@@ -1,0 +1,228 @@
+"""Layout geometry kernel: integer rectangles, transforms, cells.
+
+All coordinates are integers in *nanometres* — the standard trick that
+keeps layout code free of floating-point comparisons.  Orientations are
+the eight elements of the rectangle symmetry group (four rotations ×
+optional mirror), matching GDSII/LEF conventions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+NM_PER_UM = 1000
+
+
+def um(value: float) -> int:
+    """Convert microns to integer nanometres."""
+    return int(round(value * NM_PER_UM))
+
+
+class Orientation(enum.Enum):
+    """The eight layout orientations (rotation then optional x-mirror)."""
+
+    R0 = "R0"
+    R90 = "R90"
+    R180 = "R180"
+    R270 = "R270"
+    MX = "MX"        # mirror about the x-axis (flip y)
+    MY = "MY"        # mirror about the y-axis (flip x)
+    MX90 = "MX90"
+    MY90 = "MY90"
+
+    def compose_point(self, x: int, y: int) -> tuple[int, int]:
+        if self is Orientation.R0:
+            return x, y
+        if self is Orientation.R90:
+            return -y, x
+        if self is Orientation.R180:
+            return -x, -y
+        if self is Orientation.R270:
+            return y, -x
+        if self is Orientation.MX:
+            return x, -y
+        if self is Orientation.MY:
+            return -x, y
+        if self is Orientation.MX90:
+            return y, x
+        return -y, -x  # MY90
+
+    @property
+    def swaps_axes(self) -> bool:
+        return self in (Orientation.R90, Orientation.R270,
+                        Orientation.MX90, Orientation.MY90)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle [x1, x2) × [y1, y2); always normalized."""
+
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def __post_init__(self):
+        if self.x1 > self.x2 or self.y1 > self.y2:
+            object.__setattr__(self, "x1", min(self.x1, self.x2))
+            object.__setattr__(self, "x2", max(self.x1, self.x2))
+            object.__setattr__(self, "y1", min(self.y1, self.y2))
+            object.__setattr__(self, "y2", max(self.y1, self.y2))
+
+    @staticmethod
+    def of(x1: int, y1: int, x2: int, y2: int) -> "Rect":
+        return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+    @property
+    def width(self) -> int:
+        return self.x2 - self.x1
+
+    @property
+    def height(self) -> int:
+        return self.y2 - self.y1
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[int, int]:
+        return (self.x1 + self.x2) // 2, (self.y1 + self.y2) // 2
+
+    def moved(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
+
+    def expanded(self, margin: int) -> "Rect":
+        return Rect(self.x1 - margin, self.y1 - margin,
+                    self.x2 + margin, self.y2 + margin)
+
+    def intersects(self, other: "Rect") -> bool:
+        return (self.x1 < other.x2 and other.x1 < self.x2
+                and self.y1 < other.y2 and other.y1 < self.y2)
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        x1, y1 = max(self.x1, other.x1), max(self.y1, other.y1)
+        x2, y2 = min(self.x2, other.x2), min(self.y2, other.y2)
+        if x1 >= x2 or y1 >= y2:
+            return None
+        return Rect(x1, y1, x2, y2)
+
+    def contains_point(self, x: int, y: int) -> bool:
+        return self.x1 <= x < self.x2 and self.y1 <= y < self.y2
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(min(self.x1, other.x1), min(self.y1, other.y1),
+                    max(self.x2, other.x2), max(self.y2, other.y2))
+
+    def transformed(self, orientation: Orientation,
+                    dx: int = 0, dy: int = 0) -> "Rect":
+        ax, ay = orientation.compose_point(self.x1, self.y1)
+        bx, by = orientation.compose_point(self.x2, self.y2)
+        return Rect.of(ax + dx, ay + dy, bx + dx, by + dy)
+
+    def distance_to(self, other: "Rect") -> int:
+        """Manhattan gap between rectangles (0 when touching/overlapping)."""
+        dx = max(other.x1 - self.x2, self.x1 - other.x2, 0)
+        dy = max(other.y1 - self.y2, self.y1 - other.y2, 0)
+        return dx + dy
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A rectangle on a named layer, optionally tagged with a net."""
+
+    layer: str
+    rect: Rect
+    net: str | None = None
+
+    def transformed(self, orientation: Orientation, dx: int,
+                    dy: int) -> "Shape":
+        return Shape(self.layer, self.rect.transformed(orientation, dx, dy),
+                     self.net)
+
+
+@dataclass(frozen=True)
+class Port:
+    """A named connection point: a landing rectangle on a layer."""
+
+    name: str
+    layer: str
+    rect: Rect
+    net: str | None = None
+
+    @property
+    def position(self) -> tuple[int, int]:
+        return self.rect.center
+
+    def transformed(self, orientation: Orientation, dx: int,
+                    dy: int) -> "Port":
+        return Port(self.name, self.layer,
+                    self.rect.transformed(orientation, dx, dy), self.net)
+
+
+@dataclass
+class Cell:
+    """A layout cell: shapes plus named ports (flat; no sub-instances)."""
+
+    name: str
+    shapes: list[Shape] = field(default_factory=list)
+    ports: dict[str, Port] = field(default_factory=dict)
+
+    def add_shape(self, layer: str, rect: Rect,
+                  net: str | None = None) -> Shape:
+        shape = Shape(layer, rect, net)
+        self.shapes.append(shape)
+        return shape
+
+    def add_port(self, name: str, layer: str, rect: Rect,
+                 net: str | None = None) -> Port:
+        if name in self.ports:
+            raise ValueError(f"duplicate port {name!r} in cell {self.name!r}")
+        port = Port(name, layer, rect, net)
+        self.ports[name] = port
+        return port
+
+    def bbox(self) -> Rect:
+        if not self.shapes:
+            return Rect(0, 0, 0, 0)
+        box = self.shapes[0].rect
+        for shape in self.shapes[1:]:
+            box = box.union(shape.rect)
+        return box
+
+    def shapes_on(self, layer: str) -> list[Shape]:
+        return [s for s in self.shapes if s.layer == layer]
+
+    def transformed(self, orientation: Orientation, dx: int,
+                    dy: int, name: str | None = None) -> "Cell":
+        out = Cell(name or self.name)
+        out.shapes = [s.transformed(orientation, dx, dy)
+                      for s in self.shapes]
+        out.ports = {
+            p.name: p.transformed(orientation, dx, dy)
+            for p in self.ports.values()
+        }
+        return out
+
+    def merge(self, other: "Cell", prefix: str = "") -> None:
+        """Copy another cell's shapes and ports into this one."""
+        self.shapes.extend(other.shapes)
+        for port in other.ports.values():
+            renamed = replace(port, name=prefix + port.name)
+            if renamed.name in self.ports:
+                raise ValueError(f"port clash {renamed.name!r}")
+            self.ports[renamed.name] = renamed
+
+
+def total_area(cells: list[Cell]) -> int:
+    return sum(c.bbox().area for c in cells)
+
+
+def bounding_box(rects: list[Rect]) -> Rect:
+    if not rects:
+        return Rect(0, 0, 0, 0)
+    box = rects[0]
+    for r in rects[1:]:
+        box = box.union(r)
+    return box

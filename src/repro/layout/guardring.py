@@ -1,0 +1,113 @@
+"""Guard rings: substrate-contact rings around sensitive analog cells.
+
+The standard physical countermeasure to the substrate coupling §3.2
+dwells on ([58, 59]): a ring of substrate (or well) contacts tied to a
+quiet supply surrounds the protected devices, collecting injected
+carriers before they reach them.  The generator produces the ring
+geometry; :func:`guard_ring_attenuation` provides the first-order
+effectiveness model the floorplanner can consume (a grounded ring
+shunts a fraction of the laterally flowing noise current).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.layout.geometry import Cell, Rect
+from repro.layout.technology import (
+    DEFAULT_TECH,
+    LAYER_CONTACT,
+    LAYER_METAL1,
+    LAYER_NDIFF,
+    LAYER_NWELL,
+    Technology,
+)
+
+
+@dataclass
+class GuardRingResult:
+    cell: Cell
+    ring_rect: Rect       # outer boundary
+    net: str
+    contact_count: int
+
+
+def add_guard_ring(cell: Cell, net: str = "0",
+                   tech: Technology = DEFAULT_TECH,
+                   clearance: int | None = None,
+                   well_ring: bool = False) -> GuardRingResult:
+    """Surround a cell's bbox with a contacted diffusion ring.
+
+    ``well_ring=True`` adds an n-well ring (for protecting PMOS regions /
+    collecting electrons); otherwise a substrate p+ ring (drawn on the
+    diffusion layer) tied to ``net``.  The ring is drawn into the given
+    cell; metal1 runs on top of the diffusion with a contact chain.
+    """
+    clearance = clearance if clearance is not None else 4 * tech.min_space_diff
+    width = tech.diff_contact_pitch
+    inner = cell.bbox().expanded(clearance)
+    outer = inner.expanded(width)
+    sides = [
+        Rect(outer.x1, outer.y1, outer.x2, inner.y1),   # bottom
+        Rect(outer.x1, inner.y2, outer.x2, outer.y2),   # top
+        Rect(outer.x1, inner.y1, inner.x1, inner.y2),   # left
+        Rect(inner.x2, inner.y1, outer.x2, inner.y2),   # right
+    ]
+    contact_count = 0
+    for side in sides:
+        cell.add_shape(LAYER_NDIFF, side, net)
+        cell.add_shape(LAYER_METAL1, side, net)
+        contact_count += _contact_chain(cell, tech, side, net)
+    if well_ring:
+        cell.add_shape(LAYER_NWELL, outer.expanded(tech.well_margin), net)
+    cell.add_port(f"guard_{net}", LAYER_METAL1, sides[0], net)
+    return GuardRingResult(cell, outer, net, contact_count)
+
+
+def _contact_chain(cell: Cell, tech: Technology, strip: Rect,
+                   net: str) -> int:
+    size = tech.contact_size
+    enc = tech.contact_enclosure
+    pitch = 2 * size
+    count = 0
+    if strip.width >= strip.height:  # horizontal strip
+        y = strip.y1 + (strip.height - size) // 2
+        x = strip.x1 + enc
+        while x + size + enc <= strip.x2:
+            cell.add_shape(LAYER_CONTACT, Rect(x, y, x + size, y + size),
+                           net)
+            x += pitch
+            count += 1
+    else:
+        x = strip.x1 + (strip.width - size) // 2
+        y = strip.y1 + enc
+        while y + size + enc <= strip.y2:
+            cell.add_shape(LAYER_CONTACT, Rect(x, y, x + size, y + size),
+                           net)
+            y += pitch
+            count += 1
+    return count
+
+
+def guard_ring_attenuation(ring_resistance: float = 5.0,
+                           path_resistance: float = 200.0) -> float:
+    """First-order noise attenuation factor of a grounded guard ring.
+
+    The laterally flowing substrate current divides between the low-
+    impedance ring tie (R_ring to the quiet supply) and the remaining
+    lateral path (R_path to the victim).  The fraction reaching the
+    victim is R_ring/(R_ring + R_path) — with typical numbers, a 10×-ish
+    reduction, consistent with published measurements for epi substrates.
+    """
+    if ring_resistance < 0 or path_resistance <= 0:
+        raise ValueError("resistances must be positive")
+    return ring_resistance / (ring_resistance + path_resistance)
+
+
+def ring_resistance_estimate(result: GuardRingResult,
+                             tech: Technology = DEFAULT_TECH) -> float:
+    """Ohms from ring diffusion to the quiet supply (contacts in parallel)."""
+    if result.contact_count == 0:
+        return float("inf")
+    return tech.contact_res_ohm / result.contact_count

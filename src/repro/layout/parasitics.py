@@ -1,0 +1,119 @@
+"""Layout parasitic extraction and back-annotation.
+
+Closes the backend loop of §2.1/§3.1: after placement and routing the
+wires are measured, their resistance/ground-capacitance/coupling are
+computed from the technology coefficients, and a *parasitic-annotated
+copy of the circuit* is produced for detailed verification — the
+"detailed design verification (after extraction)" step of the
+methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.devices import Capacitor
+from repro.circuits.netlist import Circuit
+from repro.layout.router import RoutingResult
+from repro.layout.technology import DEFAULT_TECH, Technology
+
+
+@dataclass
+class NetParasitics:
+    net: str
+    length_nm: int
+    resistance: float        # lumped wire resistance (Ohm)
+    cap_ground: float        # wire capacitance to substrate (F)
+    coupling: dict[str, float] = field(default_factory=dict)  # net -> F
+
+    @property
+    def cap_total(self) -> float:
+        return self.cap_ground + sum(self.coupling.values())
+
+
+@dataclass
+class ExtractionResult:
+    nets: dict[str, NetParasitics]
+
+    def total_wire_cap(self) -> float:
+        return sum(n.cap_ground for n in self.nets.values())
+
+    def coupling_between(self, net_a: str, net_b: str) -> float:
+        a = self.nets.get(net_a)
+        if a is None:
+            return 0.0
+        return a.coupling.get(net_b, 0.0)
+
+    def worst_coupled_pair(self) -> tuple[str, str, float]:
+        worst = ("", "", 0.0)
+        for net, para in self.nets.items():
+            for other, cap in para.coupling.items():
+                if cap > worst[2]:
+                    worst = (net, other, cap)
+        return worst
+
+
+def extract_parasitics(result: RoutingResult, router,
+                       tech: Technology = DEFAULT_TECH) -> ExtractionResult:
+    """Measure every routed net: R, C-to-ground and coupling caps.
+
+    Coupling is computed from parallel adjacent grid-cell runs — two nets
+    occupying laterally adjacent cells on the same layer couple by
+    ``coupling_cap`` per unit length (the ANAGRAM II crosstalk model made
+    quantitative).
+    """
+    nets: dict[str, NetParasitics] = {}
+    width = tech.min_width_metal
+    for net, wire in result.wires.items():
+        resistance = tech.wire_resistance("metal1", wire.length_nm, width) \
+            if wire.length_nm else 0.0
+        cap = tech.wire_capacitance(wire.length_nm, width)
+        nets[net] = NetParasitics(net, wire.length_nm, resistance, cap)
+
+    # Coupling: scan the occupancy grids for adjacent different-net cells.
+    pitch = router.pitch
+    per_cell = tech.coupling_capacitance(pitch)
+    for layer in (0, 1):
+        occ = router.occupancy[layer]
+        for (ix, iy), (net, _) in occ.items():
+            for dx, dy in ((1, 0), (0, 1)):
+                other = occ.get((ix + dx, iy + dy))
+                if other is None or other[0] == net:
+                    continue
+                other_net = other[0]
+                if net in nets and other_net in nets:
+                    a, b = nets[net], nets[other_net]
+                    a.coupling[other_net] = a.coupling.get(other_net,
+                                                           0.0) + per_cell
+                    b.coupling[net] = b.coupling.get(net, 0.0) + per_cell
+    return ExtractionResult(nets)
+
+
+def annotate_circuit(circuit: Circuit, extraction: ExtractionResult,
+                     min_cap: float = 1e-18) -> Circuit:
+    """Return a copy of the circuit with extracted parasitics added.
+
+    Ground capacitance per net plus explicit coupling capacitors between
+    net pairs; series wire resistance is folded into the ground-cap node
+    (lumped single-π would require net splitting — the C dominates at
+    cell level, matching what the 1990s extractors back-annotated).
+    """
+    out = circuit.copy()
+    counter = 0
+    for net, para in extraction.nets.items():
+        if net == "0":
+            continue
+        if para.cap_ground >= min_cap:
+            counter += 1
+            out.add(Capacitor(f"cpar_{counter}_{net}", (net, "0"),
+                              para.cap_ground))
+    seen: set[frozenset] = set()
+    for net, para in extraction.nets.items():
+        for other, cap in para.coupling.items():
+            key = frozenset((net, other))
+            if key in seen or cap < min_cap:
+                continue
+            seen.add(key)
+            counter += 1
+            out.add(Capacitor(f"ccpl_{counter}", (net, other), cap))
+    return out

@@ -1,0 +1,430 @@
+"""KOAN-style analog device placement by simulated annealing.
+
+The placer arranges generated device (or stack) layouts with the moves
+and objectives of KOAN [Cohn et al., JSSC'91]:
+
+* translate / rotate / mirror / swap moves with temperature-scaled range;
+* *enforced* symmetry — devices in a symmetry pair share one vertical
+  axis; the slave's position and orientation are always the mirror of the
+  master's, so every visited configuration is exactly symmetric (KOAN's
+  symmetry groups);
+* dynamic diffusion-merge reward — abutting devices whose facing
+  diffusion edges carry the same net earn a bonus, which is how KOAN
+  "discovers desirable optimizations to minimize parasitic capacitance
+  during placement";
+* cost = packed area + half-perimeter wirelength + overlap penalty.
+
+After annealing, a constraint-graph legalization pass removes residual
+overlaps while preserving relative order and re-centres symmetry pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.constraints import ConstraintSet
+from repro.layout.devicegen import DeviceLayout
+from repro.layout.geometry import Cell, Orientation, Rect, bounding_box
+from repro.layout.technology import DEFAULT_TECH, Technology
+from repro.opt.anneal import Annealer, AnnealSchedule
+
+_MIRROR = {
+    Orientation.R0: Orientation.MY,
+    Orientation.MY: Orientation.R0,
+    Orientation.R180: Orientation.MX,
+    Orientation.MX: Orientation.R180,
+    Orientation.R90: Orientation.MY90,
+    Orientation.MY90: Orientation.R90,
+    Orientation.R270: Orientation.MX90,
+    Orientation.MX90: Orientation.R270,
+}
+
+
+@dataclass
+class PlacedObject:
+    """One placeable layout with its transform."""
+
+    layout: DeviceLayout
+    x: int = 0
+    y: int = 0
+    orientation: Orientation = Orientation.R0
+
+    def bbox(self) -> Rect:
+        return self.layout.bbox().transformed(self.orientation,
+                                              self.x, self.y)
+
+    def port_position(self, port: str) -> tuple[int, int]:
+        p = self.layout.cell.ports[port]
+        r = p.rect.transformed(self.orientation, self.x, self.y)
+        return r.center
+
+    def transformed_cell(self) -> Cell:
+        return self.layout.cell.transformed(self.orientation, self.x,
+                                            self.y, self.layout.device_name)
+
+    def copy(self) -> "PlacedObject":
+        return PlacedObject(self.layout, self.x, self.y, self.orientation)
+
+
+@dataclass
+class Placement:
+    """A full placement: objects by device name plus the symmetry axis."""
+
+    objects: dict[str, PlacedObject]
+    axis_x: int = 0
+
+    def copy(self) -> "Placement":
+        return Placement({k: o.copy() for k, o in self.objects.items()},
+                         self.axis_x)
+
+    def bbox(self) -> Rect:
+        return bounding_box([o.bbox() for o in self.objects.values()])
+
+    def cells(self) -> list[Cell]:
+        return [o.transformed_cell() for o in self.objects.values()]
+
+
+@dataclass
+class PlacementResult:
+    placement: Placement
+    cost: float
+    area: int
+    wirelength: int
+    merged_abutments: int
+    evaluations: int
+
+
+class KoanPlacer:
+    """Annealing placement of device layouts under analog constraints."""
+
+    def __init__(self, layouts: list[DeviceLayout],
+                 constraints: ConstraintSet | None = None,
+                 tech: Technology = DEFAULT_TECH,
+                 wirelength_weight: float = 0.5,
+                 overlap_weight: float = 30.0,
+                 merge_bonus: float = 0.05,
+                 seed: int = 1):
+        if not layouts:
+            raise ValueError("nothing to place")
+        self.layouts = {lay.device_name: lay for lay in layouts}
+        if len(self.layouts) != len(layouts):
+            raise ValueError("duplicate device names in layouts")
+        self.constraints = constraints or ConstraintSet()
+        self.tech = tech
+        self.wirelength_weight = wirelength_weight
+        self.overlap_weight = overlap_weight
+        self.merge_bonus = merge_bonus
+        self.seed = seed
+        self.total_area = sum(lay.bbox().area for lay in layouts)
+        self.scale = int(math.sqrt(self.total_area)) or 1
+        self._slave_of: dict[str, str] = {}
+        for pair in self.constraints.symmetry_pairs:
+            if (pair.device_a in self.layouts
+                    and pair.device_b in self.layouts):
+                self._slave_of[pair.device_b] = pair.device_a
+        self._nets = self._collect_nets()
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    def _collect_nets(self) -> dict[str, list[tuple[str, str]]]:
+        """net -> [(device, port)] over signal ports."""
+        nets: dict[str, list[tuple[str, str]]] = {}
+        for name, lay in self.layouts.items():
+            for port, net in lay.port_nets.items():
+                if port not in lay.cell.ports:
+                    continue  # e.g. bulk without a physical port
+                nets.setdefault(net, []).append((name, port))
+        # Single-pin nets contribute nothing to wirelength.
+        return {n: pins for n, pins in nets.items() if len(pins) > 1}
+
+    # ------------------------------------------------------------------
+    # cost
+    # ------------------------------------------------------------------
+    def _apply_symmetry(self, pl: Placement) -> None:
+        for slave, master in self._slave_of.items():
+            m = pl.objects[master]
+            s = pl.objects[slave]
+            # Mirror the master's bbox about the axis.
+            m_box = m.bbox()
+            s.orientation = _MIRROR[m.orientation]
+            target_x1 = 2 * pl.axis_x - m_box.x2
+            s_box_now = s.layout.bbox().transformed(s.orientation, 0, 0)
+            s.x = target_x1 - s_box_now.x1
+            s.y = m_box.y1 - s_box_now.y1
+
+    def cost(self, pl: Placement) -> float:
+        self.evaluations += 1
+        self._apply_symmetry(pl)
+        boxes = {name: o.bbox() for name, o in pl.objects.items()}
+        area = bounding_box(list(boxes.values())).area
+        overlap = 0
+        names = list(boxes)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                inter = boxes[a].intersection(boxes[b])
+                if inter is not None:
+                    overlap += inter.area
+        wirelength = self._wirelength(pl)
+        merges = self._abutment_merges(pl, boxes)
+        return (area / self.total_area
+                + self.wirelength_weight * wirelength / (4 * self.scale)
+                + self.overlap_weight * overlap / self.total_area
+                - self.merge_bonus * merges)
+
+    def _wirelength(self, pl: Placement) -> int:
+        total = 0
+        for pins in self._nets.values():
+            xs, ys = [], []
+            for device, port in pins:
+                x, y = pl.objects[device].port_position(port)
+                xs.append(x)
+                ys.append(y)
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    @staticmethod
+    def _edge_nets(obj: PlacedObject) -> tuple[str | None, str | None]:
+        """(left, right) diffusion nets of a placed object, accounting for
+        orientations that mirror or rotate the x axis."""
+        lay = obj.layout
+        left, right = lay.left_net, lay.right_net
+        o = obj.orientation
+        if o in (Orientation.MY, Orientation.R180):
+            return right, left
+        if o.swaps_axes:
+            return None, None  # vertical diffusion: no x-abutment
+        return left, right
+
+    def _abutment_merges(self, pl: Placement,
+                         boxes: dict[str, Rect]) -> int:
+        """Count adjacent device pairs whose facing diffusions share a net."""
+        merges = 0
+        names = list(boxes)
+        near = 2 * self.tech.min_space_diff
+        for i, a in enumerate(names):
+            la = self.layouts[a]
+            if la.kind != "mos":
+                continue
+            for b in names[i + 1:]:
+                lb = self.layouts[b]
+                if lb.kind != "mos":
+                    continue
+                box_a, box_b = boxes[a], boxes[b]
+                if box_a.distance_to(box_b) > near:
+                    continue
+                # Vertical alignment required for diffusion abutment.
+                y_overlap = (min(box_a.y2, box_b.y2)
+                             - max(box_a.y1, box_b.y1))
+                if y_overlap < min(box_a.height, box_b.height) // 2:
+                    continue
+                if box_a.x1 <= box_b.x1:
+                    left_obj, right_obj = pl.objects[a], pl.objects[b]
+                else:
+                    left_obj, right_obj = pl.objects[b], pl.objects[a]
+                _, left_facing = self._edge_nets(left_obj)
+                right_facing, _ = self._edge_nets(right_obj)
+                if left_facing is not None and left_facing == right_facing:
+                    merges += 1
+        return merges
+
+    # ------------------------------------------------------------------
+    # moves
+    # ------------------------------------------------------------------
+    def _movable(self) -> list[str]:
+        return [n for n in self.layouts if n not in self._slave_of]
+
+    def propose(self, pl: Placement, rng: np.random.Generator,
+                frac: float) -> Placement:
+        movable = self._movable()
+        kind = rng.random()
+        span = max(int(self.scale * (0.1 + 0.9 * frac)), self.tech.L(2))
+        if kind < 0.5:  # translate
+            name = movable[rng.integers(len(movable))]
+            obj = pl.objects[name]
+            obj.x += int(rng.normal(0, span))
+            obj.y += int(rng.normal(0, span))
+        elif kind < 0.62:  # reorient
+            name = movable[rng.integers(len(movable))]
+            obj = pl.objects[name]
+            choices = [Orientation.R0, Orientation.R180, Orientation.MY,
+                       Orientation.MX]
+            obj.orientation = choices[rng.integers(len(choices))]
+        elif kind < 0.75 and len(movable) >= 2:  # swap
+            i, j = rng.choice(len(movable), size=2, replace=False)
+            a, b = pl.objects[movable[i]], pl.objects[movable[j]]
+            a.x, b.x = b.x, a.x
+            a.y, b.y = b.y, a.y
+        elif kind < 0.88 and len(movable) >= 2:  # directed abut move
+            self._abut_move(pl, movable, rng)
+        else:  # move the symmetry axis
+            pl.axis_x += int(rng.normal(0, span))
+        return pl
+
+    def _abut_move(self, pl: Placement, movable: list[str],
+                   rng: np.random.Generator) -> None:
+        """KOAN's merge move: snap a device flush against a compatible
+        neighbour so their shared diffusion edges abut."""
+        if self.merge_bonus <= 0:
+            return  # ablated: no directed merging
+        mos = [n for n in movable if self.layouts[n].kind == "mos"]
+        if len(mos) < 2:
+            return
+        mover = mos[rng.integers(len(mos))]
+        targets = [n for n in mos if n != mover]
+        rng.shuffle(targets)
+        gap = self.tech.min_space_diff
+        for target in targets:
+            t_obj = pl.objects[target]
+            m_obj = pl.objects[mover]
+            t_left, t_right = self._edge_nets(t_obj)
+            m_left, m_right = self._edge_nets(m_obj)
+            t_box = t_obj.bbox()
+            m_box = m_obj.bbox()
+            if t_right is not None and t_right == m_left:
+                m_obj.x += (t_box.x2 + gap) - m_box.x1
+                m_obj.y += t_box.y1 - m_box.y1
+                return
+            if t_left is not None and t_left == m_right:
+                m_obj.x += (t_box.x1 - gap) - m_box.x2
+                m_obj.y += t_box.y1 - m_box.y1
+                return
+
+    # ------------------------------------------------------------------
+    def initial_placement(self, rng: np.random.Generator) -> Placement:
+        """Row seeding: objects side by side, slaves mirrored."""
+        objects: dict[str, PlacedObject] = {}
+        x = 0
+        for name in self._movable():
+            lay = self.layouts[name]
+            obj = PlacedObject(lay)
+            box = lay.bbox()
+            obj.x = x - box.x1
+            obj.y = -box.y1
+            x += box.width + self.tech.min_space_diff * 3
+            objects[name] = obj
+        for slave in self._slave_of:
+            objects[slave] = PlacedObject(self.layouts[slave])
+        pl = Placement(objects, axis_x=x // 2)
+        self._apply_symmetry(pl)
+        return pl
+
+    def run(self, schedule: AnnealSchedule | None = None) -> PlacementResult:
+        self.evaluations = 0
+        rng = np.random.default_rng(self.seed)
+        start = self.initial_placement(rng)
+        schedule = schedule or AnnealSchedule(
+            moves_per_temperature=220, cooling=0.92,
+            max_evaluations=40000, stop_after_stale=10)
+        annealer = Annealer(self.cost, self.propose, schedule=schedule,
+                            copy_state=lambda p: p.copy(), seed=self.seed)
+        result = annealer.run(start)
+        best = result.best_state
+        self._apply_symmetry(best)
+        self._legalize(best)
+        self._apply_symmetry(best)
+        self._legalize_y_only(best)
+        boxes = {n: o.bbox() for n, o in best.objects.items()}
+        final_cost = self.cost(best)
+        return PlacementResult(
+            placement=best,
+            cost=final_cost,
+            area=best.bbox().area,
+            wirelength=self._wirelength(best),
+            merged_abutments=self._abutment_merges(best, boxes),
+            evaluations=self.evaluations,
+        )
+
+    # ------------------------------------------------------------------
+    # legalization
+    # ------------------------------------------------------------------
+    def _legalize(self, pl: Placement, max_rounds: int = 40) -> None:
+        """Push overlapping objects apart along the smaller-overlap axis."""
+        spacing = self.tech.min_space_diff
+        for _ in range(max_rounds):
+            moved = False
+            names = list(pl.objects)
+            for i, a in enumerate(names):
+                for b in names[i + 1:]:
+                    box_a = pl.objects[a].bbox()
+                    box_b = pl.objects[b].bbox()
+                    inter = box_a.intersection(box_b)
+                    if inter is None:
+                        continue
+                    moved = True
+                    dx = inter.width + spacing
+                    dy = inter.height + spacing
+                    mover = b if b not in self._slave_of else a
+                    other = a if mover == b else b
+                    obj = pl.objects[mover]
+                    ref = pl.objects[other].bbox()
+                    if dx <= dy:
+                        direction = 1 if obj.bbox().center[0] >= \
+                            ref.center[0] else -1
+                        obj.x += direction * dx
+                    else:
+                        direction = 1 if obj.bbox().center[1] >= \
+                            ref.center[1] else -1
+                        obj.y += direction * dy
+            if not moved:
+                return
+
+    def _legalize_y_only(self, pl: Placement, max_rounds: int = 40) -> None:
+        """Resolve any overlap reintroduced by symmetry using y pushes
+        (which preserve mirror symmetry about the vertical axis)."""
+        spacing = self.tech.min_space_diff
+        for _ in range(max_rounds):
+            moved = False
+            names = list(pl.objects)
+            for i, a in enumerate(names):
+                for b in names[i + 1:]:
+                    box_a = pl.objects[a].bbox()
+                    box_b = pl.objects[b].bbox()
+                    inter = box_a.intersection(box_b)
+                    if inter is None:
+                        continue
+                    moved = True
+                    mover_name = b if b not in self._slave_of else a
+                    obj = pl.objects[mover_name]
+                    partner = self._partner(mover_name)
+                    dy = inter.height + spacing
+                    direction = 1 if box_b.center[1] >= box_a.center[1] \
+                        else -1
+                    obj.y += direction * dy
+                    if partner is not None and partner in pl.objects:
+                        pl.objects[partner].y += direction * dy
+            if not moved:
+                return
+
+    def _partner(self, name: str) -> str | None:
+        if name in self._slave_of:
+            return self._slave_of[name]
+        for slave, master in self._slave_of.items():
+            if master == name:
+                return slave
+        return None
+
+
+def has_overlaps(pl: Placement) -> bool:
+    boxes = [o.bbox() for o in pl.objects.values()]
+    for i, a in enumerate(boxes):
+        for b in boxes[i + 1:]:
+            if a.intersection(b) is not None:
+                return True
+    return False
+
+
+def symmetry_error(pl: Placement, constraints: ConstraintSet) -> int:
+    """Total Manhattan asymmetry of all pairs (0 for exact symmetry)."""
+    err = 0
+    for pair in constraints.symmetry_pairs:
+        if (pair.device_a not in pl.objects
+                or pair.device_b not in pl.objects):
+            continue
+        a = pl.objects[pair.device_a].bbox()
+        b = pl.objects[pair.device_b].bbox()
+        err += abs((a.x1 + a.x2 + b.x1 + b.x2) // 2 - 2 * pl.axis_x)
+        err += abs(a.y1 - b.y1)
+    return err

@@ -1,0 +1,434 @@
+"""ANAGRAM II-style analog area router: multilayer grid maze search.
+
+Reproduces the router features the tutorial highlights [35, 36, 39, 40]:
+
+* maze (A*) search on a two-layer routing grid with via and bend costs
+  and preferred directions (metal1 horizontal, metal2 vertical);
+* *net classes* — ``noisy``, ``sensitive`` and ``neutral`` wires; the
+  cost of a grid cell grows when an incompatible class runs adjacent,
+  implementing crosstalk avoidance ("mechanisms for tagging compatible
+  and incompatible classes of wires");
+* *symmetric differential routing* — a net pair is routed by mirroring
+  the first net's path about the placement's symmetry axis;
+* *over-the-device routing* — device geometry blocks only metal1;
+  metal2 may cross devices;
+* parasitic-bounded mode (ROAD/ANAGRAM III [39, 40]) — per-net
+  capacitance budgets; a net whose routed capacitance would exceed its
+  bound is charged an escalating cost, steering it to shorter/less
+  coupled paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.layout.geometry import Cell, Rect
+from repro.layout.placer import Placement
+from repro.layout.technology import (
+    DEFAULT_TECH,
+    LAYER_METAL1,
+    LAYER_METAL2,
+    LAYER_POLY,
+    LAYER_VIA1,
+    Technology,
+)
+
+NEUTRAL = "neutral"
+NOISY = "noisy"
+SENSITIVE = "sensitive"
+
+_INCOMPATIBLE = {(NOISY, SENSITIVE), (SENSITIVE, NOISY)}
+
+_M1, _M2 = 0, 1
+
+
+@dataclass
+class RoutingRequest:
+    """One net to route: pins as (x, y, layer) plus its class and bounds."""
+
+    net: str
+    pins: list[tuple[int, int, str]]
+    net_class: str = NEUTRAL
+    cap_bound: float | None = None     # parasitic bound (F), optional
+    width: int | None = None           # wire width override
+
+
+@dataclass
+class RoutedWire:
+    """A routed net: list of grid-space segments with layers."""
+
+    net: str
+    net_class: str
+    segments: list[tuple[int, int, int, int, int]]  # (x1,y1,x2,y2,layer)
+    vias: list[tuple[int, int]]
+    length_nm: int
+    capacitance: float
+
+    def shapes(self, tech: Technology, width: int) -> list:
+        from repro.layout.geometry import Shape
+        shapes = []
+        half = width // 2
+        for x1, y1, x2, y2, layer in self.segments:
+            layer_name = LAYER_METAL1 if layer == _M1 else LAYER_METAL2
+            rect = Rect(min(x1, x2) - half, min(y1, y2) - half,
+                        max(x1, x2) + half, max(y1, y2) + half)
+            shapes.append(Shape(layer_name, rect, self.net))
+        for x, y in self.vias:
+            shapes.append(Shape(LAYER_VIA1,
+                                Rect(x - half, y - half, x + half, y + half),
+                                self.net))
+        return shapes
+
+
+class RoutingError(RuntimeError):
+    """Raised when a net cannot be routed."""
+
+
+@dataclass
+class RoutingResult:
+    wires: dict[str, RoutedWire]
+    failed: list[str]
+    grid_pitch: int
+
+    @property
+    def total_length(self) -> int:
+        return sum(w.length_nm for w in self.wires.values())
+
+    def crosstalk_adjacencies(self, router: "AnagramRouter") -> int:
+        return router.count_incompatible_adjacencies(self)
+
+
+class AnagramRouter:
+    """Two-layer grid maze router with analog costs."""
+
+    def __init__(self, area: Rect, obstacles_m1: list[Rect],
+                 tech: Technology = DEFAULT_TECH,
+                 axis_x: int | None = None,
+                 bend_cost: float = 2.0, via_cost: float = 5.0,
+                 wrong_way_cost: float = 1.5,
+                 crosstalk_cost: float = 25.0,
+                 cap_overrun_cost: float = 200.0,
+                 pitch: int | None = None):
+        self.tech = tech
+        self.pitch = pitch if pitch is not None else tech.routing_pitch
+        margin = 4 * self.pitch
+        self.area = area.expanded(margin)
+        self.nx = max(2, self.area.width // self.pitch + 1)
+        self.ny = max(2, self.area.height // self.pitch + 1)
+        self.axis_x = axis_x
+        self.bend_cost = bend_cost
+        self.via_cost = via_cost
+        self.wrong_way_cost = wrong_way_cost
+        self.crosstalk_cost = crosstalk_cost
+        self.cap_overrun_cost = cap_overrun_cost
+        # occupancy[layer][(ix, iy)] = (net, net_class)
+        self.occupancy: list[dict[tuple[int, int], tuple[str, str]]] = [
+            {}, {}]
+        self.blocked_m1: set[tuple[int, int]] = set()
+        for rect in obstacles_m1:
+            self._block(rect)
+
+    # ------------------------------------------------------------------
+    # grid mapping
+    # ------------------------------------------------------------------
+    def to_grid(self, x: int, y: int) -> tuple[int, int]:
+        ix = (x - self.area.x1) // self.pitch
+        iy = (y - self.area.y1) // self.pitch
+        return (min(max(ix, 0), self.nx - 1), min(max(iy, 0), self.ny - 1))
+
+    def to_coord(self, ix: int, iy: int) -> tuple[int, int]:
+        return (self.area.x1 + ix * self.pitch,
+                self.area.y1 + iy * self.pitch)
+
+    def _block(self, rect: Rect) -> None:
+        gx1, gy1 = self.to_grid(rect.x1 - self.pitch // 2,
+                                rect.y1 - self.pitch // 2)
+        gx2, gy2 = self.to_grid(rect.x2 + self.pitch // 2,
+                                rect.y2 + self.pitch // 2)
+        for ix in range(gx1, gx2 + 1):
+            for iy in range(gy1, gy2 + 1):
+                self.blocked_m1.add((ix, iy))
+
+    # ------------------------------------------------------------------
+    # costs
+    # ------------------------------------------------------------------
+    def _cell_cost(self, layer: int, ix: int, iy: int, net: str,
+                   net_class: str) -> float | None:
+        """Cost of occupying a cell, or None if unusable."""
+        if layer == _M1 and (ix, iy) in self.blocked_m1:
+            return None
+        occupant = self.occupancy[layer].get((ix, iy))
+        if occupant is not None and occupant[0] != net:
+            return None
+        cost = 1.0
+        # Crosstalk: adjacency to incompatible-class wires on any layer.
+        for other_layer in (_M1, _M2):
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                neighbour = self.occupancy[other_layer].get(
+                    (ix + dx, iy + dy))
+                if neighbour is None or neighbour[0] == net:
+                    continue
+                if (net_class, neighbour[1]) in _INCOMPATIBLE:
+                    cost += self.crosstalk_cost
+        return cost
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _astar(self, sources: set[tuple[int, int, int]],
+               targets: set[tuple[int, int, int]], net: str,
+               net_class: str, cap_state: float,
+               cap_bound: float | None) -> list[tuple[int, int, int]] | None:
+        """Multi-source/multi-target A* over (layer, ix, iy) states."""
+        target_cells = {(ix, iy) for _, ix, iy in targets}
+
+        def h(ix: int, iy: int) -> float:
+            return min(abs(ix - tx) + abs(iy - ty)
+                       for tx, ty in target_cells)
+
+        open_heap: list[tuple[float, float, tuple[int, int, int],
+                              tuple[int, int, int] | None]] = []
+        best: dict[tuple[int, int, int], float] = {}
+        parent: dict[tuple[int, int, int], tuple[int, int, int] | None] = {}
+        cap_per_cell = self.tech.wire_capacitance(
+            self.pitch, self.tech.min_width_metal)
+        for state in sources:
+            best[state] = 0.0
+            parent[state] = None
+            heapq.heappush(open_heap, (h(state[1], state[2]), 0.0,
+                                       state, None))
+        while open_heap:
+            f, g, state, par = heapq.heappop(open_heap)
+            if g > best.get(state, float("inf")):
+                continue
+            layer, ix, iy = state
+            if state in targets:
+                return self._backtrace(state, parent)
+            for nstate, step in self._neighbours(state):
+                nlayer, nx_, ny_ = nstate
+                if not (0 <= nx_ < self.nx and 0 <= ny_ < self.ny):
+                    continue
+                cell = self._cell_cost(nlayer, nx_, ny_, net, net_class)
+                if cell is None:
+                    continue
+                move = cell + step
+                if cap_bound is not None:
+                    projected = cap_state + (g + move) * cap_per_cell
+                    if projected > cap_bound:
+                        move += self.cap_overrun_cost
+                ng = g + move
+                if ng < best.get(nstate, float("inf")):
+                    best[nstate] = ng
+                    parent[nstate] = state
+                    heapq.heappush(open_heap,
+                                   (ng + h(nx_, ny_), ng, nstate, state))
+        return None
+
+    def _neighbours(self, state: tuple[int, int, int]):
+        layer, ix, iy = state
+        # Preferred direction costs: m1 horizontal, m2 vertical.
+        if layer == _M1:
+            yield (layer, ix + 1, iy), 0.0
+            yield (layer, ix - 1, iy), 0.0
+            yield (layer, ix, iy + 1), self.wrong_way_cost
+            yield (layer, ix, iy - 1), self.wrong_way_cost
+        else:
+            yield (layer, ix, iy + 1), 0.0
+            yield (layer, ix, iy - 1), 0.0
+            yield (layer, ix + 1, iy), self.wrong_way_cost
+            yield (layer, ix - 1, iy), self.wrong_way_cost
+        yield ((1 - layer), ix, iy), self.via_cost
+
+    @staticmethod
+    def _backtrace(state, parent):
+        path = [state]
+        while parent[state] is not None:
+            state = parent[state]
+            path.append(state)
+        path.reverse()
+        return path
+
+    # ------------------------------------------------------------------
+    # net routing
+    # ------------------------------------------------------------------
+    def route_net(self, request: RoutingRequest) -> RoutedWire:
+        if len(request.pins) < 2:
+            raise RoutingError(f"net {request.net!r} has fewer than 2 pins")
+        pin_states = []
+        for x, y, layer in request.pins:
+            ix, iy = self.to_grid(x, y)
+            glayer = _M1 if layer in (LAYER_METAL1, LAYER_POLY) else _M2
+            pin_states.append((glayer, ix, iy))
+            # Pins may sit on blocked cells (they are on the device).
+            self.blocked_m1.discard((ix, iy))
+        tree: set[tuple[int, int, int]] = {pin_states[0]}
+        all_cells: list[tuple[int, int, int]] = [pin_states[0]]
+        cap_per_cell = self.tech.wire_capacitance(
+            self.pitch, self.tech.min_width_metal)
+        cap_state = 0.0
+        for pin in pin_states[1:]:
+            if pin in tree:
+                continue
+            path = self._astar(tree, {pin}, request.net,
+                               request.net_class, cap_state,
+                               request.cap_bound)
+            if path is None:
+                raise RoutingError(
+                    f"net {request.net!r}: no path to pin at "
+                    f"{self.to_coord(pin[1], pin[2])}")
+            for state in path:
+                if state not in tree:
+                    tree.add(state)
+                    all_cells.append(state)
+            cap_state += len(path) * cap_per_cell
+        return self._commit(request, all_cells)
+
+    def _commit(self, request: RoutingRequest,
+                cells: list[tuple[int, int, int]]) -> RoutedWire:
+        segments = []
+        vias = []
+        for layer, ix, iy in cells:
+            self.occupancy[layer][(ix, iy)] = (request.net,
+                                               request.net_class)
+        cell_set = set(cells)
+        for layer, ix, iy in cells:
+            x, y = self.to_coord(ix, iy)
+            if (layer, ix + 1, iy) in cell_set:
+                x2, _ = self.to_coord(ix + 1, iy)
+                segments.append((x, y, x2, y, layer))
+            if (layer, ix, iy + 1) in cell_set:
+                _, y2 = self.to_coord(ix, iy + 1)
+                segments.append((x, y, x, y2, layer))
+            if ((1 - layer), ix, iy) in cell_set and layer == _M1:
+                vias.append((x, y))
+        length = sum(abs(x2 - x1) + abs(y2 - y1)
+                     for x1, y1, x2, y2, _ in segments)
+        cap = self.tech.wire_capacitance(length, self.tech.min_width_metal)
+        return RoutedWire(request.net, request.net_class, segments, vias,
+                          length, cap)
+
+    def route_mirrored(self, wire: RoutedWire,
+                       request: RoutingRequest) -> RoutedWire:
+        """Route a net as the mirror image of an already-routed wire.
+
+        This is ANAGRAM II's symmetric differential routing: the twin
+        path is the reflection about the placement axis; it is validated
+        against obstacles/occupancy and committed, or a RoutingError is
+        raised so the caller can fall back to independent routing.
+        """
+        if self.axis_x is None:
+            raise RoutingError("no symmetry axis configured")
+        cells = []
+        for layer in (_M1, _M2):
+            for (ix, iy), (net, _) in list(self.occupancy[layer].items()):
+                if net == wire.net:
+                    x, y = self.to_coord(ix, iy)
+                    mx = 2 * self.axis_x - x
+                    mix, miy = self.to_grid(mx, y)
+                    cells.append((layer, mix, miy))
+        for layer, ix, iy in cells:
+            cost = self._cell_cost(layer, ix, iy, request.net,
+                                   request.net_class)
+            if cost is None:
+                raise RoutingError(
+                    f"mirror path of {wire.net!r} blocked at "
+                    f"{self.to_coord(ix, iy)}")
+        return self._commit(request, cells)
+
+    # ------------------------------------------------------------------
+    def count_incompatible_adjacencies(self, result: "RoutingResult") -> int:
+        count = 0
+        for layer in (_M1, _M2):
+            for (ix, iy), (net, cls) in self.occupancy[layer].items():
+                for dx, dy in ((1, 0), (0, 1)):
+                    other = self.occupancy[layer].get((ix + dx, iy + dy))
+                    if other is None or other[0] == net:
+                        continue
+                    if (cls, other[1]) in _INCOMPATIBLE:
+                        count += 1
+        return count
+
+
+def route_placement(placement: Placement,
+                    requests: list[RoutingRequest],
+                    net_pairs: list | None = None,
+                    tech: Technology = DEFAULT_TECH,
+                    seed: int = 1) -> tuple[RoutingResult, AnagramRouter]:
+    """Route all nets over a placement.
+
+    ``net_pairs`` (from the constraint extractor) are routed as mirrored
+    twins where geometrically possible.  Device metal1/poly shapes become
+    metal1 obstacles; metal2 remains free over devices.
+    """
+    obstacles = []
+    for obj in placement.objects.values():
+        cell = obj.transformed_cell()
+        for shape in cell.shapes:
+            if shape.layer in (LAYER_METAL1, LAYER_POLY):
+                obstacles.append(shape.rect)
+    paired: dict[str, str] = {}
+    for pair in (net_pairs or []):
+        paired[pair.net_a] = pair.net_b
+        paired[pair.net_b] = pair.net_a
+    by_net = {r.net: r for r in requests}
+    # Route sensitive nets first (they get the cleanest paths), then
+    # neutral, noisy last — the standard analog ordering.
+    order = sorted(requests, key=lambda r: {SENSITIVE: 0, NEUTRAL: 1,
+                                            NOISY: 2}[r.net_class])
+    # Rip-up in its simplest honest form: when a net fails, the whole job
+    # restarts with the failed nets promoted to the front, so they claim
+    # their resources before the nets that previously boxed them in.
+    router = None
+    wires: dict[str, RoutedWire] = {}
+    failed: list[str] = []
+    # Escalation ladder: half-pitch grid first (dense device-port
+    # geometries need sub-pitch resolution so neighbouring pins of
+    # different nets land on distinct cells); quarter pitch when the
+    # restarts cannot untangle a congested template.
+    for pitch in (max(tech.routing_pitch // 2, 1),
+                  max(tech.routing_pitch // 4, 1)):
+        for _ in range(5):
+            router = AnagramRouter(placement.bbox(), list(obstacles), tech,
+                                   axis_x=placement.axis_x, pitch=pitch)
+            wires = {}
+            failed = []
+            for request in order:
+                if request.net in wires:
+                    continue
+                try:
+                    wire = router.route_net(request)
+                    wires[request.net] = wire
+                except RoutingError:
+                    failed.append(request.net)
+                    continue
+                twin_name = paired.get(request.net)
+                if twin_name and twin_name in by_net \
+                        and twin_name not in wires:
+                    twin_req = by_net[twin_name]
+                    try:
+                        wires[twin_name] = router.route_mirrored(wire,
+                                                                 twin_req)
+                    except RoutingError:
+                        pass  # fall through: routed independently later
+            if not failed:
+                break
+            order = [by_net[n] for n in failed] + \
+                [r for r in order if r.net not in failed]
+        if not failed:
+            break
+    result = RoutingResult(wires, failed, router.pitch)
+    return result, router
+
+
+def routed_cell(placement: Placement, result: RoutingResult,
+                tech: Technology = DEFAULT_TECH,
+                name: str = "routed") -> Cell:
+    """Assemble devices + wires into one flat cell (for GDS export)."""
+    cell = Cell(name)
+    for obj in placement.objects.values():
+        sub = obj.transformed_cell()
+        cell.shapes.extend(sub.shapes)
+    for wire in result.wires.values():
+        cell.shapes.extend(wire.shapes(tech, tech.min_width_metal))
+    return cell

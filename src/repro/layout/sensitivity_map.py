@@ -1,0 +1,129 @@
+"""Performance-to-parasitic constraint mapping [Choudhury & S-V, TCAD'93].
+
+The "critical glue" of §3.1: given (a) the sensitivities of each circuit
+performance to each candidate layout parasitic and (b) the allowed
+performance degradation, compute *bounds on the individual parasitics*
+that the placer/router can then enforce locally.
+
+The original casts this as a nonlinear program maximizing layout
+flexibility subject to Σ |S_ij|·ΔC_j ≤ ΔP_i for every performance i.  We
+solve exactly that with ``scipy.optimize.linprog``: maximize Σ w_j·c_j
+(weighted total allowed parasitic = router freedom) subject to the
+first-order degradation constraints and per-net minimums (no bound can be
+below what any route at all would add).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+
+class MappingError(ValueError):
+    """Raised when no bound assignment can satisfy the degradations."""
+
+
+@dataclass
+class ParasiticBound:
+    name: str            # net or net-pair identifier
+    bound: float         # maximum allowed capacitance (F)
+
+
+@dataclass
+class ConstraintMap:
+    bounds: dict[str, float]
+
+    def bound_for(self, name: str, default: float = float("inf")) -> float:
+        return self.bounds.get(name, default)
+
+
+def map_constraints(sensitivities: dict[str, dict[str, float]],
+                    allowed_degradation: dict[str, float],
+                    min_bound: float = 1e-16,
+                    weights: dict[str, float] | None = None) -> ConstraintMap:
+    """Distribute performance budgets over parasitic bounds.
+
+    Parameters
+    ----------
+    sensitivities:
+        ``{performance: {parasitic_name: dPerf/dCap}}`` — first-order
+        sensitivities (any sign; magnitudes are used).
+    allowed_degradation:
+        ``{performance: ΔP_max}`` — how much each performance may move.
+    min_bound:
+        Feasibility floor: every parasitic must be allowed at least this
+        much (a router cannot add less than one grid cell of wire).
+    weights:
+        Optional per-parasitic priority (larger weight → the LP gives that
+        parasitic a larger share of the budget).
+
+    Returns the per-parasitic capacitance bounds.
+    """
+    parasitic_names = sorted({p for row in sensitivities.values()
+                              for p in row})
+    if not parasitic_names:
+        return ConstraintMap({})
+    n = len(parasitic_names)
+    idx = {p: j for j, p in enumerate(parasitic_names)}
+
+    a_ub = []
+    b_ub = []
+    for perf, row in sensitivities.items():
+        if perf not in allowed_degradation:
+            continue
+        coeffs = np.zeros(n)
+        for p, s in row.items():
+            coeffs[idx[p]] = abs(s)
+        a_ub.append(coeffs)
+        b_ub.append(allowed_degradation[perf])
+    w = np.ones(n)
+    if weights:
+        for p, weight in weights.items():
+            if p in idx:
+                w[idx[p]] = weight
+    # linprog minimizes: maximize Σ w·c  →  minimize -Σ w·c.
+    result = linprog(
+        c=-w,
+        A_ub=np.array(a_ub) if a_ub else None,
+        b_ub=np.array(b_ub) if b_ub else None,
+        bounds=[(min_bound, None)] * n,
+        method="highs",
+    )
+    if not result.success:
+        raise MappingError(
+            "no feasible parasitic-bound assignment: the allowed "
+            "performance degradations are too tight for the minimum "
+            "routable parasitics")
+    bounds = {p: float(result.x[idx[p]]) for p in parasitic_names}
+    return ConstraintMap(bounds)
+
+
+def sensitivities_from_circuit(circuit, performance_fn,
+                               nets: list[str],
+                               probe_cap: float = 10e-15) -> dict[str, float]:
+    """Measure dPerf/dC_net by adding a probe capacitor per net.
+
+    The finite-difference analogue of the adjoint computation in
+    :mod:`repro.analysis.sensitivity`, usable with any scalar performance
+    function (gain, GBW, phase margin...).
+    """
+    from repro.circuits.devices import Capacitor
+    base = performance_fn(circuit)
+    out: dict[str, float] = {}
+    for net in nets:
+        probed = circuit.copy()
+        probed.add(Capacitor(f"cprobe_{net}", (net, "0"), probe_cap))
+        perturbed = performance_fn(probed)
+        out[net] = (perturbed - base) / probe_cap
+    return out
+
+
+def verify_bounds(extraction, cmap: ConstraintMap) -> dict[str, bool]:
+    """Check an extracted layout against mapped bounds (router audit)."""
+    verdicts = {}
+    for net, para in extraction.nets.items():
+        bound = cmap.bound_for(net)
+        verdicts[net] = para.cap_total <= bound
+    return verdicts

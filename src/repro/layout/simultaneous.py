@@ -1,0 +1,138 @@
+"""Simultaneous device place-and-route [Cohn et al., ICCAD'91].
+
+"A more radical alternative is simultaneous device place-and-route.  An
+experimental version of KOAN supported this by iteratively perturbing
+both the wires and the devices" (§3.1, [50]) — the proposed cure for the
+*wirespace problem* (guessing how much room to leave for wires before
+routing exists).
+
+The implementation follows the experimental tool's loop: a placement
+perturbation is evaluated by actually routing it, and acceptance is
+decided on the *routed* cost (area of the routed bounding box + total
+wire length + wire capacitance + failure penalties) under a small
+annealing schedule.  Expensive per move — exactly why it stayed
+experimental — but it removes the wirespace guess entirely.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.constraints import ConstraintSet
+from repro.layout.devicegen import DeviceLayout
+from repro.layout.geometry import bounding_box
+from repro.layout.parasitics import extract_parasitics
+from repro.layout.placer import KoanPlacer, Placement
+from repro.layout.router import RoutingRequest, route_placement
+from repro.layout.technology import DEFAULT_TECH, Technology
+
+
+@dataclass
+class RoutedPlacementResult:
+    placement: Placement
+    routing: object
+    router: object
+    cost: float
+    routed_area: int
+    wire_length: int
+    wire_cap: float
+    rounds: int
+    improved_rounds: int
+
+
+class SimultaneousPlaceRoute:
+    """Iterative co-optimization of placement and routing."""
+
+    def __init__(self, layouts: list[DeviceLayout],
+                 constraints: ConstraintSet | None = None,
+                 sensitive_nets: tuple[str, ...] = (),
+                 tech: Technology = DEFAULT_TECH,
+                 seed: int = 1,
+                 wirelength_weight: float = 0.4,
+                 cap_weight: float = 5e13):
+        self.placer = KoanPlacer(layouts, constraints, tech=tech,
+                                 seed=seed)
+        self.constraints = self.placer.constraints
+        self.sensitive_nets = sensitive_nets
+        self.tech = tech
+        self.seed = seed
+        self.wirelength_weight = wirelength_weight
+        self.cap_weight = cap_weight
+
+    # ------------------------------------------------------------------
+    def _requests(self, placement: Placement) -> list[RoutingRequest]:
+        nets: dict[str, list] = {}
+        for name, obj in placement.objects.items():
+            lay = self.placer.layouts[name]
+            for port, net in lay.port_nets.items():
+                if port in lay.cell.ports:
+                    x, y = obj.port_position(port)
+                    nets.setdefault(net, []).append(
+                        (x, y, lay.cell.ports[port].layer))
+        return [
+            RoutingRequest(net, pins,
+                           "sensitive" if net in self.sensitive_nets
+                           else "neutral")
+            for net, pins in nets.items() if len(pins) > 1
+        ]
+
+    def routed_cost(self, placement: Placement):
+        """Route the placement and score the *routed* layout."""
+        self.placer._apply_symmetry(placement)
+        self.placer._legalize(placement)
+        self.placer._apply_symmetry(placement)
+        self.placer._legalize_y_only(placement)
+        requests = self._requests(placement)
+        routing, router = route_placement(placement, requests,
+                                          self.constraints.net_pairs,
+                                          tech=self.tech)
+        rects = [o.bbox() for o in placement.objects.values()]
+        for wire in routing.wires.values():
+            for shape in wire.shapes(self.tech, self.tech.min_width_metal):
+                rects.append(shape.rect)
+        routed_area = bounding_box(rects).area if rects else 0
+        extraction = extract_parasitics(routing, router, self.tech)
+        wire_cap = extraction.total_wire_cap()
+        cost = (routed_area / self.placer.total_area
+                + self.wirelength_weight * routing.total_length
+                / (4 * self.placer.scale)
+                + self.cap_weight * wire_cap
+                + 10.0 * len(routing.failed))
+        return cost, routing, router, routed_area, wire_cap
+
+    # ------------------------------------------------------------------
+    def run(self, rounds: int = 25,
+            temperature: float = 0.3) -> RoutedPlacementResult:
+        """The [50] loop: perturb devices, reroute, accept on routed cost."""
+        rng = np.random.default_rng(self.seed)
+        current = self.placer.initial_placement(rng)
+        (current_cost, routing, router,
+         area, cap) = self.routed_cost(current)
+        best = current.copy()
+        best_pack = (current_cost, routing, router, area,
+                     routing.total_length, cap)
+        improved = 0
+        t = temperature
+        for round_no in range(rounds):
+            trial = current.copy()
+            frac = 1.0 - round_no / max(rounds - 1, 1)
+            self.placer.propose(trial, rng, frac)
+            (trial_cost, t_routing, t_router,
+             t_area, t_cap) = self.routed_cost(trial)
+            delta = trial_cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(-delta / max(t, 1e-9)):
+                current, current_cost = trial, trial_cost
+                if trial_cost < best_pack[0]:
+                    best = trial.copy()
+                    best_pack = (trial_cost, t_routing, t_router, t_area,
+                                 t_routing.total_length, t_cap)
+                    improved += 1
+            t *= 0.9
+        cost, routing, router, area, length, cap = best_pack
+        return RoutedPlacementResult(
+            placement=best, routing=routing, router=router, cost=cost,
+            routed_area=area, wire_length=length, wire_cap=cap,
+            rounds=rounds, improved_rounds=improved)

@@ -1,0 +1,142 @@
+"""Synthetic scalable CMOS technology: layers, design rules, parasitics.
+
+A λ-based rule set in the MOSIS tradition, instantiated for the 0.8 µm
+process the circuit models assume (λ = 0.4 µm).  The layout tools only
+read rules through this object, so the whole backend rescales with one
+number — the property that made procedural generators portable across
+processes in the early systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.layout.geometry import um
+
+# Canonical layer names used by every generator/tool in the backend.
+LAYER_NDIFF = "ndiff"
+LAYER_PDIFF = "pdiff"
+LAYER_POLY = "poly"
+LAYER_CONTACT = "contact"
+LAYER_METAL1 = "metal1"
+LAYER_VIA1 = "via1"
+LAYER_METAL2 = "metal2"
+LAYER_NWELL = "nwell"
+LAYER_CAPTOP = "captop"      # second poly / MiM top plate
+LAYER_HIRES = "hires"        # high-resistivity poly
+
+ROUTING_LAYERS = (LAYER_METAL1, LAYER_METAL2)
+
+GDS_LAYER_NUMBERS = {
+    LAYER_NWELL: 1,
+    LAYER_NDIFF: 2,
+    LAYER_PDIFF: 3,
+    LAYER_POLY: 4,
+    LAYER_CONTACT: 5,
+    LAYER_METAL1: 6,
+    LAYER_VIA1: 7,
+    LAYER_METAL2: 8,
+    LAYER_CAPTOP: 9,
+    LAYER_HIRES: 10,
+}
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Design rules (nm) and parasitic coefficients for one process."""
+
+    name: str = "scmos08"
+    lambda_nm: int = 400
+
+    # Electrical parasitics.
+    metal1_sheet_ohm: float = 0.07
+    metal2_sheet_ohm: float = 0.04
+    poly_sheet_ohm: float = 25.0
+    hires_sheet_ohm: float = 4000.0
+    metal_cap_area: float = 0.03e-3     # F/m² to substrate
+    metal_cap_fringe: float = 0.03e-9   # F/m of perimeter
+    coupling_cap: float = 0.05e-9       # F/m between parallel adjacent wires
+    cap_density: float = 1.0e-3         # F/m² for captop capacitors
+    contact_res_ohm: float = 5.0
+    via_res_ohm: float = 2.5
+
+    def L(self, n: float) -> int:
+        """n lambdas in nanometres."""
+        return int(round(n * self.lambda_nm))
+
+    # -- derived rules (all in nm) ---------------------------------------
+    @property
+    def min_width_poly(self) -> int:
+        return self.L(2)
+
+    @property
+    def min_width_diff(self) -> int:
+        return self.L(3)
+
+    @property
+    def min_width_metal(self) -> int:
+        return self.L(3)
+
+    @property
+    def min_space_metal(self) -> int:
+        return self.L(3)
+
+    @property
+    def min_space_poly(self) -> int:
+        return self.L(2)
+
+    @property
+    def min_space_diff(self) -> int:
+        return self.L(3)
+
+    @property
+    def contact_size(self) -> int:
+        return self.L(2)
+
+    @property
+    def contact_enclosure(self) -> int:
+        return self.L(1)
+
+    @property
+    def gate_overhang(self) -> int:
+        """Poly must extend past diffusion by this much."""
+        return self.L(2)
+
+    @property
+    def diff_contact_pitch(self) -> int:
+        """S/D diffusion extension needed to land one contact row."""
+        return self.contact_size + 2 * self.contact_enclosure + self.L(1)
+
+    @property
+    def routing_pitch(self) -> int:
+        return self.min_width_metal + self.min_space_metal
+
+    @property
+    def well_margin(self) -> int:
+        return self.L(5)
+
+    def wire_resistance(self, layer: str, length_nm: int,
+                        width_nm: int) -> float:
+        sheet = {
+            LAYER_METAL1: self.metal1_sheet_ohm,
+            LAYER_METAL2: self.metal2_sheet_ohm,
+            LAYER_POLY: self.poly_sheet_ohm,
+            LAYER_HIRES: self.hires_sheet_ohm,
+        }.get(layer)
+        if sheet is None:
+            raise KeyError(f"no sheet resistance for layer {layer!r}")
+        if width_nm <= 0:
+            raise ValueError("wire width must be positive")
+        return sheet * length_nm / width_nm
+
+    def wire_capacitance(self, length_nm: int, width_nm: int) -> float:
+        """Ground capacitance of a wire segment (area + fringe)."""
+        area = (length_nm * 1e-9) * (width_nm * 1e-9)
+        perimeter = 2.0 * (length_nm + width_nm) * 1e-9
+        return area * self.metal_cap_area + perimeter * self.metal_cap_fringe
+
+    def coupling_capacitance(self, parallel_run_nm: int) -> float:
+        return parallel_run_nm * 1e-9 * self.coupling_cap
+
+
+DEFAULT_TECH = Technology()

@@ -1,0 +1,143 @@
+"""Procedural cell-layout templates — the module-generation approach.
+
+"The earliest approaches to custom analog cell layout relied on
+procedural module generation ... a procedural generation scheme which
+starts with a basic geometric template and completes it by correctly
+sizing the devices and wires can be quite satisfactory" (§3.1, [32], the
+Philips system [5]).
+
+Each template positions the generated devices of a known topology in a
+fixed geometric arrangement (rows, mirrored about the differential axis)
+and returns a :class:`~repro.layout.placer.Placement` ready for routing.
+The four styles double as the "manual" layouts of the Fig. 2 benchmark —
+carefully structured, like a designer's plan — against which the KOAN
+automatic placements are compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.netlist import Circuit
+from repro.layout.constraints import ConstraintSet, extract_constraints
+from repro.layout.devicegen import DeviceLayout, generate_device
+from repro.layout.geometry import Orientation
+from repro.layout.placer import PlacedObject, Placement
+from repro.layout.technology import DEFAULT_TECH, Technology
+
+STYLES = ("rows_classic", "rows_wide", "column_compact", "interleaved")
+
+
+class TemplateError(ValueError):
+    """Raised when a circuit does not fit the template's topology."""
+
+
+@dataclass
+class TemplateLayout:
+    placement: Placement
+    layouts: dict[str, DeviceLayout]
+    constraints: ConstraintSet
+    style: str
+
+
+def procedural_cell_layout(circuit: Circuit, style: str = "rows_classic",
+                           tech: Technology = DEFAULT_TECH,
+                           fingers: int | None = None) -> TemplateLayout:
+    """Template layout of an opamp-like cell.
+
+    Devices are grouped into rows by function: symmetric pairs straddle
+    the axis, mirror loads above, tail/bias devices below, remaining
+    devices and passives in outer columns.  The ``style`` parameter
+    varies row order, spacing and aspect — giving the four distinct
+    "manual" layouts of Fig. 2.
+    """
+    if style not in STYLES:
+        raise TemplateError(f"unknown style {style!r}; choose from {STYLES}")
+    constraints = extract_constraints(circuit)
+    layouts: dict[str, DeviceLayout] = {}
+    for dev in circuit.devices:
+        try:
+            layouts[dev.name] = generate_device(dev, tech, fingers=fingers)
+        except TypeError:
+            continue  # sources etc. have no layout
+    if not layouts:
+        raise TemplateError("circuit has no layoutable devices")
+
+    pair_names: list[tuple[str, str]] = [
+        (p.device_a, p.device_b) for p in constraints.symmetry_pairs
+        if p.device_a in layouts and p.device_b in layouts
+    ]
+    in_pairs = {n for ab in pair_names for n in ab}
+    rest = [n for n in layouts if n not in in_pairs]
+
+    spacing = {
+        "rows_classic": 2 * tech.min_space_diff,
+        "rows_wide": 6 * tech.min_space_diff,
+        "column_compact": 2 * tech.min_space_diff,
+        "interleaved": int(1.5 * tech.min_space_diff),
+    }[style]
+
+    objects: dict[str, PlacedObject] = {}
+    axis_x = 0
+    y = 0
+
+    def place_pair(a: str, b: str, y0: int) -> int:
+        la, lb = layouts[a], layouts[b]
+        box_a = la.bbox()
+        gap = spacing if style != "interleaved" else tech.min_space_diff
+        obj_a = PlacedObject(la)
+        obj_a.x = axis_x - gap // 2 - box_a.x2
+        obj_a.y = y0 - box_a.y1
+        obj_b = PlacedObject(lb, orientation=Orientation.MY)
+        b_box = lb.bbox().transformed(Orientation.MY, 0, 0)
+        obj_b.x = axis_x + gap // 2 - b_box.x1
+        obj_b.y = y0 - b_box.y1
+        objects[a] = obj_a
+        objects[b] = obj_b
+        return y0 + max(box_a.height, lb.bbox().height) + spacing
+
+    # Rows of pairs about the axis.
+    for a, b in pair_names:
+        y = place_pair(a, b, y)
+
+    # Remaining devices: stacked column (or row, per style).
+    if style in ("rows_classic", "rows_wide", "interleaved"):
+        for name in rest:
+            lay = layouts[name]
+            box = lay.bbox()
+            obj = PlacedObject(lay)
+            obj.x = axis_x - box.width // 2 - box.x1
+            obj.y = y - box.y1
+            objects[name] = obj
+            y += box.height + spacing
+    else:  # column_compact: two columns left/right of the axis
+        side = -1
+        y_left = y_right = y
+        for name in rest:
+            lay = layouts[name]
+            box = lay.bbox()
+            obj = PlacedObject(lay)
+            if side < 0:
+                obj.x = axis_x - spacing - box.x2
+                obj.y = y_left - box.y1
+                y_left += box.height + spacing
+            else:
+                obj.x = axis_x + spacing - box.x1
+                obj.y = y_right - box.y1
+                y_right += box.height + spacing
+            objects[name] = obj
+            side = -side
+
+    placement = Placement(objects, axis_x=axis_x)
+    return TemplateLayout(placement, layouts, constraints, style)
+
+
+def template_report(template: TemplateLayout) -> dict[str, float]:
+    """Area and aspect metrics for comparing template variants."""
+    box = template.placement.bbox()
+    device_area = sum(l.bbox().area for l in template.layouts.values())
+    return {
+        "area_um2": box.area / 1e6,
+        "aspect": box.width / max(box.height, 1),
+        "packing_efficiency": device_area / max(box.area, 1),
+    }

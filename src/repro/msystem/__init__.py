@@ -1,0 +1,101 @@
+"""Mixed-signal system assembly: floorplanning, routing, power (§3.2)."""
+
+from repro.msystem.blocks import (
+    Block,
+    BlockKind,
+    PlacedBlock,
+    SignalNet,
+    demo_mixed_signal_system,
+)
+from repro.msystem.channels import (
+    Channel,
+    ChannelProblem,
+    DetailedChannelReport,
+    assign_nets_to_channels,
+    define_channels,
+    route_all_channels,
+)
+from repro.msystem.channel_router import (
+    ChannelNet,
+    ChannelResult,
+    ChannelRoutingError,
+    TrackAssignment,
+    channel_density,
+    route_channel,
+)
+from repro.msystem.floorplan import (
+    FloorplanResult,
+    FloorplanState,
+    WrightFloorplanner,
+    evaluate_polish,
+)
+from repro.msystem.global_router import (
+    GlobalRoute,
+    GlobalRoutingError,
+    GlobalRoutingResult,
+    WrenGlobalRouter,
+)
+from repro.msystem.noise_constraints import (
+    SegmentBudget,
+    SnrBudget,
+    achieved_snr_db,
+    map_budget_to_segments,
+    verify_segment_budgets,
+)
+from repro.msystem.powergrid import (
+    GridSegment,
+    PowerGrid,
+    RailResult,
+    RailSpec,
+    build_grid,
+    synthesize_rail,
+    uniform_grid_result,
+)
+from repro.msystem.substrate import (
+    SubstrateMesh,
+    coupling_kernel,
+    floorplan_noise,
+)
+
+__all__ = [
+    "Block",
+    "BlockKind",
+    "Channel",
+    "ChannelNet",
+    "ChannelProblem",
+    "DetailedChannelReport",
+    "assign_nets_to_channels",
+    "define_channels",
+    "route_all_channels",
+    "ChannelResult",
+    "ChannelRoutingError",
+    "FloorplanResult",
+    "FloorplanState",
+    "GlobalRoute",
+    "GlobalRoutingError",
+    "GlobalRoutingResult",
+    "GridSegment",
+    "PlacedBlock",
+    "PowerGrid",
+    "RailResult",
+    "RailSpec",
+    "SegmentBudget",
+    "SignalNet",
+    "SnrBudget",
+    "SubstrateMesh",
+    "TrackAssignment",
+    "WrenGlobalRouter",
+    "WrightFloorplanner",
+    "achieved_snr_db",
+    "build_grid",
+    "channel_density",
+    "coupling_kernel",
+    "demo_mixed_signal_system",
+    "evaluate_polish",
+    "floorplan_noise",
+    "map_budget_to_segments",
+    "route_channel",
+    "synthesize_rail",
+    "uniform_grid_result",
+    "verify_segment_budgets",
+]

@@ -1,0 +1,138 @@
+"""Mixed-signal system description: functional blocks and signal nets.
+
+"A mixed-signal system is a set of custom analog and digital functional
+blocks" (§3.2).  Blocks carry the attributes the assembly tools need:
+footprint, pin positions, whether they inject switching noise into the
+substrate (digital) or are sensitive to it (analog), and their supply
+current profile for power-grid design.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.layout.geometry import Rect
+
+
+class BlockKind(enum.Enum):
+    ANALOG = "analog"
+    DIGITAL = "digital"
+
+
+@dataclass
+class Block:
+    """One functional block of the mixed-signal system."""
+
+    name: str
+    width: int                    # nm
+    height: int                   # nm
+    kind: BlockKind
+    # Substrate interaction (per WRIGHT): digital blocks inject, analog
+    # blocks are sensitive; magnitudes are relative weights.
+    noise_injection: float = 0.0
+    noise_sensitivity: float = 0.0
+    # Supply profile (per RAIL): average and peak switching current.
+    supply_avg: float = 1e-3      # A
+    supply_peak: float = 5e-3     # A
+    pins: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def rotated(self) -> "Block":
+        out = Block(self.name, self.height, self.width, self.kind,
+                    self.noise_injection, self.noise_sensitivity,
+                    self.supply_avg, self.supply_peak,
+                    {k: (y, x) for k, (x, y) in self.pins.items()})
+        return out
+
+
+@dataclass
+class SignalNet:
+    """A chip-level net connecting block pins.
+
+    ``net_class`` mirrors the cell-level router classes; ``snr_limit_db``
+    is the WREN-style noise rejection requirement for sensitive nets.
+    """
+
+    name: str
+    terminals: list[tuple[str, str]]   # (block, pin)
+    net_class: str = "neutral"         # "noisy" | "sensitive" | "neutral"
+    snr_limit_db: float | None = None
+
+
+@dataclass
+class PlacedBlock:
+    block: Block
+    x: int
+    y: int
+    rotated: bool = False
+
+    @property
+    def width(self) -> int:
+        return self.block.height if self.rotated else self.block.width
+
+    @property
+    def height(self) -> int:
+        return self.block.width if self.rotated else self.block.height
+
+    def rect(self) -> Rect:
+        return Rect(self.x, self.y, self.x + self.width,
+                    self.y + self.height)
+
+    def pin_position(self, pin: str) -> tuple[int, int]:
+        px, py = self.block.pins.get(pin, (self.block.width // 2,
+                                           self.block.height // 2))
+        if self.rotated:
+            px, py = py, px
+        return self.x + min(px, self.width), self.y + min(py, self.height)
+
+    @property
+    def center(self) -> tuple[int, int]:
+        return self.rect().center
+
+
+def demo_mixed_signal_system() -> tuple[list[Block], list[SignalNet]]:
+    """A synthetic data-channel-like chip: DSP + clocking next to a
+    sensitive analog front-end — the Fig. 3 / claim-C6 workload."""
+    mm = 1_000_000  # nm
+    blocks = [
+        Block("dsp_core", int(2.0 * mm), int(1.6 * mm), BlockKind.DIGITAL,
+              noise_injection=10.0, supply_avg=40e-3, supply_peak=400e-3),
+        Block("clockgen", int(0.6 * mm), int(0.5 * mm), BlockKind.DIGITAL,
+              noise_injection=6.0, supply_avg=8e-3, supply_peak=120e-3),
+        Block("digital_filter", int(1.2 * mm), int(1.0 * mm),
+              BlockKind.DIGITAL, noise_injection=4.0, supply_avg=15e-3,
+              supply_peak=150e-3),
+        Block("adc", int(1.0 * mm), int(0.9 * mm), BlockKind.ANALOG,
+              noise_sensitivity=6.0, supply_avg=12e-3, supply_peak=30e-3),
+        Block("vga_afe", int(0.9 * mm), int(0.8 * mm), BlockKind.ANALOG,
+              noise_sensitivity=10.0, supply_avg=10e-3, supply_peak=20e-3),
+        Block("pll", int(0.7 * mm), int(0.6 * mm), BlockKind.ANALOG,
+              noise_sensitivity=8.0, noise_injection=1.0,
+              supply_avg=6e-3, supply_peak=15e-3),
+        Block("bias_ref", int(0.4 * mm), int(0.4 * mm), BlockKind.ANALOG,
+              noise_sensitivity=4.0, supply_avg=1e-3, supply_peak=2e-3),
+    ]
+    nets = [
+        SignalNet("adc_out", [("adc", "dout"), ("dsp_core", "din")],
+                  net_class="noisy"),
+        SignalNet("afe_to_adc", [("vga_afe", "out"), ("adc", "ain")],
+                  net_class="sensitive", snr_limit_db=60.0),
+        SignalNet("clk_dsp", [("clockgen", "clk"), ("dsp_core", "clk")],
+                  net_class="noisy"),
+        SignalNet("clk_adc", [("pll", "clk"), ("adc", "clk")],
+                  net_class="noisy"),
+        SignalNet("ref_afe", [("bias_ref", "ref"), ("vga_afe", "ref")],
+                  net_class="sensitive", snr_limit_db=66.0),
+        SignalNet("ref_adc", [("bias_ref", "ref2"), ("adc", "ref")],
+                  net_class="sensitive", snr_limit_db=60.0),
+        SignalNet("dsp_filt", [("dsp_core", "fout"),
+                               ("digital_filter", "fin")],
+                  net_class="noisy"),
+        SignalNet("pll_fb", [("pll", "fb"), ("clockgen", "fbin")],
+                  net_class="neutral"),
+    ]
+    return blocks, nets

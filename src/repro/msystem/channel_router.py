@@ -1,0 +1,340 @@
+"""Constraint-based analog channel routing [53, 54, 55].
+
+A classic two-row channel router extended with the analog features the
+tutorial describes:
+
+* **variable wire widths and separations** — "a well-known digital
+  channel routing algorithm could be easily extended to handle critical
+  analog problems that involve varying wire widths and wire separations
+  needed to isolate interacting signals" [54];
+* **shield insertion** — grounded tracks placed between incompatible
+  signals sharing adjacent tracks [55];
+* **segregated channels** [53] — noisy and sensitive nets are assigned to
+  disjoint track regions with a guard band between them.
+
+The core algorithm is the constrained left-edge algorithm: horizontal
+intervals per net, vertical constraint graph (VCG) from column pin
+ordering, greedy track filling in VCG-topological order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+NOISY = "noisy"
+SENSITIVE = "sensitive"
+NEUTRAL = "neutral"
+
+
+@dataclass
+class ChannelNet:
+    """One net crossing the channel: pins on top/bottom edges by column."""
+
+    name: str
+    top_pins: list[int]
+    bottom_pins: list[int]
+    net_class: str = NEUTRAL
+    width: int = 1          # track widths are in abstract units
+    spacing: int = 1        # required clearance to any neighbour
+
+    @property
+    def columns(self) -> list[int]:
+        return sorted(set(self.top_pins) | set(self.bottom_pins))
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        cols = self.columns
+        if not cols:
+            raise ValueError(f"net {self.name!r} has no pins")
+        return cols[0], cols[-1]
+
+
+class ChannelRoutingError(RuntimeError):
+    pass
+
+
+@dataclass
+class TrackAssignment:
+    net: str
+    track_y: int            # center position of the wire in track units
+    interval: tuple[int, int]
+    width: int
+    is_shield: bool = False
+
+
+@dataclass
+class ChannelResult:
+    assignments: list[TrackAssignment]
+    height: int              # total channel height in track units
+    shields: int
+
+    def track_of(self, net: str) -> TrackAssignment:
+        for a in self.assignments:
+            if not a.is_shield and (a.net == net
+                                    or base_net_name(a.net) == net):
+                return a
+        raise KeyError(net)
+
+    def adjacent_incompatible_pairs(
+            self, nets: dict[str, ChannelNet]) -> list[tuple[str, str]]:
+        """Pairs of noisy/sensitive nets adjacent with overlapping spans
+        and no shield between them."""
+        wires = sorted((a for a in self.assignments),
+                       key=lambda a: a.track_y)
+        bad = []
+        for i, a in enumerate(wires):
+            if a.is_shield:
+                continue
+            for b in wires[i + 1:]:
+                if b.track_y - a.track_y > (a.width + b.width):
+                    break
+                if b.is_shield:
+                    break  # a shield separates everything above
+                if not _spans_overlap(a.interval, b.interval):
+                    continue
+                ca = nets[base_net_name(a.net)].net_class
+                cb = nets[base_net_name(b.net)].net_class
+                if {ca, cb} == {NOISY, SENSITIVE}:
+                    bad.append((a.net, b.net))
+        return bad
+
+
+def _spans_overlap(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def _vertical_constraints(nets: list[ChannelNet]) -> dict[str, set[str]]:
+    """VCG: net A above net B when A has a top pin and B a bottom pin in
+    the same column."""
+    above: dict[str, set[str]] = {n.name: set() for n in nets}
+    by_col_top: dict[int, str] = {}
+    by_col_bottom: dict[int, str] = {}
+    for n in nets:
+        for c in n.top_pins:
+            by_col_top[c] = n.name
+        for c in n.bottom_pins:
+            by_col_bottom[c] = n.name
+    for col, top_net in by_col_top.items():
+        bottom_net = by_col_bottom.get(col)
+        if bottom_net and bottom_net != top_net:
+            above[top_net].add(bottom_net)
+    return above
+
+
+def _topological_layers(above: dict[str, set[str]]) -> list[str]:
+    """Order nets top-to-bottom respecting the VCG (cycle → error)."""
+    indeg = {n: 0 for n in above}
+    for n, below in above.items():
+        for b in below:
+            indeg[b] += 1
+    ready = sorted(n for n, d in indeg.items() if d == 0)
+    order = []
+    while ready:
+        n = ready.pop(0)
+        order.append(n)
+        for b in sorted(above[n]):
+            indeg[b] -= 1
+            if indeg[b] == 0:
+                ready.append(b)
+    if len(order) != len(above):
+        raise ChannelRoutingError(
+            "cyclic vertical constraints (needs doglegs, not supported)")
+    return order
+
+
+def _break_cycles_with_doglegs(nets: list[ChannelNet],
+                               max_splits: int = 20) -> list[ChannelNet]:
+    """Split nets until the VCG is acyclic — the classic dogleg move.
+
+    A net on a cycle is split at its median column into a top half (its
+    top pins, ending in a bottom dogleg pin) and a bottom half (its
+    bottom pins, starting from a top dogleg pin); both carry the original
+    net name with a suffix so callers can still group them.
+    """
+    current = list(nets)
+    for split_round in range(max_splits):
+        above = _vertical_constraints(current)
+        cycle = _find_cycle(above)
+        if cycle is None:
+            return current
+        # Split the cycle member with the widest span (most slack).
+        by_name = {n.name: n for n in current}
+        candidates = [by_name[name] for name in cycle
+                      if len(by_name[name].columns) >= 2]
+        if not candidates:
+            raise ChannelRoutingError(
+                "cyclic vertical constraints with no splittable net")
+        victim = max(candidates,
+                     key=lambda n: n.interval[1] - n.interval[0])
+        cols = victim.columns
+        dogleg = cols[len(cols) // 2]
+        top_half = ChannelNet(
+            f"{victim.name}~t{split_round}", list(victim.top_pins),
+            [dogleg], victim.net_class, victim.width, victim.spacing)
+        bottom_half = ChannelNet(
+            f"{victim.name}~b{split_round}", [dogleg],
+            list(victim.bottom_pins), victim.net_class, victim.width,
+            victim.spacing)
+        current = [n for n in current if n.name != victim.name]
+        current.extend([top_half, bottom_half])
+    raise ChannelRoutingError("dogleg splitting did not converge")
+
+
+def _find_cycle(above: dict[str, set[str]]) -> list[str] | None:
+    """Return the nodes of one directed cycle, or None if acyclic."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in above}
+    stack: list[str] = []
+
+    def dfs(node: str) -> list[str] | None:
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in above[node]:
+            if color[nxt] == GRAY:
+                return stack[stack.index(nxt):]
+            if color[nxt] == WHITE:
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in above:
+        if color[node] == WHITE:
+            found = dfs(node)
+            if found is not None:
+                return found
+    return None
+
+
+def base_net_name(track_net: str) -> str:
+    """Original net name of a (possibly dogleg-split) track."""
+    return track_net.split("~")[0]
+
+
+def route_channel(nets: list[ChannelNet],
+                  insert_shields: bool = True,
+                  segregate: bool = False,
+                  allow_doglegs: bool = True) -> ChannelResult:
+    """Route one channel; returns track assignments top-to-bottom.
+
+    ``segregate=True`` forces all noisy nets into the upper region and
+    all sensitive nets into the lower region with a guard band, the [53]
+    discipline; otherwise nets share tracks greedily and shields are
+    inserted between incompatible neighbours when ``insert_shields``.
+    Cyclic vertical constraints are broken by dogleg splitting unless
+    ``allow_doglegs=False``.
+    """
+    if not nets:
+        return ChannelResult([], 0, 0)
+    by_name = {n.name: n for n in nets}
+    if len(by_name) != len(nets):
+        raise ChannelRoutingError("duplicate net names")
+    if allow_doglegs:
+        nets = _break_cycles_with_doglegs(nets)
+        by_name = {n.name: n for n in nets}
+    above = _vertical_constraints(nets)
+    order = _topological_layers(above)
+    if segregate:
+        rank = {NOISY: 0, NEUTRAL: 1, SENSITIVE: 2}
+        order = sorted(order,
+                       key=lambda n: (rank[by_name[n].net_class],
+                                      order.index(n)))
+    assignments: list[TrackAssignment] = []
+    shields = 0
+    # Greedy track packing: maintain rows; each row holds non-overlapping
+    # intervals; a net may enter an existing row only if all its VCG
+    # ancestors are strictly above.
+    rows: list[list[TrackAssignment]] = []
+    row_class: list[str] = []
+    net_row: dict[str, int] = {}
+
+    def ancestors_above(net: str, row_idx: int) -> bool:
+        for parent, children in above.items():
+            if net in children and parent in net_row:
+                if net_row[parent] >= row_idx:
+                    return False
+        return True
+
+    for name in order:
+        net = by_name[name]
+        placed = False
+        for idx, row in enumerate(rows):
+            if segregate and row_class[idx] != net.net_class:
+                continue
+            if not segregate and insert_shields:
+                pass
+            if any(_spans_overlap(net.interval, a.interval)
+                   for a in row):
+                continue
+            if not ancestors_above(name, idx):
+                continue
+            if not segregate and _would_be_incompatible(
+                    net, row, by_name):
+                continue
+            row.append(TrackAssignment(name, 0, net.interval, net.width))
+            net_row[name] = idx
+            placed = True
+            break
+        if not placed:
+            rows.append([TrackAssignment(name, 0, net.interval,
+                                         net.width)])
+            row_class.append(net.net_class)
+            net_row[name] = len(rows) - 1
+
+    # Assign physical y positions top-to-bottom with widths, spacings and
+    # shields between incompatible adjacent rows.
+    y = 0
+    prev_classes: set[str] = set()
+    prev_spacing = 0
+    for idx, row in enumerate(rows):
+        classes = {by_name[a.net].net_class for a in row}
+        max_width = max(by_name[a.net].width for a in row)
+        max_spacing = max(by_name[a.net].spacing for a in row)
+        if prev_classes:
+            gap = max(prev_spacing, max_spacing)
+            incompatible = (NOISY in prev_classes and SENSITIVE in classes
+                            ) or (SENSITIVE in prev_classes
+                                  and NOISY in classes)
+            if incompatible and insert_shields:
+                y += gap
+                span = (min(a.interval[0] for a in row),
+                        max(a.interval[1] for a in row))
+                assignments.append(TrackAssignment(
+                    f"shield_{shields}", y, span, 1, is_shield=True))
+                shields += 1
+                y += 1
+            y += gap
+        y += max_width
+        for a in row:
+            a.track_y = y
+            assignments.append(a)
+        prev_classes = classes
+        prev_spacing = max_spacing
+    return ChannelResult(assignments, y + 1, shields)
+
+
+def _would_be_incompatible(net: ChannelNet, row: list[TrackAssignment],
+                           by_name: dict[str, ChannelNet]) -> bool:
+    """Sharing a row with an incompatible class is never allowed."""
+    for a in row:
+        other = by_name[a.net].net_class
+        if {net.net_class, other} == {NOISY, SENSITIVE}:
+            return True
+    return False
+
+
+def channel_density(nets: list[ChannelNet]) -> int:
+    """Max number of nets crossing any column — the track lower bound."""
+    events: dict[int, int] = {}
+    for n in nets:
+        lo, hi = n.interval
+        events[lo] = events.get(lo, 0) + 1
+        events[hi + 1] = events.get(hi + 1, 0) - 1
+    density = 0
+    current = 0
+    for col in sorted(events):
+        current += events[col]
+        density = max(density, current)
+    return density

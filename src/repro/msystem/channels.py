@@ -1,0 +1,193 @@
+"""Channel definition: from floorplan + global routes to channel problems.
+
+The missing middle of the §3.2 flow: WREN's global router decides *which
+region* each net crosses; the channel router of [53, 54, 55] needs
+concrete per-channel problems (pin columns on two edges, net classes).
+This module extracts the channels — the free corridors between facing
+block edges — assigns each global route's crossings to them, and builds
+the :class:`~repro.msystem.channel_router.ChannelNet` instances, so one
+call details an entire chip's channels with shields and segregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.geometry import Rect
+from repro.msystem.blocks import SignalNet
+from repro.msystem.channel_router import (
+    ChannelNet,
+    ChannelResult,
+    ChannelRoutingError,
+    route_channel,
+)
+from repro.msystem.floorplan import FloorplanResult
+from repro.msystem.global_router import GlobalRoutingResult
+
+
+@dataclass
+class Channel:
+    """One routing corridor between two facing block edges."""
+
+    name: str
+    rect: Rect
+    horizontal: bool         # True: corridor runs left-right
+    block_a: str             # block below/left
+    block_b: str             # block above/right
+
+    @property
+    def length(self) -> int:
+        return self.rect.width if self.horizontal else self.rect.height
+
+    @property
+    def span(self) -> tuple[int, int]:
+        if self.horizontal:
+            return (self.rect.x1, self.rect.x2)
+        return (self.rect.y1, self.rect.y2)
+
+
+def define_channels(floorplan: FloorplanResult,
+                    min_width: int = 10_000,
+                    max_width: int = 1_000_000) -> list[Channel]:
+    """Find corridors between facing block edges.
+
+    For every ordered pair of blocks whose projections overlap and whose
+    gap is within [min_width, max_width], the overlap region between the
+    facing edges becomes a channel.  Corridors wider than ``max_width``
+    are open field, not channels.
+    """
+    channels: list[Channel] = []
+    placed = list(floorplan.placed.values())
+
+    def free_of_blocks(rect: Rect, a_name: str, b_name: str) -> bool:
+        """A corridor is only a channel if no third block occupies it."""
+        for other in placed:
+            if other.block.name in (a_name, b_name):
+                continue
+            if rect.intersection(other.rect()) is not None:
+                return False
+        return True
+
+    for i, a in enumerate(placed):
+        for b in placed[i + 1:]:
+            ra, rb = a.rect(), b.rect()
+            # Horizontal channel: a below b (or vice versa).
+            x_overlap = min(ra.x2, rb.x2) - max(ra.x1, rb.x1)
+            if x_overlap > 0:
+                low, high = (ra, rb) if ra.y2 <= rb.y1 else (rb, ra)
+                gap = high.y1 - low.y2
+                if 0 < gap <= max_width and gap >= min_width:
+                    rect = Rect(max(ra.x1, rb.x1), low.y2,
+                                min(ra.x2, rb.x2), high.y1)
+                    lo_name = a.block.name if low is ra else b.block.name
+                    hi_name = b.block.name if low is ra else a.block.name
+                    if free_of_blocks(rect, lo_name, hi_name):
+                        channels.append(Channel(
+                            f"ch_h_{lo_name}_{hi_name}", rect, True,
+                            lo_name, hi_name))
+            # Vertical channel: a left of b (or vice versa).
+            y_overlap = min(ra.y2, rb.y2) - max(ra.y1, rb.y1)
+            if y_overlap > 0:
+                left, right = (ra, rb) if ra.x2 <= rb.x1 else (rb, ra)
+                gap = right.x1 - left.x2
+                if 0 < gap <= max_width and gap >= min_width:
+                    rect = Rect(left.x2, max(ra.y1, rb.y1),
+                                right.x1, min(ra.y2, rb.y2))
+                    l_name = a.block.name if left is ra else b.block.name
+                    r_name = b.block.name if left is ra else a.block.name
+                    if free_of_blocks(rect, l_name, r_name):
+                        channels.append(Channel(
+                            f"ch_v_{l_name}_{r_name}", rect, False,
+                            l_name, r_name))
+    return channels
+
+
+@dataclass
+class ChannelProblem:
+    """One channel plus the nets crossing it (ready for detailed routing)."""
+
+    channel: Channel
+    nets: list[ChannelNet] = field(default_factory=list)
+
+
+def assign_nets_to_channels(channels: list[Channel],
+                            routing: GlobalRoutingResult,
+                            nets: list[SignalNet],
+                            tile_nm: int | None = None,
+                            column_pitch: int = 20_000,
+                            ) -> list[ChannelProblem]:
+    """Build per-channel routing problems from the global routes.
+
+    A net belongs to a channel when any of its global-route tiles falls
+    inside the channel rectangle.  The crossing position along the
+    channel becomes the pin column; entry direction (which half of the
+    corridor the adjacent tiles occupy) decides top vs. bottom pin.  The
+    approximation is crude — exactly the hand-off fidelity a 1990s
+    global/detailed split had — but it preserves what matters: which
+    incompatible nets share which channel.
+    """
+    tile_nm = tile_nm if tile_nm is not None else routing.tile_nm
+    by_name = {n.name: n for n in nets}
+    problems = {ch.name: ChannelProblem(ch) for ch in channels}
+    for net_name, route in routing.routes.items():
+        net = by_name.get(net_name)
+        net_class = net.net_class if net is not None else "neutral"
+        for ch in channels:
+            cols_top: list[int] = []
+            cols_bottom: list[int] = []
+            for k, (ix, iy) in enumerate(route.tiles):
+                x = ix * tile_nm + tile_nm // 2
+                y = iy * tile_nm + tile_nm // 2
+                if not ch.rect.contains_point(x, y):
+                    continue
+                along = (x - ch.rect.x1 if ch.horizontal
+                         else y - ch.rect.y1)
+                column = max(0, along // column_pitch)
+                across_mid = (ch.rect.y1 + ch.rect.y2) // 2 \
+                    if ch.horizontal else (ch.rect.x1 + ch.rect.x2) // 2
+                across = y if ch.horizontal else x
+                if across >= across_mid:
+                    cols_top.append(int(column))
+                else:
+                    cols_bottom.append(int(column))
+            if cols_top or cols_bottom:
+                # A channel crossing needs pins on both edges; a net that
+                # only grazes one side enters and leaves there.
+                if not cols_top:
+                    cols_top = [cols_bottom[-1]]
+                if not cols_bottom:
+                    cols_bottom = [cols_top[-1]]
+                problems[ch.name].nets.append(ChannelNet(
+                    net_name, sorted(set(cols_top)),
+                    sorted(set(cols_bottom)), net_class=net_class))
+    return [p for p in problems.values() if p.nets]
+
+
+@dataclass
+class DetailedChannelReport:
+    results: dict[str, ChannelResult]
+    unroutable: list[str]
+
+    @property
+    def total_tracks(self) -> int:
+        return sum(r.height for r in self.results.values())
+
+    @property
+    def total_shields(self) -> int:
+        return sum(r.shields for r in self.results.values())
+
+
+def route_all_channels(problems: list[ChannelProblem],
+                       insert_shields: bool = True,
+                       segregate: bool = False) -> DetailedChannelReport:
+    """Run the constraint-based channel router on every channel problem."""
+    results: dict[str, ChannelResult] = {}
+    unroutable: list[str] = []
+    for problem in problems:
+        try:
+            results[problem.channel.name] = route_channel(
+                problem.nets, insert_shields=insert_shields,
+                segregate=segregate)
+        except ChannelRoutingError:
+            unroutable.append(problem.channel.name)
+    return DetailedChannelReport(results, unroutable)

@@ -1,0 +1,247 @@
+"""WRIGHT-style mixed-signal floorplanning: slicing-tree annealing with a
+substrate-noise term.
+
+"WRIGHT uses a KOAN-style annealer to floorplan the blocks, but with a
+fast substrate noise coupling evaluator so that a simplified view of
+substrate noise influences the floorplan" (§3.2, [57]).
+
+The floorplan representation is the classic normalized Polish expression
+of Wong & Liu with their three move types (plus block rotation); the cost
+adds the :func:`~repro.msystem.substrate.floorplan_noise` kernel to the
+usual area + wirelength objectives, so noisy digital blocks migrate away
+from sensitive analog ones exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.layout.geometry import Rect
+from repro.msystem.blocks import Block, PlacedBlock, SignalNet
+from repro.msystem.substrate import floorplan_noise
+from repro.opt.anneal import Annealer, AnnealSchedule
+
+H, V = "H", "V"  # horizontal cut (stack), vertical cut (side by side)
+
+
+@dataclass
+class FloorplanState:
+    expression: list[str]            # normalized Polish expression
+    rotated: dict[str, bool]
+
+    def copy(self) -> "FloorplanState":
+        return FloorplanState(list(self.expression), dict(self.rotated))
+
+
+@dataclass
+class FloorplanResult:
+    placed: dict[str, PlacedBlock]
+    width: int
+    height: int
+    area: int
+    wirelength: int
+    noise: float
+    cost: float
+    evaluations: int
+
+    def placed_list(self) -> list[PlacedBlock]:
+        return list(self.placed.values())
+
+    def chip_rect(self) -> Rect:
+        return Rect(0, 0, self.width, self.height)
+
+
+def _is_valid_polish(expr: list[str]) -> bool:
+    count = 0
+    for tok in expr:
+        if tok in (H, V):
+            count -= 1
+        else:
+            count += 1
+        if count < 1:
+            return False
+    return count == 1
+
+
+def evaluate_polish(expr: list[str], blocks: dict[str, Block],
+                    rotated: dict[str, bool],
+                    spacing: int = 0) -> dict[str, PlacedBlock]:
+    """Pack the slicing tree; returns placed blocks at (0,0)-anchored
+    coordinates."""
+    stack: list[tuple[int, int, list]] = []
+    for tok in expr:
+        if tok not in (H, V):
+            block = blocks[tok]
+            rot = rotated.get(tok, False)
+            w = (block.height if rot else block.width) + spacing
+            h = (block.width if rot else block.height) + spacing
+            stack.append((w, h, [(tok, 0, 0, rot)]))
+        else:
+            w2, h2, items2 = stack.pop()
+            w1, h1, items1 = stack.pop()
+            if tok == V:  # side by side
+                moved = [(n, x + w1, y, r) for n, x, y, r in items2]
+                stack.append((w1 + w2, max(h1, h2), items1 + moved))
+            else:         # stacked
+                moved = [(n, x, y + h1, r) for n, x, y, r in items2]
+                stack.append((max(w1, w2), h1 + h2, items1 + moved))
+    if len(stack) != 1:
+        raise ValueError("malformed Polish expression")
+    _, _, items = stack[0]
+    return {
+        name: PlacedBlock(blocks[name], x, y, rot)
+        for name, x, y, rot in items
+    }
+
+
+class WrightFloorplanner:
+    """Annealing slicing floorplanner with substrate-noise awareness."""
+
+    def __init__(self, blocks: list[Block], nets: list[SignalNet],
+                 noise_weight: float = 1.0,
+                 wirelength_weight: float = 0.3,
+                 spacing: int = 120_000,
+                 seed: int = 1):
+        if len(blocks) < 2:
+            raise ValueError("floorplanning needs at least two blocks")
+        self.blocks = {b.name: b for b in blocks}
+        self.nets = nets
+        self.noise_weight = noise_weight
+        self.wirelength_weight = wirelength_weight
+        self.spacing = spacing
+        self.seed = seed
+        self.total_area = sum(b.area for b in blocks)
+        self.scale = int(np.sqrt(self.total_area))
+        # Normalize the noise term against the worst case: everything
+        # adjacent (kernel=1).
+        worst = sum(
+            a.noise_injection * b.noise_sensitivity
+            for a in blocks for b in blocks if a.name != b.name)
+        self.noise_norm = max(worst, 1e-9)
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> FloorplanState:
+        names = list(self.blocks)
+        expr = [names[0]]
+        for i, name in enumerate(names[1:]):
+            expr += [name, V if i % 2 == 0 else H]
+        return FloorplanState(expr, {n: False for n in names})
+
+    # ------------------------------------------------------------------
+    def cost(self, state: FloorplanState) -> float:
+        self.evaluations += 1
+        placed = evaluate_polish(state.expression, self.blocks,
+                                 state.rotated, self.spacing)
+        plist = list(placed.values())
+        width = max(p.x + p.width for p in plist)
+        height = max(p.y + p.height for p in plist)
+        area = width * height
+        wl = self._wirelength(placed)
+        noise = floorplan_noise(plist)
+        return (area / self.total_area
+                + self.wirelength_weight * wl / (4 * self.scale)
+                + self.noise_weight * noise / self.noise_norm)
+
+    def _wirelength(self, placed: dict[str, PlacedBlock]) -> int:
+        total = 0
+        for net in self.nets:
+            xs, ys = [], []
+            for block_name, pin in net.terminals:
+                if block_name not in placed:
+                    continue
+                x, y = placed[block_name].pin_position(pin)
+                xs.append(x)
+                ys.append(y)
+            if len(xs) >= 2:
+                total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    # ------------------------------------------------------------------
+    def propose(self, state: FloorplanState, rng: np.random.Generator,
+                frac: float) -> FloorplanState:
+        expr = state.expression
+        move = rng.random()
+        if move < 0.3:
+            self._swap_adjacent_operands(expr, rng)
+        elif move < 0.55:
+            self._complement_chain(expr, rng)
+        elif move < 0.8:
+            self._swap_operand_operator(expr, rng)
+        else:
+            names = list(state.rotated)
+            name = names[rng.integers(len(names))]
+            state.rotated[name] = not state.rotated[name]
+        return state
+
+    @staticmethod
+    def _operand_positions(expr: list[str]) -> list[int]:
+        return [i for i, tok in enumerate(expr) if tok not in (H, V)]
+
+    def _swap_adjacent_operands(self, expr: list[str],
+                                rng: np.random.Generator) -> None:
+        ops = self._operand_positions(expr)
+        if len(ops) < 2:
+            return
+        k = rng.integers(len(ops) - 1)
+        i, j = ops[k], ops[k + 1]
+        expr[i], expr[j] = expr[j], expr[i]
+
+    def _complement_chain(self, expr: list[str],
+                          rng: np.random.Generator) -> None:
+        chains = [i for i, tok in enumerate(expr) if tok in (H, V)]
+        if not chains:
+            return
+        start = chains[rng.integers(len(chains))]
+        i = start
+        while i < len(expr) and expr[i] in (H, V):
+            expr[i] = H if expr[i] == V else V
+            i += 1
+
+    def _swap_operand_operator(self, expr: list[str],
+                               rng: np.random.Generator) -> None:
+        candidates = [
+            i for i in range(len(expr) - 1)
+            if (expr[i] in (H, V)) != (expr[i + 1] in (H, V))
+        ]
+        rng.shuffle(candidates)
+        for i in candidates:
+            expr[i], expr[i + 1] = expr[i + 1], expr[i]
+            if _is_valid_polish(expr) and _no_double_operator(expr, i):
+                return
+            expr[i], expr[i + 1] = expr[i + 1], expr[i]
+
+    # ------------------------------------------------------------------
+    def run(self, schedule: AnnealSchedule | None = None) -> FloorplanResult:
+        self.evaluations = 0
+        schedule = schedule or AnnealSchedule(
+            moves_per_temperature=150, cooling=0.9, max_evaluations=25000)
+        annealer = Annealer(self.cost, self.propose, schedule=schedule,
+                            copy_state=lambda s: s.copy(), seed=self.seed)
+        result = annealer.run(self.initial_state())
+        state = result.best_state
+        placed = evaluate_polish(state.expression, self.blocks,
+                                 state.rotated, self.spacing)
+        plist = list(placed.values())
+        width = max(p.x + p.width for p in plist)
+        height = max(p.y + p.height for p in plist)
+        return FloorplanResult(
+            placed=placed,
+            width=width,
+            height=height,
+            area=width * height,
+            wirelength=self._wirelength(placed),
+            noise=floorplan_noise(plist),
+            cost=result.best_cost,
+            evaluations=self.evaluations,
+        )
+
+
+def _no_double_operator(expr: list[str], pos: int) -> bool:
+    """Normalized Polish expressions forbid identical adjacent operators."""
+    for i in range(max(0, pos - 1), min(len(expr) - 1, pos + 2)):
+        if expr[i] in (H, V) and expr[i + 1] == expr[i]:
+            return False
+    return True

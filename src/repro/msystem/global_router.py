@@ -1,0 +1,245 @@
+"""WREN-style mixed-signal global routing over a floorplan.
+
+The chip area is tiled into global-routing cells (gcells); tiles covered
+by blocks are obstacles (wiring goes around blocks, in the channels).
+Nets are routed by Dijkstra over the tile graph with:
+
+* per-tile capacity (congestion cost as occupancy approaches capacity);
+* noise-aware adjacency cost — a *sensitive* net pays for entering a tile
+  that noisy wiring already crosses, and vice versa (WREN's SNR-driven
+  avoidance);
+* per-net coupling accounting, so achieved noise exposure can be checked
+  against the :mod:`~repro.msystem.noise_constraints` budgets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.msystem.blocks import SignalNet
+from repro.msystem.floorplan import FloorplanResult
+
+NOISY = "noisy"
+SENSITIVE = "sensitive"
+NEUTRAL = "neutral"
+_INCOMPATIBLE = {(NOISY, SENSITIVE), (SENSITIVE, NOISY)}
+
+
+class GlobalRoutingError(RuntimeError):
+    pass
+
+
+@dataclass
+class GlobalRoute:
+    net: str
+    net_class: str
+    tiles: list[tuple[int, int]]
+    length_nm: int
+    exposure_nm: int       # route length adjacent to incompatible wiring
+
+    def segments(self, tile_nm: int) -> list[tuple[str, int]]:
+        """(segment_id, length) pairs for the SNR constraint mapper."""
+        return [(f"tile_{ix}_{iy}", tile_nm) for ix, iy in self.tiles]
+
+
+@dataclass
+class GlobalRoutingResult:
+    routes: dict[str, GlobalRoute]
+    failed: list[str]
+    tile_nm: int
+
+    @property
+    def total_length(self) -> int:
+        return sum(r.length_nm for r in self.routes.values())
+
+    @property
+    def total_exposure(self) -> int:
+        return sum(r.exposure_nm for r in self.routes.values())
+
+
+class WrenGlobalRouter:
+    """Tile-graph router with congestion and noise-class costs."""
+
+    def __init__(self, floorplan: FloorplanResult,
+                 tiles_x: int = 48, tiles_y: int = 48,
+                 capacity: int = 6,
+                 congestion_cost: float = 4.0,
+                 noise_cost: float = 20.0,
+                 noise_aware: bool = True):
+        self.fp = floorplan
+        self.nx = tiles_x
+        self.ny = tiles_y
+        self.tile_w = max(floorplan.width // tiles_x, 1)
+        self.tile_h = max(floorplan.height // tiles_y, 1)
+        self.capacity = capacity
+        self.congestion_cost = congestion_cost
+        self.noise_cost = noise_cost
+        self.noise_aware = noise_aware
+        self.blocked = self._blocked_tiles()
+        self.usage: dict[tuple[int, int], int] = {}
+        self.classes: dict[tuple[int, int], set[str]] = {}
+
+    def _blocked_tiles(self) -> set[tuple[int, int]]:
+        blocked = set()
+        for placed in self.fp.placed.values():
+            rect = placed.rect()
+            # Interior tiles only: a tile is blocked when its center is
+            # strictly inside a block (edges stay routable as channels).
+            for ix in range(self.nx):
+                for iy in range(self.ny):
+                    cx = ix * self.tile_w + self.tile_w // 2
+                    cy = iy * self.tile_h + self.tile_h // 2
+                    margin = min(self.tile_w, self.tile_h) // 2
+                    inner = rect.expanded(-margin)
+                    if inner.width > 0 and inner.height > 0 and \
+                            inner.contains_point(cx, cy):
+                        blocked.add((ix, iy))
+        return blocked
+
+    def tile_of(self, x: int, y: int) -> tuple[int, int]:
+        return (min(max(x // self.tile_w, 0), self.nx - 1),
+                min(max(y // self.tile_h, 0), self.ny - 1))
+
+    # ------------------------------------------------------------------
+    def _tile_cost(self, tile: tuple[int, int], net_class: str) -> float | None:
+        if tile in self.blocked:
+            return None
+        cost = 1.0
+        used = self.usage.get(tile, 0)
+        if used >= self.capacity:
+            return None
+        cost += self.congestion_cost * (used / self.capacity) ** 2
+        if self.noise_aware:
+            for other in self.classes.get(tile, ()):  # same tile
+                if (net_class, other) in _INCOMPATIBLE:
+                    cost += self.noise_cost
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                for other in self.classes.get((tile[0] + dx,
+                                               tile[1] + dy), ()):
+                    if (net_class, other) in _INCOMPATIBLE:
+                        cost += self.noise_cost * 0.5
+        return cost
+
+    def _dijkstra(self, sources: set[tuple[int, int]],
+                  targets: set[tuple[int, int]],
+                  net_class: str) -> list[tuple[int, int]] | None:
+        dist: dict[tuple[int, int], float] = {t: 0.0 for t in sources}
+        parent: dict[tuple[int, int], tuple[int, int] | None] = {
+            t: None for t in sources}
+        heap = [(0.0, t) for t in sources]
+        heapq.heapify(heap)
+        while heap:
+            d, tile = heapq.heappop(heap)
+            if d > dist.get(tile, float("inf")):
+                continue
+            if tile in targets:
+                path = [tile]
+                while parent[tile] is not None:
+                    tile = parent[tile]
+                    path.append(tile)
+                path.reverse()
+                return path
+            ix, iy = tile
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nxt = (ix + dx, iy + dy)
+                if not (0 <= nxt[0] < self.nx and 0 <= nxt[1] < self.ny):
+                    continue
+                cost = self._tile_cost(nxt, net_class)
+                if cost is None:
+                    continue
+                nd = d + cost
+                if nd < dist.get(nxt, float("inf")):
+                    dist[nxt] = nd
+                    parent[nxt] = tile
+                    heapq.heappush(heap, (nd, nxt))
+        return None
+
+    # ------------------------------------------------------------------
+    def route(self, nets: list[SignalNet]) -> GlobalRoutingResult:
+        order = sorted(nets, key=lambda n: {SENSITIVE: 0, NEUTRAL: 1,
+                                            NOISY: 2}[n.net_class])
+        routes: dict[str, GlobalRoute] = {}
+        failed: list[str] = []
+        tile_nm = (self.tile_w + self.tile_h) // 2
+        for net in order:
+            tiles = self._route_net(net)
+            if tiles is None:
+                failed.append(net.name)
+                continue
+            for tile in tiles:
+                self.usage[tile] = self.usage.get(tile, 0) + 1
+                self.classes.setdefault(tile, set()).add(net.net_class)
+            routes[net.name] = GlobalRoute(
+                net.name, net.net_class, tiles,
+                length_nm=len(tiles) * tile_nm, exposure_nm=0)
+        # Exposure is a property of the *finished* routing: recompute per
+        # net once every wire is committed.
+        for route in routes.values():
+            route.exposure_nm = self._exposure(
+                route.tiles, route.net_class) * tile_nm
+        return GlobalRoutingResult(routes, failed, tile_nm)
+
+    def _route_net(self, net: SignalNet) -> list[tuple[int, int]] | None:
+        pins = []
+        for block_name, pin in net.terminals:
+            placed = self.fp.placed.get(block_name)
+            if placed is None:
+                raise GlobalRoutingError(
+                    f"net {net.name!r} references unknown block "
+                    f"{block_name!r}")
+            tile = self.tile_of(*placed.pin_position(pin))
+            # Block-interior pins escape to the nearest channel tile (the
+            # block's pin is on its edge; the tile grid is coarser).
+            pins.append(self._nearest_free_tile(tile))
+        tree = {pins[0]}
+        all_tiles = [pins[0]]
+        for pin in pins[1:]:
+            if pin in tree:
+                continue
+            path = self._dijkstra(tree, {pin}, net.net_class)
+            if path is None:
+                return None
+            for tile in path:
+                if tile not in tree:
+                    tree.add(tile)
+                    all_tiles.append(tile)
+        return all_tiles
+
+    def _nearest_free_tile(self, tile: tuple[int, int]) -> tuple[int, int]:
+        """BFS to the closest unblocked tile (identity when already free)."""
+        if tile not in self.blocked:
+            return tile
+        from collections import deque
+        queue = deque([tile])
+        seen = {tile}
+        while queue:
+            current = queue.popleft()
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                nxt = (current[0] + dx, current[1] + dy)
+                if not (0 <= nxt[0] < self.nx and 0 <= nxt[1] < self.ny):
+                    continue
+                if nxt in seen:
+                    continue
+                if nxt not in self.blocked:
+                    return nxt
+                seen.add(nxt)
+                queue.append(nxt)
+        return tile  # fully blocked chip: caller will fail gracefully
+
+    def _exposure(self, tiles: list[tuple[int, int]],
+                  net_class: str) -> int:
+        exposure = 0
+        for tile in tiles:
+            hit = False
+            for other in self.classes.get(tile, ()):
+                if (net_class, other) in _INCOMPATIBLE:
+                    hit = True
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                for other in self.classes.get((tile[0] + dx, tile[1] + dy),
+                                              ()):
+                    if (net_class, other) in _INCOMPATIBLE:
+                        hit = True
+            if hit:
+                exposure += 1
+        return exposure

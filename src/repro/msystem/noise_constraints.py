@@ -1,0 +1,93 @@
+"""WREN-style SNR constraints and the chip→segment constraint mapper.
+
+"WREN introduced the notion of SNR-style (signal-to-noise ratio)
+constraints for incompatible signals ... WREN incorporates a constraint
+mapper that transforms input noise rejection constraints from the
+across-the-whole-chip form used by the global router into the per-channel
+per-segment form necessary for the channel router" (§3.2, [56]).
+
+The model: a sensitive net with an ``snr_limit_db`` may accumulate at
+most ``C_budget`` of coupling capacitance to noisy aggressors across its
+whole route.  The mapper splits this budget over the segments (tiles or
+channels) the global route traverses, proportionally to segment length —
+so the detailed router of every region gets a local, checkable bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.msystem.blocks import SignalNet
+
+# Electrical assumptions for converting SNR to a coupling-cap budget:
+# aggressor swing, victim signal level, and the victim's total ground
+# capacitance scale.
+AGGRESSOR_SWING_V = 3.3
+VICTIM_SIGNAL_V = 0.3
+
+
+@dataclass
+class SnrBudget:
+    """Total coupling-capacitance budget of one sensitive net."""
+
+    net: str
+    snr_limit_db: float
+    coupling_budget: float   # F
+
+    @staticmethod
+    def for_net(net: SignalNet, net_ground_cap: float) -> "SnrBudget":
+        if net.snr_limit_db is None:
+            raise ValueError(f"net {net.name!r} has no SNR limit")
+        # Coupled noise ≈ Cc/Cg·Vswing must stay snr below the signal:
+        # Cc ≤ Cg·(Vsig/Vswing)·10^(−SNR/20).
+        ratio = (VICTIM_SIGNAL_V / AGGRESSOR_SWING_V
+                 * 10.0 ** (-net.snr_limit_db / 20.0))
+        return SnrBudget(net.name, net.snr_limit_db,
+                         net_ground_cap * ratio)
+
+
+@dataclass
+class SegmentBudget:
+    segment: str
+    length_nm: int
+    coupling_bound: float
+
+
+def map_budget_to_segments(budget: SnrBudget,
+                           segments: list[tuple[str, int]],
+                           reserve: float = 0.1) -> list[SegmentBudget]:
+    """Distribute a net's coupling budget over its route segments.
+
+    ``segments`` is ``[(segment_id, length_nm)]`` from the global route;
+    ``reserve`` holds back a fraction for the unmodelled regions (pins,
+    vias).  Allocation is proportional to length — the per-channel
+    per-segment form of [56].
+    """
+    total_len = sum(length for _, length in segments)
+    if total_len <= 0:
+        raise ValueError("route has zero length")
+    usable = budget.coupling_budget * (1.0 - reserve)
+    return [
+        SegmentBudget(seg_id, length, usable * length / total_len)
+        for seg_id, length in segments
+    ]
+
+
+def achieved_snr_db(coupled_cap: float, ground_cap: float) -> float:
+    """SNR implied by an extracted coupling capacitance."""
+    import math
+    if coupled_cap <= 0:
+        return float("inf")
+    noise_v = coupled_cap / ground_cap * AGGRESSOR_SWING_V
+    if noise_v <= 0:
+        return float("inf")
+    return 20.0 * math.log10(VICTIM_SIGNAL_V / noise_v)
+
+
+def verify_segment_budgets(budgets: list[SegmentBudget],
+                           measured: dict[str, float]) -> dict[str, bool]:
+    """Audit per-segment extracted coupling against the mapped bounds."""
+    return {
+        b.segment: measured.get(b.segment, 0.0) <= b.coupling_bound
+        for b in budgets
+    }

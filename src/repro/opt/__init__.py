@@ -1,0 +1,46 @@
+"""Optimization engines: annealing, genetic, intervals, equation ordering."""
+
+from repro.opt.anneal import (
+    Annealer,
+    AnnealResult,
+    AnnealSchedule,
+    ContinuousSpace,
+    anneal_continuous,
+)
+from repro.opt.genetic import (
+    CategoricalGene,
+    FloatGene,
+    GaResult,
+    GeneticOptimizer,
+)
+from repro.opt.interval import Interval, IntervalError, imax, imin
+from repro.opt.ordering import (
+    Block,
+    Equation,
+    EvaluationPlan,
+    OrderingError,
+    UnderConstrained,
+    order_equations,
+)
+
+__all__ = [
+    "Annealer",
+    "AnnealResult",
+    "AnnealSchedule",
+    "Block",
+    "CategoricalGene",
+    "ContinuousSpace",
+    "Equation",
+    "EvaluationPlan",
+    "FloatGene",
+    "GaResult",
+    "GeneticOptimizer",
+    "Interval",
+    "IntervalError",
+    "OrderingError",
+    "UnderConstrained",
+    "anneal_continuous",
+    "imax",
+    "imin",
+    "order_equations",
+]

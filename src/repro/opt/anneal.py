@@ -1,0 +1,211 @@
+"""Generic simulated annealing used across the toolkit.
+
+One engine serves OPTIMAN-style circuit sizing, the OBLX numerical search,
+the KOAN device placer, the WRIGHT floorplanner and the RAIL grid sizer —
+the tutorial's observation that a decade of analog CAD was "cast mostly in
+the form of numerical and combinatorial optimization tasks" made concrete.
+
+The schedule is the standard geometric one with acceptance-ratio-derived
+initial temperature and per-temperature move batches; everything is
+deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Generic, TypeVar
+
+import numpy as np
+
+State = TypeVar("State")
+
+
+@dataclass
+class AnnealSchedule:
+    """Cooling schedule parameters."""
+
+    initial_acceptance: float = 0.8   # target fraction of uphill accepts
+    cooling: float = 0.9              # geometric temperature factor
+    moves_per_temperature: int = 100
+    min_temperature_ratio: float = 1e-5
+    stop_after_stale: int = 6         # temperatures without improvement
+    max_evaluations: int = 200_000
+
+
+@dataclass
+class AnnealResult(Generic[State]):
+    best_state: State
+    best_cost: float
+    evaluations: int
+    temperatures: int
+    history: list[float] = field(default_factory=list)  # best cost per temp
+
+
+class Annealer(Generic[State]):
+    """Simulated annealing over an arbitrary state space.
+
+    Parameters
+    ----------
+    cost:
+        State → scalar cost (lower is better).
+    propose:
+        ``(state, rng, temperature_fraction) → new state``.  The move
+        generator may use the temperature fraction (1 → hot, 0 → cold) to
+        shrink move ranges as the anneal cools, as KOAN does.
+    copy_state:
+        Deep-copy hook; defaults to identity for immutable states.
+    """
+
+    def __init__(self, cost: Callable[[State], float],
+                 propose: Callable[[State, np.random.Generator, float], State],
+                 schedule: AnnealSchedule | None = None,
+                 copy_state: Callable[[State], State] = lambda s: s,
+                 seed: int = 1):
+        self.cost = cost
+        self.propose = propose
+        self.schedule = schedule or AnnealSchedule()
+        self.copy_state = copy_state
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def initial_temperature(self, state: State, samples: int = 40) -> float:
+        """Temperature at which ``initial_acceptance`` of uphill moves pass."""
+        base = self.cost(state)
+        uphill: list[float] = []
+        current = state
+        current_cost = base
+        for _ in range(samples):
+            trial = self.propose(self.copy_state(current), self.rng, 1.0)
+            c = self.cost(trial)
+            if c > current_cost:
+                uphill.append(c - current_cost)
+            current, current_cost = trial, c
+        if not uphill:
+            return max(abs(base), 1.0) * 0.1
+        mean_uphill = float(np.mean(uphill))
+        p = min(max(self.schedule.initial_acceptance, 1e-3), 0.999)
+        return mean_uphill / (-math.log(p))
+
+    # ------------------------------------------------------------------
+    def run(self, initial: State,
+            temperature: float | None = None) -> AnnealResult[State]:
+        sched = self.schedule
+        current = self.copy_state(initial)
+        current_cost = self.cost(current)
+        best = self.copy_state(current)
+        best_cost = current_cost
+        evaluations = 1
+        t0 = temperature if temperature is not None else \
+            self.initial_temperature(current)
+        evaluations += 40 if temperature is None else 0
+        t = max(t0, 1e-300)
+        t_floor = t * sched.min_temperature_ratio
+        stale = 0
+        temps = 0
+        history: list[float] = []
+        while (t > t_floor and stale < sched.stop_after_stale
+               and evaluations < sched.max_evaluations):
+            improved = False
+            frac = (math.log(max(t, t_floor)) - math.log(t_floor)) / (
+                math.log(t0) - math.log(t_floor) + 1e-12)
+            for _ in range(sched.moves_per_temperature):
+                trial = self.propose(self.copy_state(current), self.rng, frac)
+                trial_cost = self.cost(trial)
+                evaluations += 1
+                delta = trial_cost - current_cost
+                if delta <= 0 or self.rng.random() < math.exp(
+                        -delta / max(t, 1e-300)):
+                    current, current_cost = trial, trial_cost
+                    if current_cost < best_cost:
+                        best = self.copy_state(current)
+                        best_cost = current_cost
+                        improved = True
+                if evaluations >= sched.max_evaluations:
+                    break
+            history.append(best_cost)
+            stale = 0 if improved else stale + 1
+            t *= sched.cooling
+            temps += 1
+        return AnnealResult(best, best_cost, evaluations, temps, history)
+
+
+# ----------------------------------------------------------------------
+# Convenience wrapper for continuous parameter vectors (OPTIMAN/OBLX use)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ContinuousSpace:
+    """Box-bounded continuous search space with log-scale option.
+
+    Log scaling matters for device sizes and currents, which span decades;
+    it is what all the sizing tools effectively search in.
+    """
+
+    names: list[str]
+    lower: np.ndarray
+    upper: np.ndarray
+    log_scale: bool = True
+
+    def __post_init__(self) -> None:
+        self.lower = np.asarray(self.lower, dtype=float)
+        self.upper = np.asarray(self.upper, dtype=float)
+        if np.any(self.lower >= self.upper):
+            raise ValueError("lower bounds must be below upper bounds")
+        if self.log_scale and np.any(self.lower <= 0):
+            raise ValueError("log-scale space requires positive bounds")
+
+    @property
+    def dim(self) -> int:
+        return len(self.names)
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(x, self.lower, self.upper)
+
+    def random_point(self, rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(self.dim)
+        if self.log_scale:
+            lo, hi = np.log(self.lower), np.log(self.upper)
+            return np.exp(lo + u * (hi - lo))
+        return self.lower + u * (self.upper - self.lower)
+
+    def perturb(self, x: np.ndarray, rng: np.random.Generator,
+                fraction: float) -> np.ndarray:
+        """Move a random subset of coordinates, range scaled by fraction."""
+        x = x.copy()
+        n_move = max(1, int(round(self.dim * 0.3)))
+        idx = rng.choice(self.dim, size=n_move, replace=False)
+        scale = 0.02 + 0.5 * max(fraction, 0.0)
+        if self.log_scale:
+            lo, hi = np.log(self.lower), np.log(self.upper)
+            span = hi - lo
+            xl = np.log(x)
+            xl[idx] += rng.normal(0.0, 1.0, size=n_move) * scale * span[idx]
+            x = np.exp(np.clip(xl, lo, hi))
+        else:
+            span = self.upper - self.lower
+            x[idx] += rng.normal(0.0, 1.0, size=n_move) * scale * span[idx]
+            x = self.clip(x)
+        return x
+
+    def to_dict(self, x: np.ndarray) -> dict[str, float]:
+        return dict(zip(self.names, x))
+
+
+def anneal_continuous(cost: Callable[[dict[str, float]], float],
+                      space: ContinuousSpace,
+                      schedule: AnnealSchedule | None = None,
+                      seed: int = 1,
+                      x0: np.ndarray | None = None) -> AnnealResult[np.ndarray]:
+    """Anneal a scalar cost over a named continuous box."""
+    rng = np.random.default_rng(seed)
+    start = space.clip(x0) if x0 is not None else space.random_point(rng)
+
+    annealer = Annealer(
+        cost=lambda x: cost(space.to_dict(x)),
+        propose=lambda x, r, f: space.perturb(x, r, f),
+        schedule=schedule,
+        copy_state=lambda x: x.copy(),
+        seed=seed,
+    )
+    return annealer.run(start)

@@ -1,0 +1,143 @@
+"""Genetic algorithm for mixed discrete/continuous search.
+
+DARWIN [Kruiskamp & Leenaerts, DAC'95] selected opamp topologies with a GA;
+SEAS used simulated evolution.  This module provides the engine both our
+GA-based topology selector and the mixed topology+sizing optimizer build
+on: tournament selection, uniform crossover, per-gene mutation, elitism.
+
+A genome is a list of genes, each either an index into a categorical choice
+list (topology bits) or a float in a bounded range (sizing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CategoricalGene:
+    name: str
+    choices: tuple
+
+    def random(self, rng: np.random.Generator):
+        return self.choices[rng.integers(len(self.choices))]
+
+    def mutate(self, value, rng: np.random.Generator):
+        return self.random(rng)
+
+
+@dataclass(frozen=True)
+class FloatGene:
+    name: str
+    lower: float
+    upper: float
+    log_scale: bool = True
+
+    def __post_init__(self):
+        if self.lower >= self.upper:
+            raise ValueError(f"gene {self.name}: bad bounds")
+        if self.log_scale and self.lower <= 0:
+            raise ValueError(f"gene {self.name}: log scale needs > 0 bounds")
+
+    def random(self, rng: np.random.Generator) -> float:
+        u = rng.random()
+        if self.log_scale:
+            return float(np.exp(np.log(self.lower)
+                                + u * np.log(self.upper / self.lower)))
+        return self.lower + u * (self.upper - self.lower)
+
+    def mutate(self, value: float, rng: np.random.Generator) -> float:
+        if self.log_scale:
+            sigma = 0.15 * np.log(self.upper / self.lower)
+            out = float(np.exp(np.log(value) + rng.normal(0, sigma)))
+        else:
+            sigma = 0.15 * (self.upper - self.lower)
+            out = value + rng.normal(0, sigma)
+        return float(np.clip(out, self.lower, self.upper))
+
+
+Gene = CategoricalGene | FloatGene
+Genome = dict
+
+
+@dataclass
+class GaResult:
+    best: Genome
+    best_fitness: float
+    generations: int
+    evaluations: int
+    history: list[float] = field(default_factory=list)
+
+
+class GeneticOptimizer:
+    """Minimizing GA over a fixed gene list."""
+
+    def __init__(self, genes: Sequence[Gene],
+                 fitness: Callable[[Genome], float],
+                 population: int = 40,
+                 crossover_rate: float = 0.9,
+                 mutation_rate: float = 0.15,
+                 elite: int = 2,
+                 tournament: int = 3,
+                 seed: int = 1):
+        if population < 4:
+            raise ValueError("population must be at least 4")
+        self.genes = list(genes)
+        names = [g.name for g in self.genes]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate gene names")
+        self.fitness = fitness
+        self.population = population
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.elite = elite
+        self.tournament = tournament
+        self.rng = np.random.default_rng(seed)
+
+    def _random_genome(self) -> Genome:
+        return {g.name: g.random(self.rng) for g in self.genes}
+
+    def _crossover(self, a: Genome, b: Genome) -> Genome:
+        return {g.name: (a if self.rng.random() < 0.5 else b)[g.name]
+                for g in self.genes}
+
+    def _mutate(self, genome: Genome) -> Genome:
+        out = dict(genome)
+        for g in self.genes:
+            if self.rng.random() < self.mutation_rate:
+                out[g.name] = g.mutate(out[g.name], self.rng)
+        return out
+
+    def _select(self, scored: list[tuple[float, Genome]]) -> Genome:
+        picks = self.rng.integers(len(scored), size=self.tournament)
+        best = min(picks, key=lambda i: scored[i][0])
+        return scored[best][1]
+
+    def run(self, generations: int = 50,
+            target: float | None = None) -> GaResult:
+        pop = [self._random_genome() for _ in range(self.population)]
+        scored = sorted(((self.fitness(g), g) for g in pop),
+                        key=lambda t: t[0])
+        evaluations = len(pop)
+        history = [scored[0][0]]
+        gen = 0
+        for gen in range(1, generations + 1):
+            next_pop: list[Genome] = [g for _, g in scored[:self.elite]]
+            while len(next_pop) < self.population:
+                if self.rng.random() < self.crossover_rate:
+                    child = self._crossover(self._select(scored),
+                                            self._select(scored))
+                else:
+                    child = dict(self._select(scored))
+                next_pop.append(self._mutate(child))
+            scored = sorted(((self.fitness(g), g) for g in next_pop),
+                            key=lambda t: t[0])
+            evaluations += len(next_pop)
+            history.append(scored[0][0])
+            if target is not None and scored[0][0] <= target:
+                break
+        best_fit, best = scored[0]
+        return GaResult(best, best_fit, gen, evaluations, history)

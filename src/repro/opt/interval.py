@@ -1,0 +1,159 @@
+"""Interval arithmetic for topology feasibility analysis.
+
+The topology-selection tool of [Veselinovic et al., ED&TC'95] decides
+whether a circuit topology *can* meet a specification by boundary checking
+and interval analysis: performance equations are evaluated over the
+intervals of the design parameters; if the achievable performance interval
+does not intersect the specification, the topology is infeasible and is
+discarded before any expensive sizing.
+
+:class:`Interval` implements the standard closed-interval arithmetic with
+outward-directed results; monotone transcendental helpers cover the
+functions used by analog design equations (sqrt, log, exp, powers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class IntervalError(ValueError):
+    """Raised on invalid interval operations (e.g. division through zero)."""
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Closed interval [lo, hi] with arithmetic that bounds all outcomes."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self):
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise IntervalError("NaN interval bound")
+        if self.lo > self.hi:
+            raise IntervalError(f"empty interval [{self.lo}, {self.hi}]")
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def point(x: float) -> "Interval":
+        return Interval(x, x)
+
+    @staticmethod
+    def make(a: float, b: float) -> "Interval":
+        return Interval(min(a, b), max(a, b))
+
+    # -- predicates -------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        return 0.5 * (self.lo + self.hi)
+
+    def contains(self, x: float) -> bool:
+        return self.lo <= x <= self.hi
+
+    def intersects(self, other: "Interval") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def hull(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def strictly_positive(self) -> bool:
+        return self.lo > 0.0
+
+    # -- arithmetic -------------------------------------------------------
+    def _coerce(self, other) -> "Interval":
+        if isinstance(other, Interval):
+            return other
+        return Interval.point(float(other))
+
+    def __add__(self, other) -> "Interval":
+        o = self._coerce(other)
+        return Interval(self.lo + o.lo, self.hi + o.hi)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __sub__(self, other) -> "Interval":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other) -> "Interval":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other) -> "Interval":
+        o = self._coerce(other)
+        products = (self.lo * o.lo, self.lo * o.hi,
+                    self.hi * o.lo, self.hi * o.hi)
+        return Interval(min(products), max(products))
+
+    __rmul__ = __mul__
+
+    def inverse(self) -> "Interval":
+        if self.lo <= 0.0 <= self.hi:
+            raise IntervalError(f"inverse of interval containing 0: {self}")
+        return Interval(1.0 / self.hi, 1.0 / self.lo)
+
+    def __truediv__(self, other) -> "Interval":
+        return self * self._coerce(other).inverse()
+
+    def __rtruediv__(self, other) -> "Interval":
+        return self._coerce(other) * self.inverse()
+
+    def __pow__(self, n: int) -> "Interval":
+        if not isinstance(n, int):
+            raise IntervalError("interval power requires integer exponent")
+        if n == 0:
+            return Interval.point(1.0)
+        if n < 0:
+            return (self ** (-n)).inverse()
+        if n % 2 == 1:
+            return Interval(self.lo ** n, self.hi ** n)
+        # Even power: minimum is 0 when the interval straddles zero.
+        lo_p, hi_p = abs(self.lo) ** n, abs(self.hi) ** n
+        if self.lo <= 0.0 <= self.hi:
+            return Interval(0.0, max(lo_p, hi_p))
+        return Interval(min(lo_p, hi_p), max(lo_p, hi_p))
+
+    # -- monotone functions ------------------------------------------------
+    def sqrt(self) -> "Interval":
+        if self.lo < 0:
+            raise IntervalError(f"sqrt of negative interval {self}")
+        return Interval(math.sqrt(self.lo), math.sqrt(self.hi))
+
+    def log(self) -> "Interval":
+        if self.lo <= 0:
+            raise IntervalError(f"log of non-positive interval {self}")
+        return Interval(math.log(self.lo), math.log(self.hi))
+
+    def exp(self) -> "Interval":
+        return Interval(math.exp(self.lo), math.exp(self.hi))
+
+    def abs(self) -> "Interval":
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return -self
+        return Interval(0.0, max(-self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+def imin(*intervals: Interval) -> Interval:
+    return Interval(min(i.lo for i in intervals), min(i.hi for i in intervals))
+
+
+def imax(*intervals: Interval) -> Interval:
+    return Interval(max(i.lo for i in intervals), max(i.hi for i in intervals))

@@ -1,0 +1,208 @@
+"""DONALD-style constraint ordering: declarative design equations → plan.
+
+DONALD [Swings & Sansen, EDAC'91] lets a designer state analog design
+knowledge as an unordered set of equations; the tool then *orders* them
+into an executable evaluation plan for any choice of known quantities —
+eliminating the hand-crafted design plans of IDAC/OASYS.
+
+The classic algorithm, implemented here:
+
+1. build the bipartite graph between equations and unknown variables;
+2. find a maximum matching (which equation computes which unknown);
+3. orient edges (matched pairs one way, uses the other) and condense the
+   strongly connected components;
+4. a topological sort of the condensation is the plan: singleton
+   components are solved one equation / one unknown at a time, larger
+   components form simultaneous blocks handed to a numeric solver.
+
+Under-constrained systems (more unknowns than equations can cover) are
+reported with the free variables — these are exactly the *design degrees
+of freedom* the optimization-based tools then search over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import networkx as nx
+import numpy as np
+from scipy import optimize
+
+Residual = Callable[[dict[str, float]], float]
+
+
+@dataclass(frozen=True)
+class Equation:
+    """One residual equation f(values) = 0 over named variables."""
+
+    name: str
+    variables: frozenset[str]
+    residual: Residual
+
+    @staticmethod
+    def make(name: str, variables, residual: Residual) -> "Equation":
+        return Equation(name, frozenset(variables), residual)
+
+
+class OrderingError(ValueError):
+    """Raised for structurally unsolvable (over-constrained) systems."""
+
+
+@dataclass
+class UnderConstrained(Exception):
+    """More unknowns than the equations can determine.
+
+    ``free_variables`` lists a valid choice of variables that, when given
+    values, make the rest solvable — DONALD's design degrees of freedom.
+    """
+
+    free_variables: list[str]
+
+    def __str__(self) -> str:
+        return ("system is under-constrained; free design variables: "
+                + ", ".join(sorted(self.free_variables)))
+
+
+@dataclass
+class Block:
+    """One plan step: ``len(equations)`` equations solving ``unknowns``."""
+
+    equations: list[Equation]
+    unknowns: list[str]
+
+    @property
+    def simultaneous(self) -> bool:
+        return len(self.unknowns) > 1
+
+
+@dataclass
+class EvaluationPlan:
+    """Ordered blocks; executing them yields all unknowns."""
+
+    blocks: list[Block]
+    knowns: list[str]
+    unknowns: list[str]
+
+    def block_sizes(self) -> list[int]:
+        return [len(b.unknowns) for b in self.blocks]
+
+    def solve(self, known_values: dict[str, float],
+              guess: float | dict[str, float] = 1.0,
+              solver_tol: float = 1e-10) -> dict[str, float]:
+        """Execute the plan numerically.
+
+        ``guess`` seeds the numeric solver (scalar applied to all unknowns,
+        or a per-variable dict).
+        """
+        missing = set(self.knowns) - set(known_values)
+        if missing:
+            raise OrderingError(f"missing known values: {sorted(missing)}")
+        values = dict(known_values)
+        for block in self.blocks:
+            self._solve_block(block, values, guess, solver_tol)
+        return values
+
+    def _solve_block(self, block: Block, values: dict[str, float],
+                     guess, tol: float) -> None:
+        def seed(var: str) -> float:
+            if isinstance(guess, dict):
+                return guess.get(var, 1.0)
+            return float(guess)
+
+        x0 = np.array([seed(v) for v in block.unknowns])
+
+        def residuals(x: np.ndarray) -> np.ndarray:
+            trial = dict(values)
+            trial.update(zip(block.unknowns, x))
+            return np.array([eq.residual(trial) for eq in block.equations])
+
+        if len(block.unknowns) == 1:
+            var = block.unknowns[0]
+            f = lambda x: residuals(np.array([x]))[0]
+            try:
+                root = optimize.newton(f, x0[0], tol=tol, maxiter=100)
+            except RuntimeError:
+                root = _bracketed_root(f, x0[0])
+            values[var] = float(root)
+        else:
+            sol, info, ier, msg = optimize.fsolve(
+                residuals, x0, full_output=True, xtol=tol)
+            if ier != 1:
+                raise OrderingError(
+                    f"simultaneous block {[e.name for e in block.equations]} "
+                    f"failed to converge: {msg}")
+            values.update(zip(block.unknowns, sol))
+
+
+def _bracketed_root(f: Callable[[float], float], x0: float) -> float:
+    """Geometric bracket expansion fallback for 1-D roots."""
+    base = abs(x0) if x0 != 0 else 1.0
+    for span in (2.0, 10.0, 100.0, 1e4, 1e8):
+        lo, hi = x0 - span * base, x0 + span * base
+        try:
+            if f(lo) * f(hi) < 0:
+                return optimize.brentq(f, lo, hi)
+        except (ValueError, FloatingPointError, OverflowError):
+            continue
+    raise OrderingError(f"could not bracket a root near {x0}")
+
+
+def order_equations(equations: list[Equation],
+                    knowns: list[str]) -> EvaluationPlan:
+    """Produce an evaluation plan computing every non-known variable.
+
+    Raises :class:`UnderConstrained` (listing free variables) when the
+    equations cannot determine all unknowns, and :class:`OrderingError`
+    when some equations can never be used (over-constraint).
+    """
+    known_set = set(knowns)
+    unknowns = sorted({v for eq in equations
+                       for v in eq.variables} - known_set)
+    eq_by_name = {eq.name: eq for eq in equations}
+    if len(eq_by_name) != len(equations):
+        raise OrderingError("duplicate equation names")
+
+    graph = nx.Graph()
+    graph.add_nodes_from((("eq", eq.name) for eq in equations), bipartite=0)
+    graph.add_nodes_from((("var", v) for v in unknowns), bipartite=1)
+    for eq in equations:
+        for v in eq.variables - known_set:
+            graph.add_edge(("eq", eq.name), ("var", v))
+
+    eq_nodes = {("eq", eq.name) for eq in equations}
+    matching = nx.bipartite.maximum_matching(graph, top_nodes=eq_nodes) \
+        if graph.edges else {}
+    matched_vars = {key[1]: matching[key][1]
+                    for key in matching if key[0] == "var"}
+    # matched_vars: variable -> equation that computes it
+    unmatched_vars = [v for v in unknowns if v not in matched_vars]
+    if unmatched_vars:
+        raise UnderConstrained(unmatched_vars)
+    matched_eqs = set(matched_vars.values())
+    unused_eqs = [eq.name for eq in equations if eq.name not in matched_eqs]
+    if unused_eqs:
+        raise OrderingError(
+            f"over-constrained: equations {unused_eqs} cannot be assigned "
+            "an unknown to solve")
+
+    # Directed dependency graph over equations: eq A -> eq B when B uses the
+    # variable A computes.
+    var_of_eq = {eq_name: var for var, eq_name in matched_vars.items()}
+    dep = nx.DiGraph()
+    dep.add_nodes_from(var_of_eq)
+    for eq in equations:
+        for v in eq.variables - known_set:
+            producer = matched_vars[v]
+            if producer != eq.name:
+                dep.add_edge(producer, eq.name)
+
+    blocks: list[Block] = []
+    condensation = nx.condensation(dep)
+    for scc_id in nx.topological_sort(condensation):
+        members = sorted(condensation.nodes[scc_id]["members"])
+        blocks.append(Block(
+            equations=[eq_by_name[m] for m in members],
+            unknowns=[var_of_eq[m] for m in members],
+        ))
+    return EvaluationPlan(blocks, sorted(known_set), unknowns)

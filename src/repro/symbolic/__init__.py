@@ -1,0 +1,22 @@
+"""ISAAC-style symbolic small-signal circuit analysis."""
+
+from repro.symbolic.analyzer import SymbolicAnalyzer, SymbolicError
+from repro.symbolic.expr import (
+    Monomial,
+    RationalFunction,
+    SignedSum,
+    SPoly,
+    mono_str,
+    mono_value,
+)
+
+__all__ = [
+    "Monomial",
+    "RationalFunction",
+    "SPoly",
+    "SignedSum",
+    "SymbolicAnalyzer",
+    "SymbolicError",
+    "mono_str",
+    "mono_value",
+]

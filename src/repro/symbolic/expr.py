@@ -1,0 +1,402 @@
+"""Symbolic expression kernel for ISAAC-style analysis.
+
+The representation is specialized to what linear(ized) circuit analysis
+produces: polynomials in the Laplace variable ``s`` whose coefficients are
+*signed sums of products of circuit symbols* (gm_m1·go_m2·c_cl, ...).
+
+* :class:`SignedSum` — a sparse multivariate polynomial over symbols,
+  stored as ``{monomial: coefficient}`` where a monomial is a sorted tuple
+  of ``(symbol, power)`` pairs;
+* :class:`SPoly` — a polynomial in ``s`` with :class:`SignedSum`
+  coefficients, stored as ``{degree: SignedSum}``;
+* :class:`RationalFunction` — a ratio of two :class:`SPoly`, the shape of
+  every small-signal transfer function.
+
+All objects are immutable in practice (operations return new objects), so
+they can be memoized freely by the determinant expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+Monomial = tuple[tuple[str, int], ...]
+
+ONE_MONO: Monomial = ()
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    """Multiply two monomials (merge sorted power lists)."""
+    powers: dict[str, int] = {}
+    for sym, p in a:
+        powers[sym] = powers.get(sym, 0) + p
+    for sym, p in b:
+        powers[sym] = powers.get(sym, 0) + p
+    return tuple(sorted(powers.items()))
+
+
+def mono_value(mono: Monomial, values: dict[str, float]) -> float:
+    out = 1.0
+    for sym, p in mono:
+        out *= values[sym] ** p
+    return out
+
+
+def mono_str(mono: Monomial) -> str:
+    if not mono:
+        return "1"
+    parts = []
+    for sym, p in mono:
+        parts.append(sym if p == 1 else f"{sym}^{p}")
+    return "*".join(parts)
+
+
+class SignedSum:
+    """Sparse signed sum of monomials: Σ coeff · Π symbol^power."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: dict[Monomial, float] | None = None):
+        self.terms: dict[Monomial, float] = {}
+        if terms:
+            for mono, coeff in terms.items():
+                if coeff != 0.0:
+                    self.terms[mono] = coeff
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def zero() -> "SignedSum":
+        return SignedSum()
+
+    @staticmethod
+    def one() -> "SignedSum":
+        return SignedSum({ONE_MONO: 1.0})
+
+    @staticmethod
+    def number(value: float) -> "SignedSum":
+        return SignedSum({ONE_MONO: float(value)}) if value else SignedSum()
+
+    @staticmethod
+    def symbol(name: str, coeff: float = 1.0) -> "SignedSum":
+        return SignedSum({((name, 1),): coeff})
+
+    # -- queries --------------------------------------------------------
+    @property
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    def term_count(self) -> int:
+        return len(self.terms)
+
+    def symbols(self) -> set[str]:
+        out: set[str] = set()
+        for mono in self.terms:
+            out.update(sym for sym, _ in mono)
+        return out
+
+    # -- algebra ---------------------------------------------------------
+    def __add__(self, other: "SignedSum") -> "SignedSum":
+        if self.is_zero:
+            return other
+        if other.is_zero:
+            return self
+        terms = dict(self.terms)
+        for mono, coeff in other.terms.items():
+            new = terms.get(mono, 0.0) + coeff
+            if new == 0.0:
+                terms.pop(mono, None)
+            else:
+                terms[mono] = new
+        out = SignedSum()
+        out.terms = terms
+        return out
+
+    def __sub__(self, other: "SignedSum") -> "SignedSum":
+        return self + (-other)
+
+    def __neg__(self) -> "SignedSum":
+        out = SignedSum()
+        out.terms = {m: -c for m, c in self.terms.items()}
+        return out
+
+    def __mul__(self, other: "SignedSum") -> "SignedSum":
+        if self.is_zero or other.is_zero:
+            return SignedSum()
+        terms: dict[Monomial, float] = {}
+        for m1, c1 in self.terms.items():
+            for m2, c2 in other.terms.items():
+                mono = _mono_mul(m1, m2)
+                new = terms.get(mono, 0.0) + c1 * c2
+                if new == 0.0:
+                    terms.pop(mono, None)
+                else:
+                    terms[mono] = new
+        out = SignedSum()
+        out.terms = terms
+        return out
+
+    def scale(self, factor: float) -> "SignedSum":
+        if factor == 0.0:
+            return SignedSum()
+        out = SignedSum()
+        out.terms = {m: c * factor for m, c in self.terms.items()}
+        return out
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SignedSum) and self.terms == other.terms
+
+    def __hash__(self):
+        return hash(frozenset(self.terms.items()))
+
+    # -- evaluation / display --------------------------------------------
+    def evaluate(self, values: dict[str, float]) -> float:
+        return sum(c * mono_value(m, values) for m, c in self.terms.items())
+
+    def magnitudes(self, values: dict[str, float]) -> dict[Monomial, float]:
+        return {m: abs(c) * abs(mono_value(m, values))
+                for m, c in self.terms.items()}
+
+    def pruned(self, values: dict[str, float], rel_tol: float) -> "SignedSum":
+        """Drop terms negligible at the nominal operating point.
+
+        This is the ISAAC simplification strategy: numeric nominal values
+        rank terms and small ones vanish.  The threshold is anchored on the
+        magnitude of the *evaluated sum* rather than the largest term —
+        otherwise near-cancelling symmetric terms (gm_m1·X − gm_m2·X with
+        gm_m1 ≈ gm_m2) would mask the small terms that define the residual,
+        the classic failure mode of naive magnitude pruning.
+        """
+        if self.is_zero:
+            return self
+        mags = self.magnitudes(values)
+        peak = max(mags.values())
+        if peak == 0.0:
+            return SignedSum()
+        anchor = abs(self.evaluate(values))
+        if anchor == 0.0:
+            anchor = peak
+        keep = {m: c for m, c in self.terms.items()
+                if mags[m] >= rel_tol * anchor}
+        out = SignedSum()
+        out.terms = keep
+        return out
+
+    def to_string(self, sort_by: dict[str, float] | None = None) -> str:
+        if self.is_zero:
+            return "0"
+        items = list(self.terms.items())
+        if sort_by:
+            items.sort(key=lambda mc: -abs(mc[1] * mono_value(mc[0], sort_by)))
+        else:
+            items.sort(key=lambda mc: mono_str(mc[0]))
+        parts = []
+        for mono, coeff in items:
+            body = mono_str(mono)
+            if coeff == 1.0 and mono:
+                text = body
+            elif coeff == -1.0 and mono:
+                text = f"-{body}"
+            elif not mono:
+                text = f"{coeff:g}"
+            else:
+                text = f"{coeff:g}*{body}"
+            parts.append(text)
+        joined = " + ".join(parts)
+        return joined.replace("+ -", "- ")
+
+    def __repr__(self) -> str:
+        return f"SignedSum({self.to_string()})"
+
+
+ZERO = SignedSum.zero()
+
+
+class SPoly:
+    """Polynomial in the Laplace variable s with SignedSum coefficients."""
+
+    __slots__ = ("coeffs",)
+
+    def __init__(self, coeffs: dict[int, SignedSum] | None = None):
+        self.coeffs: dict[int, SignedSum] = {}
+        if coeffs:
+            for deg, ss in coeffs.items():
+                if not ss.is_zero:
+                    self.coeffs[deg] = ss
+
+    @staticmethod
+    def zero() -> "SPoly":
+        return SPoly()
+
+    @staticmethod
+    def constant(ss: SignedSum) -> "SPoly":
+        return SPoly({0: ss})
+
+    @staticmethod
+    def symbol(name: str, s_power: int = 0, coeff: float = 1.0) -> "SPoly":
+        return SPoly({s_power: SignedSum.symbol(name, coeff)})
+
+    @property
+    def is_zero(self) -> bool:
+        return not self.coeffs
+
+    def degree(self) -> int:
+        return max(self.coeffs) if self.coeffs else 0
+
+    def term_count(self) -> int:
+        return sum(ss.term_count() for ss in self.coeffs.values())
+
+    def coefficient(self, degree: int) -> SignedSum:
+        return self.coeffs.get(degree, ZERO)
+
+    def __add__(self, other: "SPoly") -> "SPoly":
+        if self.is_zero:
+            return other
+        if other.is_zero:
+            return self
+        coeffs = dict(self.coeffs)
+        for deg, ss in other.coeffs.items():
+            merged = coeffs.get(deg, ZERO) + ss
+            if merged.is_zero:
+                coeffs.pop(deg, None)
+            else:
+                coeffs[deg] = merged
+        out = SPoly()
+        out.coeffs = coeffs
+        return out
+
+    def __sub__(self, other: "SPoly") -> "SPoly":
+        return self + (-other)
+
+    def __neg__(self) -> "SPoly":
+        out = SPoly()
+        out.coeffs = {d: -ss for d, ss in self.coeffs.items()}
+        return out
+
+    def __mul__(self, other: "SPoly") -> "SPoly":
+        if self.is_zero or other.is_zero:
+            return SPoly()
+        coeffs: dict[int, SignedSum] = {}
+        for d1, s1 in self.coeffs.items():
+            for d2, s2 in other.coeffs.items():
+                product = s1 * s2
+                if product.is_zero:
+                    continue
+                deg = d1 + d2
+                merged = coeffs.get(deg, ZERO) + product
+                if merged.is_zero:
+                    coeffs.pop(deg, None)
+                else:
+                    coeffs[deg] = merged
+        out = SPoly()
+        out.coeffs = coeffs
+        return out
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SPoly) and self.coeffs == other.coeffs
+
+    def __hash__(self):
+        return hash(frozenset((d, ss) for d, ss in self.coeffs.items()))
+
+    def evaluate(self, s: complex, values: dict[str, float]) -> complex:
+        return sum(ss.evaluate(values) * s ** deg
+                   for deg, ss in self.coeffs.items())
+
+    def numeric_coefficients(self, values: dict[str, float]) -> np.ndarray:
+        """Dense ascending-degree coefficient array with symbols substituted."""
+        if self.is_zero:
+            return np.zeros(1)
+        n = self.degree() + 1
+        out = np.zeros(n)
+        for deg, ss in self.coeffs.items():
+            out[deg] = ss.evaluate(values)
+        return out
+
+    def pruned(self, values: dict[str, float], rel_tol: float) -> "SPoly":
+        out = SPoly()
+        for deg, ss in self.coeffs.items():
+            kept = ss.pruned(values, rel_tol)
+            if not kept.is_zero:
+                out.coeffs[deg] = kept
+        return out
+
+    def to_string(self, sort_by: dict[str, float] | None = None) -> str:
+        if self.is_zero:
+            return "0"
+        parts = []
+        for deg in sorted(self.coeffs):
+            body = self.coeffs[deg].to_string(sort_by)
+            if deg == 0:
+                parts.append(f"({body})")
+            elif deg == 1:
+                parts.append(f"s*({body})")
+            else:
+                parts.append(f"s^{deg}*({body})")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"SPoly({self.to_string()})"
+
+
+@dataclass
+class RationalFunction:
+    """H(s) = num(s)/den(s) with symbolic coefficients."""
+
+    num: SPoly
+    den: SPoly
+    values: dict[str, float] = field(default_factory=dict)
+
+    def evaluate(self, s: complex,
+                 values: dict[str, float] | None = None) -> complex:
+        vals = values if values is not None else self.values
+        den = self.den.evaluate(s, vals)
+        if den == 0:
+            return complex("inf")
+        return self.num.evaluate(s, vals) / den
+
+    def evaluate_jw(self, freq_hz: float,
+                    values: dict[str, float] | None = None) -> complex:
+        return self.evaluate(2j * np.pi * freq_hz, values)
+
+    def dc_gain(self, values: dict[str, float] | None = None) -> float:
+        vals = values if values is not None else self.values
+        # Lowest common nonzero degree handles integrating responses.
+        num0 = self.num.coefficient(0).evaluate(vals)
+        den0 = self.den.coefficient(0).evaluate(vals)
+        if den0 == 0:
+            return float("inf")
+        return num0 / den0
+
+    def poles(self, values: dict[str, float] | None = None) -> np.ndarray:
+        vals = values if values is not None else self.values
+        coeffs = self.den.numeric_coefficients(vals)
+        return _roots_ascending(coeffs)
+
+    def zeros(self, values: dict[str, float] | None = None) -> np.ndarray:
+        vals = values if values is not None else self.values
+        coeffs = self.num.numeric_coefficients(vals)
+        return _roots_ascending(coeffs)
+
+    def simplified(self, rel_tol: float,
+                   values: dict[str, float] | None = None) -> "RationalFunction":
+        vals = values if values is not None else self.values
+        return RationalFunction(self.num.pruned(vals, rel_tol),
+                                self.den.pruned(vals, rel_tol),
+                                dict(vals))
+
+    def term_count(self) -> int:
+        return self.num.term_count() + self.den.term_count()
+
+    def to_string(self) -> str:
+        sort = self.values or None
+        return (f"({self.num.to_string(sort)})\n"
+                f"  / ({self.den.to_string(sort)})")
+
+
+def _roots_ascending(coeffs: np.ndarray) -> np.ndarray:
+    """Roots of a polynomial given ascending-degree coefficients."""
+    trimmed = np.trim_zeros(coeffs, "b")
+    if len(trimmed) <= 1:
+        return np.array([])
+    return np.roots(trimmed[::-1])

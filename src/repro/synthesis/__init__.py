@@ -1,0 +1,176 @@
+"""Frontend analog circuit synthesis: the §2 tool landscape.
+
+Knowledge-based plans (IDAC/OASYS), equation-based optimization (OPTIMAN),
+simulation-based optimization (FRIDGE), compiled AWE synthesis
+(ASTRX/OBLX), topology selection, DONALD constraint models,
+manufacturability corners, and the Table 1 pulse-detector and RF
+front-end applications.
+"""
+
+from repro.synthesis.astrx import AstrxProblem, AstrxResult, OblxOptimizer
+from repro.synthesis.blades import (
+    Consultation,
+    InferenceError,
+    Rule,
+    RuleEngine,
+    ota_rule_base,
+    size_ota_with_rules,
+)
+from repro.synthesis.donald import (
+    ota_equations,
+    plan_for,
+    solve_performance_from_sizes,
+    solve_sizes_from_specs,
+)
+from repro.synthesis.equation_based import (
+    DesignSpace,
+    EquationBasedSizer,
+    SizingResult,
+)
+from repro.synthesis.hierarchy import (
+    DesignOutcome,
+    DesignTask,
+    FlowError,
+    FlowLog,
+    StepKind,
+    run_design_task,
+)
+from repro.synthesis.manufacturability import (
+    Corner,
+    ManufacturableSizer,
+    standard_corners,
+    worst_case_performance,
+    yield_estimate,
+)
+from repro.synthesis.models import (
+    OtaDesign,
+    TwoStageDesign,
+    folded_cascode_performance,
+    ota_performance,
+    two_stage_performance,
+)
+from repro.synthesis.plan_library import (
+    build_ota_plan,
+    build_two_stage_plan,
+    default_plan_library,
+)
+from repro.synthesis.plans import (
+    DesignPlan,
+    PlanError,
+    PlanLibrary,
+    PlanResult,
+)
+from repro.synthesis.pulse_detector import (
+    MANUAL_DESIGN,
+    PulseDetectorDesign,
+    build_pulse_detector_circuit,
+    pulse_detector_performance,
+    pulse_detector_space,
+    pulse_detector_specs,
+    synthesize_pulse_detector,
+    verified_peaking_time,
+)
+from repro.synthesis.rf_frontend import (
+    BlockSpec,
+    cascade_iip3_dbm,
+    cascade_noise_figure,
+    optimize_receiver,
+    receiver_performance,
+    receiver_specs,
+)
+from repro.synthesis.sc_filter import (
+    BiquadSpec,
+    ScBiquad,
+    ScFilterDesign,
+    ScSynthesisError,
+    butterworth_biquads,
+    quantize_ratios,
+    synthesize_sc_filter,
+)
+from repro.synthesis.simulation_based import (
+    SimulationBasedSizer,
+    SimulationEvaluator,
+)
+from repro.synthesis.topology import (
+    TopologyCandidate,
+    TopologySelectionResult,
+    default_candidates,
+    interval_feasible,
+    select_enumerate,
+    select_genetic,
+    select_interval,
+    select_rule_based,
+)
+
+__all__ = [
+    "AstrxProblem",
+    "Consultation",
+    "InferenceError",
+    "Rule",
+    "RuleEngine",
+    "ota_rule_base",
+    "size_ota_with_rules",
+    "BiquadSpec",
+    "ScBiquad",
+    "ScFilterDesign",
+    "ScSynthesisError",
+    "butterworth_biquads",
+    "quantize_ratios",
+    "synthesize_sc_filter",
+    "AstrxResult",
+    "BlockSpec",
+    "Corner",
+    "DesignOutcome",
+    "DesignPlan",
+    "DesignSpace",
+    "DesignTask",
+    "EquationBasedSizer",
+    "FlowError",
+    "FlowLog",
+    "MANUAL_DESIGN",
+    "ManufacturableSizer",
+    "OblxOptimizer",
+    "OtaDesign",
+    "PlanError",
+    "PlanLibrary",
+    "PlanResult",
+    "PulseDetectorDesign",
+    "SimulationBasedSizer",
+    "SimulationEvaluator",
+    "SizingResult",
+    "StepKind",
+    "TopologyCandidate",
+    "TopologySelectionResult",
+    "TwoStageDesign",
+    "build_ota_plan",
+    "build_pulse_detector_circuit",
+    "build_two_stage_plan",
+    "cascade_iip3_dbm",
+    "cascade_noise_figure",
+    "default_candidates",
+    "default_plan_library",
+    "folded_cascode_performance",
+    "interval_feasible",
+    "optimize_receiver",
+    "ota_equations",
+    "ota_performance",
+    "plan_for",
+    "pulse_detector_performance",
+    "pulse_detector_space",
+    "pulse_detector_specs",
+    "receiver_performance",
+    "receiver_specs",
+    "run_design_task",
+    "select_enumerate",
+    "select_genetic",
+    "select_interval",
+    "select_rule_based",
+    "solve_performance_from_sizes",
+    "solve_sizes_from_specs",
+    "standard_corners",
+    "synthesize_pulse_detector",
+    "two_stage_performance",
+    "verified_peaking_time",
+    "worst_case_performance",
+    "yield_estimate",
+]

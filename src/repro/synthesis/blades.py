@@ -1,0 +1,231 @@
+"""BLADES-style rule-based circuit sizing [El-Turky & Perry, TCAD'89].
+
+"Other ways to encode the knowledge have been explored as well, such as
+in BLADES which is a rule-based system to size analog circuits" (§2.2,
+[7]).  Where IDAC encodes expertise as *ordered plans*, BLADES encodes it
+as an unordered base of IF-THEN rules fired by a forward-chaining
+inference engine — the classic expert-system architecture.
+
+This module provides the engine (:class:`RuleEngine`: working memory,
+conflict resolution by priority then recency, refraction so a rule fires
+once per matching state) and an OTA sizing rule base expressing the same
+expertise as the design plan, rule by rule.  A consultation either
+derives a complete sizing or reports which goals it could not establish —
+the explainability that motivated rule-based CAD.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.circuits.devices import NMOS_DEFAULT, PMOS_DEFAULT
+
+
+class InferenceError(RuntimeError):
+    """Raised when the engine cannot establish the requested goals."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """IF ``condition(facts)`` THEN assert ``action(facts)``.
+
+    ``produces`` declares the fact keys the rule can assert — used for
+    refraction (a rule never re-fires once its facts exist) and for the
+    explanation trace.
+    """
+
+    name: str
+    condition: Callable[[dict], bool]
+    action: Callable[[dict], dict]
+    produces: tuple[str, ...]
+    priority: int = 0
+    explanation: str = ""
+
+
+@dataclass
+class Firing:
+    rule: str
+    asserted: dict
+    cycle: int
+
+
+@dataclass
+class Consultation:
+    """Result of one inference run: final facts plus the firing trace."""
+
+    facts: dict
+    trace: list[Firing]
+    goals_met: bool
+
+    def explain(self) -> str:
+        lines = []
+        for firing in self.trace:
+            facts = ", ".join(f"{k}={_fmt(v)}"
+                              for k, v in firing.asserted.items())
+            lines.append(f"cycle {firing.cycle}: [{firing.rule}] {facts}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class RuleEngine:
+    """Forward-chaining inference with priority + refraction."""
+
+    def __init__(self, rules: list[Rule]):
+        names = [r.name for r in rules]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate rule names")
+        self.rules = list(rules)
+
+    def run(self, initial_facts: dict, goals: tuple[str, ...] = (),
+            max_cycles: int = 200) -> Consultation:
+        """Fire rules until quiescence (or all goals established)."""
+        facts = dict(initial_facts)
+        fired: set[str] = set()
+        trace: list[Firing] = []
+        for cycle in range(1, max_cycles + 1):
+            if goals and all(g in facts for g in goals):
+                break
+            # Conflict set: eligible rules whose products are still absent.
+            eligible = [
+                r for r in self.rules
+                if r.name not in fired
+                and any(p not in facts for p in r.produces)
+                and _safe(r.condition, facts)
+            ]
+            if not eligible:
+                break
+            eligible.sort(key=lambda r: -r.priority)
+            rule = eligible[0]
+            asserted = _safe_action(rule, facts)
+            fired.add(rule.name)
+            new_facts = {k: v for k, v in asserted.items()
+                         if k not in facts}
+            facts.update(new_facts)
+            trace.append(Firing(rule.name, new_facts, cycle))
+        goals_met = all(g in facts for g in goals)
+        return Consultation(facts, trace, goals_met)
+
+    def consult(self, initial_facts: dict,
+                goals: tuple[str, ...]) -> Consultation:
+        """Like :meth:`run` but raises with the missing goals on failure."""
+        result = self.run(initial_facts, goals)
+        if not result.goals_met:
+            missing = [g for g in goals if g not in result.facts]
+            raise InferenceError(
+                f"could not establish {missing}; "
+                f"fired {[f.rule for f in result.trace]}")
+        return result
+
+
+def _safe(condition: Callable[[dict], bool], facts: dict) -> bool:
+    try:
+        return bool(condition(facts))
+    except KeyError:
+        return False
+
+
+def _safe_action(rule: Rule, facts: dict) -> dict:
+    try:
+        return rule.action(facts) or {}
+    except (KeyError, ValueError, ZeroDivisionError) as exc:
+        raise InferenceError(
+            f"rule {rule.name!r} failed to execute: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# The OTA sizing knowledge base
+# ----------------------------------------------------------------------
+
+def ota_rule_base(nmos=NMOS_DEFAULT, pmos=PMOS_DEFAULT) -> list[Rule]:
+    """The 5T-OTA expertise as unordered rules.
+
+    Input facts: ``gbw``, ``slew_rate``, ``c_load``, optionally ``gain``
+    and ``vdd``.  Goal facts: the six device sizes plus ``i_bias``.
+    """
+    vov = 0.2
+    l_analog = 2e-6
+
+    return [
+        Rule("tail-from-slew",
+             lambda f: "slew_rate" in f and "c_load" in f,
+             lambda f: {"i_tail": max(f["slew_rate"] * f["c_load"], 2e-6)},
+             produces=("i_tail",), priority=10,
+             explanation="slew rate fixes the tail current: I = SR*CL"),
+        Rule("gm-from-gbw",
+             lambda f: "gbw" in f and "c_load" in f,
+             lambda f: {"gm_in": 2 * math.pi * f["gbw"] * f["c_load"]},
+             produces=("gm_in",), priority=10,
+             explanation="GBW fixes the input gm: gm = 2*pi*GBW*CL"),
+        Rule("input-pair-size",
+             lambda f: "gm_in" in f and "i_tail" in f,
+             lambda f: {
+                 "l_in": l_analog,
+                 "w_in": max(f["gm_in"] ** 2
+                             / (2 * nmos.kp * f["i_tail"] / 2) * l_analog,
+                             2e-6),
+             },
+             produces=("w_in", "l_in"), priority=5,
+             explanation="invert gm = sqrt(2*kp*(W/L)*Id)"),
+        Rule("load-size",
+             lambda f: "i_tail" in f,
+             lambda f: {
+                 "l_load": l_analog,
+                 "w_load": max(2 * (f["i_tail"] / 2)
+                               / (pmos.kp * vov ** 2) * l_analog, 2e-6),
+             },
+             produces=("w_load", "l_load"), priority=5,
+             explanation="mirror load at nominal overdrive"),
+        Rule("tail-size",
+             lambda f: "i_tail" in f,
+             lambda f: {
+                 "l_tail": l_analog,
+                 "w_tail": max(2 * f["i_tail"]
+                               / (nmos.kp * vov ** 2) * l_analog, 2e-6),
+             },
+             produces=("w_tail", "l_tail"), priority=5,
+             explanation="tail source at nominal overdrive"),
+        Rule("bias-reference",
+             lambda f: "i_tail" in f,
+             lambda f: {"i_bias": f["i_tail"]},
+             produces=("i_bias",), priority=5,
+             explanation="1:1 tail mirror reference"),
+        Rule("gain-check",
+             lambda f: "gm_in" in f and "i_tail" in f and "gain" in f,
+             lambda f: {
+                 "gain_achieved": f["gm_in"]
+                 / ((nmos.lambda_ + pmos.lambda_) * f["i_tail"] / 2),
+                 "gain_ok": f["gm_in"]
+                 / ((nmos.lambda_ + pmos.lambda_) * f["i_tail"] / 2)
+                 >= f["gain"],
+             },
+             produces=("gain_achieved", "gain_ok"), priority=1,
+             explanation="single-stage gain = gm/((ln+lp)*Id)"),
+    ]
+
+
+OTA_SIZE_GOALS = ("w_in", "l_in", "w_load", "l_load", "w_tail", "l_tail",
+                  "i_bias")
+
+
+def size_ota_with_rules(gbw: float, slew_rate: float, c_load: float,
+                        gain: float | None = None) -> Consultation:
+    """Run the BLADES-style consultation for the 5T OTA."""
+    engine = RuleEngine(ota_rule_base())
+    facts: dict = {"gbw": gbw, "slew_rate": slew_rate, "c_load": c_load}
+    goals = OTA_SIZE_GOALS
+    if gain is not None:
+        facts["gain"] = gain
+        goals = goals + ("gain_ok",)
+    result = engine.consult(facts, goals)
+    if gain is not None and not result.facts["gain_ok"]:
+        raise InferenceError(
+            f"gain goal unreachable: achieved "
+            f"{result.facts['gain_achieved']:.1f} < required {gain:.1f}")
+    return result

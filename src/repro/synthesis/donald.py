@@ -1,0 +1,80 @@
+"""Declarative OTA design model for DONALD-style exploration.
+
+DONALD's promise: state the design equations *once*, unordered, then let
+constraint propagation order them for whatever direction the designer (or
+the AMGIE synthesis loop) wants to explore — sizes from specs, specs from
+sizes, or anything in between.
+
+This module captures the 5-transistor OTA as such a declarative model and
+exposes convenience solvers for the two canonical directions.  It is the
+engine the pulse-detector synthesis (Table 1) uses for its nested sizing
+steps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.devices import NMOS_DEFAULT, PMOS_DEFAULT
+from repro.opt.ordering import Equation, EvaluationPlan, order_equations
+
+TWO_PI = 2.0 * math.pi
+
+
+def ota_equations(nmos=NMOS_DEFAULT, pmos=PMOS_DEFAULT) -> list[Equation]:
+    """The unordered design-equation set of the 5T OTA.
+
+    Variables: ``i_tail, gm_in, w_over_l_in, vov_in, gain, gbw, slew_rate,
+    power, c_load, vdd``.
+    """
+    return [
+        Equation.make(
+            "gm_def", {"gm_in", "w_over_l_in", "i_tail"},
+            lambda v: v["gm_in"]
+            - math.sqrt(max(2.0 * nmos.kp * v["w_over_l_in"]
+                            * (v["i_tail"] / 2.0), 0.0))),
+        Equation.make(
+            "vov_def", {"vov_in", "w_over_l_in", "i_tail"},
+            lambda v: v["vov_in"]
+            - math.sqrt(max(2.0 * (v["i_tail"] / 2.0)
+                            / (nmos.kp * v["w_over_l_in"]), 1e-30))),
+        Equation.make(
+            "gain_def", {"gain", "gm_in", "i_tail"},
+            lambda v: v["gain"] - v["gm_in"]
+            / ((nmos.lambda_ + pmos.lambda_) * (v["i_tail"] / 2.0))),
+        Equation.make(
+            "gbw_def", {"gbw", "gm_in", "c_load"},
+            lambda v: v["gbw"] - v["gm_in"] / (TWO_PI * v["c_load"])),
+        Equation.make(
+            "slew_def", {"slew_rate", "i_tail", "c_load"},
+            lambda v: v["slew_rate"] - v["i_tail"] / v["c_load"]),
+        Equation.make(
+            "power_def", {"power", "i_tail", "vdd"},
+            lambda v: v["power"] - 2.0 * v["i_tail"] * v["vdd"]),
+    ]
+
+
+def plan_for(knowns: list[str]) -> EvaluationPlan:
+    """Order the OTA model for a given set of known quantities."""
+    return order_equations(ota_equations(), knowns)
+
+
+def solve_sizes_from_specs(gbw: float, slew_rate: float, c_load: float,
+                           vdd: float = 3.3) -> dict[str, float]:
+    """Forward synthesis direction: specs → sizes and derived performance."""
+    plan = plan_for(["gbw", "slew_rate", "c_load", "vdd"])
+    guess = {"i_tail": 1e-5, "gm_in": 1e-4, "w_over_l_in": 10.0,
+             "gain": 100.0, "vov_in": 0.2, "power": 1e-4}
+    return plan.solve({"gbw": gbw, "slew_rate": slew_rate,
+                       "c_load": c_load, "vdd": vdd}, guess=guess)
+
+
+def solve_performance_from_sizes(w_over_l_in: float, i_tail: float,
+                                 c_load: float,
+                                 vdd: float = 3.3) -> dict[str, float]:
+    """Analysis direction: sizes → performance, same declarative model."""
+    plan = plan_for(["w_over_l_in", "i_tail", "c_load", "vdd"])
+    guess = {"gm_in": 1e-4, "gain": 100.0, "gbw": 1e6,
+             "slew_rate": 1e6, "vov_in": 0.2, "power": 1e-4}
+    return plan.solve({"w_over_l_in": w_over_l_in, "i_tail": i_tail,
+                       "c_load": c_load, "vdd": vdd}, guess=guess)

@@ -1,0 +1,159 @@
+"""The hierarchical performance-driven design methodology of §2.1.
+
+Most experimental analog CAD systems of the tutorial share one flow
+skeleton, alternating between hierarchy levels:
+
+* top-down:  topology selection → specification translation (sizing) →
+  design verification;
+* bottom-up: layout generation → detailed (extracted) verification;
+* redesign iterations whenever a step fails its checks.
+
+:class:`DesignTask` captures one block at one hierarchy level with
+pluggable strategy functions, so the same engine drives an opamp cell, the
+pulse-detector macroblock, or a full mixed-signal frontend.  The engine
+records every step in a :class:`FlowLog` — the audit trail a
+performance-driven methodology needs for constraint pass-down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.specs import SpecSet
+
+
+class StepKind(enum.Enum):
+    TOPOLOGY = "topology_selection"
+    TRANSLATE = "specification_translation"
+    VERIFY = "design_verification"
+    LAYOUT = "layout_generation"
+    EXTRACT_VERIFY = "detailed_verification"
+    REDESIGN = "redesign_iteration"
+
+
+@dataclass
+class FlowEvent:
+    block: str
+    step: StepKind
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class FlowLog:
+    events: list[FlowEvent] = field(default_factory=list)
+
+    def record(self, block: str, step: StepKind, ok: bool,
+               detail: str = "") -> None:
+        self.events.append(FlowEvent(block, step, ok, detail))
+
+    def failures(self) -> list[FlowEvent]:
+        return [e for e in self.events if not e.ok]
+
+    def to_text(self) -> str:
+        return "\n".join(
+            f"[{e.block}] {e.step.value}: {'ok' if e.ok else 'FAIL'}"
+            + (f" — {e.detail}" if e.detail else "")
+            for e in self.events)
+
+
+class FlowError(RuntimeError):
+    """Raised when redesign iterations are exhausted without success."""
+
+
+# Strategy signatures.  `select` returns candidate topology names
+# best-first; `translate` sizes one topology against specs returning
+# (sizes, predicted_performance); `verify` re-measures performance of a
+# sized design (simulation), returning the measured dict; `layout`
+# produces a layout artifact and the parasitic-degraded performance.
+SelectFn = Callable[[SpecSet], list[str]]
+TranslateFn = Callable[[str, SpecSet], tuple[dict, dict]]
+VerifyFn = Callable[[str, dict], dict]
+LayoutFn = Callable[[str, dict], tuple[object, dict]]
+
+
+@dataclass
+class DesignTask:
+    """One block to design at one hierarchy level."""
+
+    name: str
+    specs: SpecSet
+    select: SelectFn
+    translate: TranslateFn
+    verify: VerifyFn | None = None
+    layout: LayoutFn | None = None
+    max_redesigns: int = 3
+
+
+@dataclass
+class DesignOutcome:
+    block: str
+    topology: str
+    sizes: dict
+    predicted: dict
+    verified: dict | None
+    layout_artifact: object | None
+    extracted: dict | None
+    log: FlowLog
+
+
+def run_design_task(task: DesignTask,
+                    log: FlowLog | None = None) -> DesignOutcome:
+    """Execute the top-down/bottom-up flow for one block.
+
+    Tries each selected topology in order; within a topology, verification
+    or extraction failures trigger redesign iterations (re-translation
+    with the same specs — strategies may be stochastic) up to
+    ``max_redesigns``; exhausted topologies fall through to the next
+    candidate.
+    """
+    log = log if log is not None else FlowLog()
+    candidates = task.select(task.specs)
+    log.record(task.name, StepKind.TOPOLOGY, bool(candidates),
+               f"candidates: {candidates}")
+    if not candidates:
+        raise FlowError(f"{task.name}: no viable topology")
+    last_failure = "no attempt"
+    for topology in candidates:
+        for attempt in range(task.max_redesigns):
+            if attempt > 0:
+                log.record(task.name, StepKind.REDESIGN, True,
+                           f"attempt {attempt + 1} on {topology}")
+            try:
+                sizes, predicted = task.translate(topology, task.specs)
+            except Exception as exc:  # translation tools raise varied types
+                log.record(task.name, StepKind.TRANSLATE, False, str(exc))
+                last_failure = f"translate({topology}): {exc}"
+                break  # sizing failure is structural: try next topology
+            ok_pred = task.specs.all_satisfied(predicted)
+            log.record(task.name, StepKind.TRANSLATE, ok_pred,
+                       f"{topology}: predicted cost "
+                       f"{task.specs.cost(predicted):.4g}")
+            if not ok_pred:
+                last_failure = f"{topology}: predicted specs not met"
+                continue
+            verified = None
+            if task.verify is not None:
+                verified = task.verify(topology, sizes)
+                ok_ver = task.specs.all_satisfied(verified)
+                log.record(task.name, StepKind.VERIFY, ok_ver,
+                           f"{topology}: verification")
+                if not ok_ver:
+                    last_failure = f"{topology}: verification failed"
+                    continue
+            artifact, extracted = None, None
+            if task.layout is not None:
+                artifact, extracted = task.layout(topology, sizes)
+                ok_ext = task.specs.all_satisfied(extracted)
+                log.record(task.name, StepKind.EXTRACT_VERIFY, ok_ext,
+                           f"{topology}: extracted verification")
+                if not ok_ext:
+                    last_failure = f"{topology}: extracted specs not met"
+                    continue
+            return DesignOutcome(task.name, topology, sizes, predicted,
+                                 verified, artifact, extracted, log)
+    raise FlowError(
+        f"{task.name}: all topologies exhausted after redesigns "
+        f"(last failure: {last_failure})")

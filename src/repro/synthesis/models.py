@@ -1,0 +1,272 @@
+"""Analytic (equation-based) performance models for opamp topologies.
+
+These are the "(simplified) analytic design equations" of the
+equation-based optimization tools (OPASYN, OPTIMAN, STAIC): square-law
+first-order expressions for gain, bandwidth, slew rate, swing, noise,
+power and area as functions of device sizes and bias currents.
+
+The same equations serve three masters:
+
+* the knowledge-based design plans invert them in a fixed order;
+* the equation-based optimizer evaluates them inside annealing;
+* the topology selector evaluates them over *intervals* for feasibility.
+
+Every function takes and returns plain floats so interval objects can flow
+through unchanged wherever the expression is interval-compatible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuits.devices import (
+    BOLTZMANN,
+    ROOM_TEMP_K,
+    MosModel,
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+)
+
+FOUR_KT = 4.0 * BOLTZMANN * ROOM_TEMP_K
+
+
+
+def db20_value(gain):
+    """20·log10(gain) for floats or intervals (interval-safe)."""
+    if hasattr(gain, "log"):
+        return gain.log() * (20.0 / math.log(10.0))
+    return 20.0 * math.log10(gain)
+
+def gm_saturation(kp: float, w_over_l: float, i_d: float):
+    """gm = sqrt(2·kp·(W/L)·Id) — works for floats and intervals."""
+    x = 2.0 * kp * w_over_l * i_d
+    if hasattr(x, "sqrt"):
+        return x.sqrt()
+    return math.sqrt(x)
+
+
+def gds_saturation(lambda_: float, i_d: float):
+    """Output conductance gds = λ·Id."""
+    return lambda_ * i_d
+
+
+def overdrive(kp: float, w_over_l: float, i_d: float):
+    """Vov = sqrt(2·Id/(kp·W/L))."""
+    x = 2.0 * i_d / (kp * w_over_l)
+    if hasattr(x, "sqrt"):
+        return x.sqrt()
+    return math.sqrt(x)
+
+
+@dataclass(frozen=True)
+class OtaDesign:
+    """Design variables of the 5-transistor OTA (shared by all frontends)."""
+
+    w_in: float
+    l_in: float
+    w_load: float
+    l_load: float
+    w_tail: float
+    l_tail: float
+    i_bias: float
+    c_load: float
+    vdd: float = 3.3
+
+    def sizes(self) -> dict[str, float]:
+        return {
+            "w_in": self.w_in, "l_in": self.l_in,
+            "w_load": self.w_load, "l_load": self.l_load,
+            "w_tail": self.w_tail, "l_tail": self.l_tail,
+            "i_bias": self.i_bias, "c_load": self.c_load,
+            "vdd": self.vdd,
+        }
+
+    @staticmethod
+    def from_sizes(sizes: dict[str, float]) -> "OtaDesign":
+        return OtaDesign(
+            w_in=sizes["w_in"], l_in=sizes["l_in"],
+            w_load=sizes["w_load"], l_load=sizes["l_load"],
+            w_tail=sizes["w_tail"], l_tail=sizes["l_tail"],
+            i_bias=sizes["i_bias"], c_load=sizes["c_load"],
+            vdd=sizes.get("vdd", 3.3))
+
+
+def ota_performance(design: OtaDesign,
+                    nmos: MosModel = NMOS_DEFAULT,
+                    pmos: MosModel = PMOS_DEFAULT) -> dict[str, float]:
+    """First-order performance of the 5T OTA (NMOS pair, PMOS mirror).
+
+    Returned metrics: ``gain`` (V/V), ``gain_db``, ``gbw`` (Hz), ``slew_rate``
+    (V/s), ``power`` (W), ``area`` (m² of active devices), ``swing`` (V),
+    ``input_noise_density`` (V/√Hz at white floor), ``vov_in`` (V).
+    """
+    i_tail = design.i_bias  # 1:1 tail mirror
+    i_half = i_tail / 2.0
+    gm_in = gm_saturation(nmos.kp, design.w_in / design.l_in, i_half)
+    gds2 = gds_saturation(nmos.lambda_, i_half)
+    gds4 = gds_saturation(pmos.lambda_, i_half)
+    gain = gm_in / (gds2 + gds4)
+    gbw = gm_in / (2.0 * math.pi * design.c_load)
+    slew = i_tail / design.c_load
+    power = design.vdd * (i_tail + design.i_bias)  # tail + reference branch
+    area = 2 * (design.w_in * design.l_in
+                + design.w_load * design.l_load
+                + design.w_tail * design.l_tail) * 1.5  # wiring overhead
+    vov_in = overdrive(nmos.kp, design.w_in / design.l_in, i_half)
+    vov_tail = overdrive(nmos.kp, design.w_tail / design.l_tail, i_tail)
+    vov_load = overdrive(pmos.kp, design.w_load / design.l_load, i_half)
+    swing = design.vdd - vov_tail - vov_in - vov_load
+    gm_load = gm_saturation(pmos.kp, design.w_load / design.l_load, i_half)
+    # Input-referred white noise density of the pair + mirrored load.
+    noise2 = 2.0 * FOUR_KT * (2.0 / 3.0) / gm_in * (1.0 + gm_load / gm_in)
+    if hasattr(noise2, "sqrt"):
+        noise = noise2.sqrt()
+    else:
+        noise = math.sqrt(noise2)
+    gain_db = db20_value(gain)
+    return {
+        "gain": gain,
+        "gain_db": gain_db,
+        "gbw": gbw,
+        "slew_rate": slew,
+        "power": power,
+        "area": area,
+        "swing": swing,
+        "input_noise_density": noise,
+        "vov_in": vov_in,
+    }
+
+
+@dataclass(frozen=True)
+class TwoStageDesign:
+    """Design variables of the Miller two-stage opamp."""
+
+    w_in: float
+    l_in: float
+    w_load: float
+    l_load: float
+    w_tail: float
+    l_tail: float
+    w_p2: float
+    l_p2: float
+    c_comp: float
+    i_bias: float
+    c_load: float
+    vdd: float = 3.3
+
+    def sizes(self) -> dict[str, float]:
+        # The library's second-stage sink is ratio-derived for bias balance.
+        w_n2 = (self.w_p2 / self.l_p2) / (self.w_load / self.l_load) \
+            * (self.w_tail / 1.0) * 0.5 * 2e-6
+        return {
+            "w_in": self.w_in, "l_in": self.l_in,
+            "w_load": self.w_load, "l_load": self.l_load,
+            "w_tail": self.w_tail, "l_tail": self.l_tail,
+            "w_p2": self.w_p2, "l_p2": self.l_p2,
+            "w_n2": max(w_n2, 2e-6), "l_n2": 2e-6,
+            "c_comp": self.c_comp,
+            "i_bias": self.i_bias, "c_load": self.c_load,
+            "vdd": self.vdd,
+        }
+
+
+def two_stage_performance(design: TwoStageDesign,
+                          nmos: MosModel = NMOS_DEFAULT,
+                          pmos: MosModel = PMOS_DEFAULT) -> dict[str, float]:
+    """First-order performance of the Miller-compensated two-stage opamp."""
+    i_tail = design.i_bias
+    i_half = i_tail / 2.0
+    # Second-stage current from the mirror ratio (balanced design).
+    i2 = i_half * (design.w_p2 / design.l_p2) / (design.w_load / design.l_load)
+    gm1 = gm_saturation(nmos.kp, design.w_in / design.l_in, i_half)
+    gm6 = gm_saturation(pmos.kp, design.w_p2 / design.l_p2, i2)
+    gds2 = gds_saturation(nmos.lambda_, i_half)
+    gds4 = gds_saturation(pmos.lambda_, i_half)
+    gds6 = gds_saturation(pmos.lambda_, i2)
+    gds7 = gds_saturation(nmos.lambda_, i2)
+    gain1 = gm1 / (gds2 + gds4)
+    gain2 = gm6 / (gds6 + gds7)
+    gain = gain1 * gain2
+    gbw = gm1 / (2.0 * math.pi * design.c_comp)
+    # Nondominant pole at gm6/CL: phase margin from the two-pole model.
+    p2 = gm6 / (2.0 * math.pi * design.c_load)
+    pm = 90.0 - math.degrees(math.atan(gbw / p2)) if isinstance(gbw, float) \
+        else 90.0
+    slew = min(i_tail / design.c_comp, i2 / design.c_load) \
+        if isinstance(i2, float) else i_tail / design.c_comp
+    power = design.vdd * (i_tail + i2 + design.i_bias)
+    area = (2 * (design.w_in * design.l_in + design.w_load * design.l_load)
+            + design.w_tail * design.l_tail + design.w_p2 * design.l_p2
+            + design.c_comp / 1e-3) * 1.5  # 1 mF/m² MiM-style cap density
+    vov_in = overdrive(nmos.kp, design.w_in / design.l_in, i_half)
+    vov6 = overdrive(pmos.kp, design.w_p2 / design.l_p2, i2)
+    swing = design.vdd - vov6 - overdrive(nmos.lambda_ * 0 + nmos.kp,
+                                          design.w_tail / design.l_tail,
+                                          i2)
+    noise2 = 2.0 * FOUR_KT * (2.0 / 3.0) / gm1
+    noise = noise2.sqrt() if hasattr(noise2, "sqrt") else math.sqrt(noise2)
+    gain_db = db20_value(gain)
+    return {
+        "gain": gain,
+        "gain_db": gain_db,
+        "gbw": gbw,
+        "phase_margin": pm,
+        "slew_rate": slew,
+        "power": power,
+        "area": area,
+        "swing": swing,
+        "input_noise_density": noise,
+        "vov_in": vov_in,
+    }
+
+
+def folded_cascode_performance(sizes: dict[str, float],
+                               nmos: MosModel = NMOS_DEFAULT,
+                               pmos: MosModel = PMOS_DEFAULT) -> dict[str, float]:
+    """First-order performance of the folded-cascode OTA.
+
+    ``sizes`` uses the keys of ``FOLDED_CASCODE_DEFAULTS`` in the circuit
+    library.  Single-stage: GBW = gm_in/(2π·CL); gain boosted by the
+    cascode factor gm·ro.
+    """
+    i_tail = sizes["i_bias"]
+    i_half = i_tail / 2.0
+    c_load = sizes["c_load"]
+    vdd = sizes.get("vdd", 3.3)
+    gm_in = gm_saturation(nmos.kp, sizes["w_in"] / sizes["l_in"], i_half)
+    # Cascode legs carry the source current minus half the tail, i.e.
+    # i_tail/2 (written as a single term so interval evaluation does not
+    # suffer the dependency problem of i_tail - i_tail/2).
+    i_leg = i_tail / 2.0
+    gm_cn = gm_saturation(nmos.kp, sizes["w_ncas"] / sizes["l_ncas"], i_leg)
+    gm_cp = gm_saturation(pmos.kp, sizes["w_pcas"] / sizes["l_pcas"], i_leg)
+    go_n = gds_saturation(nmos.lambda_, i_leg)
+    go_p = gds_saturation(pmos.lambda_, i_leg)
+    r_down = gm_cn / (go_n * go_n)          # cascoded NMOS mirror
+    r_up = gm_cp / (go_p * (go_p + gds_saturation(nmos.lambda_, i_half)))
+    r_out = 1.0 / (1.0 / r_down + 1.0 / r_up)
+    gain = gm_in * r_out
+    gbw = gm_in / (2.0 * math.pi * c_load)
+    slew = i_tail / c_load
+    power = vdd * (2 * i_tail + 2 * sizes["i_bias"])
+    area = sum(sizes[w] * sizes[l] for w, l in (
+        ("w_in", "l_in"), ("w_tail", "l_tail"), ("w_psrc", "l_psrc"),
+        ("w_pcas", "l_pcas"), ("w_ncas", "l_ncas"), ("w_nsrc", "l_nsrc"),
+    )) * 2 * 1.5
+    noise2 = 2.0 * FOUR_KT * (2.0 / 3.0) / gm_in * 1.5
+    noise = noise2.sqrt() if hasattr(noise2, "sqrt") else math.sqrt(noise2)
+    vov_in = overdrive(nmos.kp, sizes["w_in"] / sizes["l_in"], i_half)
+    swing = vdd - 4.0 * 0.25  # four stacked overdrives, nominal
+    gain_db = db20_value(gain)
+    return {
+        "gain": gain,
+        "gain_db": gain_db,
+        "gbw": gbw,
+        "slew_rate": slew,
+        "power": power,
+        "area": area,
+        "swing": swing,
+        "input_noise_density": noise,
+        "vov_in": vov_in,
+    }

@@ -1,0 +1,301 @@
+"""Concrete design plans: the hand-derived expertise of IDAC/OASYS.
+
+Each plan inverts the first-order equations of
+:mod:`repro.synthesis.models` in a fixed, topology-specific order — the
+"prearranged design plans" of IDAC.  The OTA plan follows the classic
+gm/overdrive design recipe; the two-stage plan demonstrates OASYS-style
+hierarchy by invoking the OTA-stage reasoning for its input stage.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.devices import NMOS_DEFAULT, PMOS_DEFAULT
+from repro.synthesis.models import (
+    OtaDesign,
+    TwoStageDesign,
+    ota_performance,
+    two_stage_performance,
+)
+from repro.synthesis.plans import DesignPlan, PlanError, PlanLibrary
+
+# Technology-derived plan constants (synthetic 0.8 µm process).
+_L_MIN = 1e-6
+_L_ANALOG = 2e-6
+_VOV_NOM = 0.20          # nominal overdrive the plans design for
+_W_MIN, _W_MAX = 2e-6, 2000e-6
+
+
+def _w_over_l_for(gm: float, i_d: float, kp: float) -> float:
+    """Invert gm = sqrt(2·kp·(W/L)·Id)."""
+    return gm * gm / (2.0 * kp * i_d)
+
+
+def build_ota_plan() -> DesignPlan:
+    """Plan for the 5-transistor OTA.
+
+    Specs consumed: ``gbw`` (Hz), ``slew_rate`` (V/s), ``c_load`` (F),
+    ``gain`` (V/V, checked), ``vdd``.  Strategy: slew rate fixes the tail
+    current, GBW fixes gm of the input pair, overdrive targets fix W/L.
+    """
+    nmos, pmos = NMOS_DEFAULT, PMOS_DEFAULT
+    plan = DesignPlan(
+        "five_transistor_ota",
+        size_keys=["w_in", "l_in", "w_load", "l_load", "w_tail", "l_tail",
+                   "i_bias", "c_load", "vdd"],
+        performance_keys=["gain", "gain_db", "gbw", "slew_rate", "power",
+                          "area", "swing", "input_noise_density"],
+    )
+    plan.compute(
+        "i_tail", lambda c: max(c["slew_rate"] * c["c_load"], 2e-6),
+        "tail current from slew-rate spec: I = SR·CL")
+    plan.compute(
+        "gm_in", lambda c: 2.0 * math.pi * c["gbw"] * c["c_load"],
+        "input gm from GBW spec: gm = 2π·GBW·CL")
+    plan.compute(
+        "w_over_l_in",
+        lambda c: _w_over_l_for(c["gm_in"], c["i_tail"] / 2, nmos.kp),
+        "input W/L from gm at Id = Itail/2")
+    plan.compute("l_in", lambda c: _L_ANALOG, "analog L for matching/gain")
+    plan.compute(
+        "w_in", lambda c: c["w_over_l_in"] * c["l_in"])
+    plan.check(
+        "w_in_range", lambda c: _W_MIN <= c["w_in"] <= _W_MAX,
+        "input width out of range — GBW/slew combination infeasible")
+    plan.compute(
+        "w_over_l_load",
+        lambda c: 2.0 * (c["i_tail"] / 2) / (pmos.kp * _VOV_NOM ** 2),
+        "load W/L for nominal overdrive")
+    plan.compute("l_load", lambda c: _L_ANALOG)
+    plan.compute("w_load", lambda c: max(
+        c["w_over_l_load"] * c["l_load"], _W_MIN))
+    plan.compute(
+        "w_over_l_tail",
+        lambda c: 2.0 * c["i_tail"] / (nmos.kp * _VOV_NOM ** 2),
+        "tail W/L for nominal overdrive")
+    plan.compute("l_tail", lambda c: _L_ANALOG)
+    plan.compute("w_tail", lambda c: max(
+        c["w_over_l_tail"] * c["l_tail"], _W_MIN))
+    plan.compute("i_bias", lambda c: c["i_tail"], "1:1 tail mirror")
+
+    def finish(ctx: dict) -> dict:
+        design = OtaDesign(
+            w_in=ctx["w_in"], l_in=ctx["l_in"],
+            w_load=ctx["w_load"], l_load=ctx["l_load"],
+            w_tail=ctx["w_tail"], l_tail=ctx["l_tail"],
+            i_bias=ctx["i_bias"], c_load=ctx["c_load"],
+            vdd=ctx.get("vdd", 3.3))
+        perf = ota_performance(design)
+        if "gain" in ctx and perf["gain"] < ctx["gain"]:
+            raise PlanError(
+                f"five_transistor_ota: achievable gain {perf['gain']:.1f} "
+                f"< required {ctx['gain']:.1f} — choose a cascode/two-stage "
+                "topology", step="verify_gain")
+        out = dict(perf)
+        out["vdd"] = design.vdd
+        return out
+
+    plan.step("evaluate", finish, "evaluate first-order performance")
+    return plan
+
+
+def build_two_stage_plan() -> DesignPlan:
+    """Plan for the Miller two-stage opamp.
+
+    Specs: ``gain`` (V/V), ``gbw``, ``slew_rate``, ``c_load``,
+    ``phase_margin`` (deg), ``vdd``.  Classic recipe: Cc from CL and phase
+    margin, gm1 from GBW·Cc, tail from SR·Cc, second stage gm from the
+    nondominant pole requirement.
+    """
+    nmos, pmos = NMOS_DEFAULT, PMOS_DEFAULT
+    plan = DesignPlan(
+        "two_stage_miller",
+        size_keys=["w_in", "l_in", "w_load", "l_load", "w_tail", "l_tail",
+                   "w_p2", "l_p2", "c_comp", "i_bias", "c_load", "vdd"],
+        performance_keys=["gain", "gain_db", "gbw", "phase_margin",
+                          "slew_rate", "power", "area", "swing",
+                          "input_noise_density"],
+    )
+    plan.compute(
+        "c_comp",
+        lambda c: max(0.3 * c["c_load"] * math.tan(
+            math.radians(c.get("phase_margin", 60.0))) / math.tan(
+            math.radians(60.0)), 0.2e-12),
+        "Miller cap: Cc ≈ 0.3·CL scaled by phase-margin demand")
+    plan.compute(
+        "i_tail", lambda c: max(c["slew_rate"] * c["c_comp"], 2e-6),
+        "tail current from SR through Cc")
+    plan.compute(
+        "gm1", lambda c: 2.0 * math.pi * c["gbw"] * c["c_comp"],
+        "first-stage gm from GBW")
+    plan.compute(
+        "w_over_l_in",
+        lambda c: _w_over_l_for(c["gm1"], c["i_tail"] / 2, nmos.kp))
+    plan.compute("l_in", lambda c: _L_ANALOG)
+    plan.compute("w_in", lambda c: c["w_over_l_in"] * c["l_in"])
+    plan.check("w_in_range", lambda c: _W_MIN <= c["w_in"] <= _W_MAX,
+               "input width infeasible for GBW/SR specs")
+    plan.compute(
+        "gm6_req",
+        lambda c: 2.0 * math.pi * (3.0 * c["gbw"]) * c["c_load"],
+        "second-stage gm: nondominant pole at 3·GBW for phase margin")
+    plan.compute("l_load", lambda c: _L_ANALOG)
+    plan.compute(
+        "w_load",
+        lambda c: max(2.0 * (c["i_tail"] / 2)
+                      / (pmos.kp * _VOV_NOM ** 2) * c["l_load"], _W_MIN))
+    plan.compute("l_tail", lambda c: _L_ANALOG)
+    plan.compute(
+        "w_tail",
+        lambda c: max(2.0 * c["i_tail"] / (nmos.kp * _VOV_NOM ** 2)
+                      * c["l_tail"], _W_MIN))
+    plan.compute("l_p2", lambda c: 1.5e-6)
+
+    def second_stage(ctx: dict) -> dict:
+        # Choose the mirror ratio so the second stage carries enough
+        # current to realize gm6 at the nominal overdrive.
+        i2 = ctx["gm6_req"] * _VOV_NOM / 2.0
+        i2 = max(i2, ctx["i_tail"])
+        w_over_l = _w_over_l_for(ctx["gm6_req"], i2, pmos.kp)
+        return {"i2": i2, "w_p2": max(w_over_l * ctx["l_p2"], _W_MIN)}
+
+    plan.step("second_stage", second_stage,
+              "second-stage current and width for gm6")
+    plan.compute("i_bias", lambda c: c["i_tail"], "1:1 reference")
+
+    def finish(ctx: dict) -> dict:
+        design = TwoStageDesign(
+            w_in=ctx["w_in"], l_in=ctx["l_in"],
+            w_load=ctx["w_load"], l_load=ctx["l_load"],
+            w_tail=ctx["w_tail"], l_tail=ctx["l_tail"],
+            w_p2=ctx["w_p2"], l_p2=ctx["l_p2"],
+            c_comp=ctx["c_comp"], i_bias=ctx["i_bias"],
+            c_load=ctx["c_load"], vdd=ctx.get("vdd", 3.3))
+        perf = two_stage_performance(design)
+        if "gain" in ctx and perf["gain"] < ctx["gain"]:
+            raise PlanError(
+                f"two_stage_miller: achievable gain {perf['gain']:.0f} < "
+                f"required {ctx['gain']:.0f}", step="verify_gain")
+        out = dict(perf)
+        out["vdd"] = design.vdd
+        return out
+
+    plan.step("evaluate", finish, "evaluate first-order performance")
+    return plan
+
+
+def build_input_stage_plan() -> DesignPlan:
+    """Reusable sub-plan: size a differential input stage for (gm, I).
+
+    This is the OASYS building block: a lower-level cell plan invoked by
+    higher-level topology plans.  Specs consumed: ``gm_target`` (S),
+    ``i_tail`` (A).  Produces pair + load + tail sizes.
+    """
+    nmos, pmos = NMOS_DEFAULT, PMOS_DEFAULT
+    plan = DesignPlan(
+        "diff_input_stage",
+        size_keys=["w_in", "l_in", "w_load", "l_load", "w_tail", "l_tail"],
+        performance_keys=["gm_achieved", "vov_in"],
+    )
+    plan.compute(
+        "w_over_l_in",
+        lambda c: _w_over_l_for(c["gm_target"], c["i_tail"] / 2, nmos.kp),
+        "pair W/L from the gm target")
+    plan.compute("l_in", lambda c: _L_ANALOG)
+    plan.compute("w_in", lambda c: max(c["w_over_l_in"] * c["l_in"],
+                                       _W_MIN))
+    plan.check("w_in_range", lambda c: c["w_in"] <= _W_MAX,
+               "input device too wide for the gm/I combination")
+    plan.compute("l_load", lambda c: _L_ANALOG)
+    plan.compute(
+        "w_load",
+        lambda c: max(2.0 * (c["i_tail"] / 2)
+                      / (pmos.kp * _VOV_NOM ** 2) * c["l_load"], _W_MIN))
+    plan.compute("l_tail", lambda c: _L_ANALOG)
+    plan.compute(
+        "w_tail",
+        lambda c: max(2.0 * c["i_tail"] / (nmos.kp * _VOV_NOM ** 2)
+                      * c["l_tail"], _W_MIN))
+    plan.compute(
+        "gm_achieved",
+        lambda c: math.sqrt(2.0 * nmos.kp * (c["w_in"] / c["l_in"])
+                            * c["i_tail"] / 2.0))
+    plan.compute(
+        "vov_in",
+        lambda c: math.sqrt(2.0 * (c["i_tail"] / 2)
+                            / (nmos.kp * c["w_in"] / c["l_in"])))
+    return plan
+
+
+def build_hierarchical_two_stage_plan() -> DesignPlan:
+    """Two-stage plan that delegates its first stage to the sub-plan.
+
+    Demonstrates OASYS-style hierarchy: "Hierarchy allowed to reuse
+    design plans of lower-level cells while building up higher-level cell
+    design plans" (§2.2).  Functionally interchangeable with
+    :func:`build_two_stage_plan`; size keys come back with the
+    ``stage1_`` prefix from the sub-plan invocation.
+    """
+    pmos = PMOS_DEFAULT
+    plan = DesignPlan(
+        "two_stage_hierarchical",
+        size_keys=["stage1_w_in", "stage1_l_in", "stage1_w_load",
+                   "stage1_l_load", "stage1_w_tail", "stage1_l_tail",
+                   "w_p2", "l_p2", "c_comp", "i_bias", "c_load", "vdd"],
+        performance_keys=["gain", "gbw", "phase_margin", "power"],
+    )
+    plan.compute(
+        "c_comp",
+        lambda c: max(0.3 * c["c_load"], 0.2e-12),
+        "Miller cap from the load")
+    plan.compute(
+        "i_tail", lambda c: max(c["slew_rate"] * c["c_comp"], 2e-6))
+    plan.compute(
+        "gm1", lambda c: 2.0 * math.pi * c["gbw"] * c["c_comp"])
+    plan.subplan(
+        "input_stage", build_input_stage_plan(),
+        lambda c: {"gm_target": c["gm1"], "i_tail": c["i_tail"]},
+        result_prefix="stage1_")
+    plan.compute(
+        "gm6_req",
+        lambda c: 2.0 * math.pi * (3.0 * c["gbw"]) * c["c_load"])
+    plan.compute("l_p2", lambda c: 1.5e-6)
+
+    def second_stage(ctx: dict) -> dict:
+        i2 = max(ctx["gm6_req"] * _VOV_NOM / 2.0, ctx["i_tail"])
+        w_over_l = _w_over_l_for(ctx["gm6_req"], i2, pmos.kp)
+        return {"i2": i2, "w_p2": max(w_over_l * ctx["l_p2"], _W_MIN)}
+
+    plan.step("second_stage", second_stage)
+    plan.compute("i_bias", lambda c: c["i_tail"])
+
+    def finish(ctx: dict) -> dict:
+        design = TwoStageDesign(
+            w_in=ctx["stage1_w_in"], l_in=ctx["stage1_l_in"],
+            w_load=ctx["stage1_w_load"], l_load=ctx["stage1_l_load"],
+            w_tail=ctx["stage1_w_tail"], l_tail=ctx["stage1_l_tail"],
+            w_p2=ctx["w_p2"], l_p2=ctx["l_p2"],
+            c_comp=ctx["c_comp"], i_bias=ctx["i_bias"],
+            c_load=ctx["c_load"], vdd=ctx.get("vdd", 3.3))
+        perf = two_stage_performance(design)
+        if "gain" in ctx and perf["gain"] < ctx["gain"]:
+            raise PlanError(
+                f"two_stage_hierarchical: gain {perf['gain']:.0f} < "
+                f"required {ctx['gain']:.0f}", step="verify_gain")
+        return {"gain": perf["gain"], "gbw": perf["gbw"],
+                "phase_margin": perf["phase_margin"],
+                "power": perf["power"], "vdd": ctx.get("vdd", 3.3)}
+
+    plan.step("evaluate", finish)
+    return plan
+
+
+def default_plan_library() -> PlanLibrary:
+    """The plan library shipped with the tool (IDAC's 'initial schematics')."""
+    lib = PlanLibrary()
+    lib.register(build_ota_plan())
+    lib.register(build_two_stage_plan())
+    lib.register(build_input_stage_plan())
+    lib.register(build_hierarchical_two_stage_plan())
+    return lib

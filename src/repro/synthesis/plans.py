@@ -1,0 +1,192 @@
+"""Knowledge-based synthesis: IDAC/OASYS-style design plans.
+
+A *design plan* is a hand-derived, pre-ordered procedure that maps
+specifications directly to device sizes — no search.  Executing a plan is
+microseconds (the tutorial: plans allow "fast performance space
+explorations"), but each plan encodes topology-specific expertise that the
+paper reports takes ~4× the effort of designing the circuit once.
+
+This module provides the plan *infrastructure*: step sequencing with an
+execution trace (the OASYS explanation facility), failure diagnosis when a
+spec is unreachable, and hierarchical plan composition (OASYS's key
+addition over IDAC: plans for higher-level cells invoke sub-plans).
+Concrete plans live in :mod:`repro.synthesis.plan_library`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+Context = dict
+
+
+class PlanError(RuntimeError):
+    """Raised when a plan cannot meet its specifications.
+
+    ``diagnosis`` names the step and quantity that failed — the hook OASYS
+    used for backtracking and redesign at a higher hierarchy level.
+    """
+
+    def __init__(self, message: str, step: str | None = None):
+        super().__init__(message)
+        self.step = step
+
+
+@dataclass
+class PlanStep:
+    """One plan action: compute values, check a constraint, or run a subplan."""
+
+    name: str
+    action: Callable[[Context], dict]
+    description: str = ""
+
+    def execute(self, ctx: Context) -> dict:
+        try:
+            return self.action(ctx) or {}
+        except PlanError:
+            raise
+        except (ValueError, ZeroDivisionError, OverflowError, KeyError) as exc:
+            raise PlanError(f"step {self.name!r} failed: {exc}",
+                            step=self.name) from exc
+
+
+@dataclass
+class TraceEntry:
+    step: str
+    produced: dict
+    description: str = ""
+
+
+@dataclass
+class PlanResult:
+    """Plan output: sizes, predicted performance and the execution trace."""
+
+    sizes: dict
+    performance: dict
+    trace: list[TraceEntry] = field(default_factory=list)
+
+    def explain(self) -> str:
+        lines = []
+        for entry in self.trace:
+            produced = ", ".join(
+                f"{k}={_fmt(v)}" for k, v in entry.produced.items())
+            text = f"  [{entry.step}] {produced}"
+            if entry.description:
+                text += f"   ({entry.description})"
+            lines.append(text)
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class DesignPlan:
+    """An ordered list of steps executed against a specification context.
+
+    The context starts as a copy of the input specs; each step reads it and
+    returns new key/value pairs merged back in.  Keys listed in
+    ``size_keys`` form the sizing result; keys in ``performance_keys`` the
+    predicted performance.
+    """
+
+    def __init__(self, name: str, size_keys: list[str],
+                 performance_keys: list[str]):
+        self.name = name
+        self.size_keys = list(size_keys)
+        self.performance_keys = list(performance_keys)
+        self.steps: list[PlanStep] = []
+
+    # -- construction ---------------------------------------------------
+    def step(self, name: str, action: Callable[[Context], dict],
+             description: str = "") -> "DesignPlan":
+        self.steps.append(PlanStep(name, action, description))
+        return self
+
+    def compute(self, name: str, fn: Callable[[Context], float],
+                description: str = "") -> "DesignPlan":
+        """Add a step producing one named value."""
+        return self.step(name, lambda ctx: {name: fn(ctx)}, description)
+
+    def check(self, name: str, predicate: Callable[[Context], bool],
+              message: str) -> "DesignPlan":
+        """Add a feasibility check; failing it aborts with diagnosis."""
+
+        def action(ctx: Context) -> dict:
+            if not predicate(ctx):
+                raise PlanError(f"{self.name}: {message}", step=name)
+            return {}
+
+        return self.step(name, action, f"check: {message}")
+
+    def subplan(self, name: str, plan: "DesignPlan",
+                spec_map: Callable[[Context], dict],
+                result_prefix: str = "") -> "DesignPlan":
+        """Invoke another plan with specs derived from the current context.
+
+        This is OASYS-style hierarchy: the sub-plan's sizes come back
+        prefixed so several instances can coexist in one context.
+        """
+
+        def action(ctx: Context) -> dict:
+            sub_result = plan.execute(spec_map(ctx))
+            merged = {}
+            for k, v in {**sub_result.sizes, **sub_result.performance}.items():
+                merged[result_prefix + k] = v
+            return merged
+
+        return self.step(name, action, f"subplan {plan.name}")
+
+    # -- execution --------------------------------------------------------
+    def execute(self, specs: dict) -> PlanResult:
+        ctx: Context = dict(specs)
+        trace: list[TraceEntry] = []
+        for step in self.steps:
+            produced = step.execute(ctx)
+            overlap = set(produced) & set(ctx)
+            stale = {k for k in overlap if ctx[k] != produced[k]
+                     and k not in specs}
+            if stale:
+                raise PlanError(
+                    f"step {step.name!r} rewrites already-computed values "
+                    f"{sorted(stale)}; plans must be feed-forward",
+                    step=step.name)
+            ctx.update(produced)
+            trace.append(TraceEntry(step.name, produced, step.description))
+        missing = [k for k in self.size_keys + self.performance_keys
+                   if k not in ctx]
+        if missing:
+            raise PlanError(
+                f"plan {self.name!r} finished without producing {missing}")
+        sizes = {k: ctx[k] for k in self.size_keys}
+        performance = {k: ctx[k] for k in self.performance_keys}
+        return PlanResult(sizes, performance, trace)
+
+
+class PlanLibrary:
+    """Named plan registry — one entry per supported topology."""
+
+    def __init__(self) -> None:
+        self._plans: dict[str, DesignPlan] = {}
+
+    def register(self, plan: DesignPlan) -> DesignPlan:
+        if plan.name in self._plans:
+            raise ValueError(f"duplicate plan {plan.name!r}")
+        self._plans[plan.name] = plan
+        return plan
+
+    def get(self, name: str) -> DesignPlan:
+        if name not in self._plans:
+            raise KeyError(
+                f"no plan for topology {name!r}; available: "
+                f"{sorted(self._plans)}")
+        return self._plans[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._plans)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._plans

@@ -1,0 +1,173 @@
+"""High-level RF receiver front-end optimization [Crols et al., ICCAD'95].
+
+The paper's example of simulation-based optimization applied *above* the
+circuit level: a receiver chain (LNA → mixer → filter → VGA/ADC) is
+described with behavioural models (gain, noise figure, IIP3, power
+estimators per block); a dedicated evaluator computes the ratio of wanted
+signal to all unwanted contributions (noise + distortion) in the band of
+interest; and an optimization loop distributes gain/noise/linearity specs
+over the blocks for minimum total power.
+
+The cascade mathematics are the standard Friis (noise) and IIP3 (third-
+order intercept) formulas; the power estimators embody the usual analog
+trade-offs (power grows with dynamic range demanded of a block).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.specs import Spec, SpecSet
+from repro.opt.anneal import AnnealSchedule
+from repro.synthesis.equation_based import (
+    DesignSpace,
+    EquationBasedSizer,
+    SizingResult,
+)
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Behavioural description of one receiver block."""
+
+    name: str
+    gain_db: float       # voltage gain
+    nf_db: float         # noise figure
+    iip3_dbm: float      # input-referred third-order intercept
+
+    @property
+    def gain_lin(self) -> float:
+        return 10.0 ** (self.gain_db / 10.0)  # power gain
+
+    @property
+    def noise_factor(self) -> float:
+        return 10.0 ** (self.nf_db / 10.0)
+
+    @property
+    def iip3_mw(self) -> float:
+        return 10.0 ** (self.iip3_dbm / 10.0)
+
+
+def cascade_noise_figure(blocks: list[BlockSpec]) -> float:
+    """Friis formula; returns the cascade noise figure in dB."""
+    f_total = 0.0
+    gain_product = 1.0
+    for i, blk in enumerate(blocks):
+        if i == 0:
+            f_total = blk.noise_factor
+        else:
+            f_total += (blk.noise_factor - 1.0) / gain_product
+        gain_product *= blk.gain_lin
+    return 10.0 * math.log10(f_total)
+
+
+def cascade_iip3_dbm(blocks: list[BlockSpec]) -> float:
+    """Cascade IIP3 (dBm), coherent worst-case combination."""
+    inv = 0.0
+    gain_product = 1.0
+    for blk in blocks:
+        inv += gain_product / blk.iip3_mw
+        gain_product *= blk.gain_lin
+    return 10.0 * math.log10(1.0 / inv)
+
+
+def cascade_gain_db(blocks: list[BlockSpec]) -> float:
+    return sum(b.gain_db for b in blocks)
+
+
+# Power estimators: each block's power grows with its gain and with the
+# dynamic range (low NF, high IIP3) demanded of it.  Constants are chosen
+# to land in the tens-of-mW regime of mid-90s receivers.
+_BLOCK_POWER_BASE = {"lna": 2e-3, "mixer": 3e-3, "filter": 1.5e-3,
+                     "vga": 1e-3}
+
+
+def block_power(kind: str, gain_db: float, nf_db: float,
+                iip3_dbm: float) -> float:
+    base = _BLOCK_POWER_BASE[kind]
+    # Lower NF is exponentially expensive; so is higher IIP3 and gain.
+    noise_cost = 10.0 ** ((3.0 - nf_db) / 10.0)
+    lin_cost = 10.0 ** ((iip3_dbm + 10.0) / 15.0)
+    gain_cost = 1.0 + max(gain_db, 0.0) / 15.0
+    return base * (0.3 + noise_cost) * lin_cost * gain_cost
+
+
+def receiver_performance(params: dict[str, float]) -> dict[str, float]:
+    """Front-end performance from per-block behavioural parameters.
+
+    ``params`` carries ``<block>_gain/<block>_nf/<block>_iip3`` for blocks
+    lna, mixer, vga (the filter is passive/fixed).  Metrics: cascade
+    ``gain_db``, ``nf_db``, ``iip3_dbm``, ``sndr_db`` (signal to noise+
+    distortion for the standard test signal) and total ``power``.
+    """
+    blocks = [
+        BlockSpec("lna", params["lna_gain"], params["lna_nf"],
+                  params["lna_iip3"]),
+        BlockSpec("mixer", params["mixer_gain"], params["mixer_nf"],
+                  params["mixer_iip3"]),
+        BlockSpec("filter", -2.0, 2.0, 40.0),   # passive filter, fixed
+        BlockSpec("vga", params["vga_gain"], params["vga_nf"],
+                  params["vga_iip3"]),
+    ]
+    gain = cascade_gain_db(blocks)
+    nf = cascade_noise_figure(blocks)
+    iip3 = cascade_iip3_dbm(blocks)
+    # Standard scenario: -70 dBm wanted signal, -40 dBm adjacent blockers,
+    # 200 kHz noise bandwidth at 290 K (-174 dBm/Hz thermal floor).
+    p_signal = -70.0
+    p_blocker = -40.0
+    noise_floor = -174.0 + 10.0 * math.log10(200e3) + nf
+    # Third-order intermodulation of the two blockers lands in-band.
+    p_im3 = 3.0 * p_blocker - 2.0 * iip3
+    snr = p_signal - noise_floor
+    sdr = p_signal - p_im3
+    sndr = -10.0 * math.log10(10 ** (-snr / 10.0) + 10 ** (-sdr / 10.0))
+    power = (block_power("lna", params["lna_gain"], params["lna_nf"],
+                         params["lna_iip3"])
+             + block_power("mixer", params["mixer_gain"],
+                           params["mixer_nf"], params["mixer_iip3"])
+             + block_power("filter", 0.0, 3.0, 10.0)
+             + block_power("vga", params["vga_gain"], params["vga_nf"],
+                           params["vga_iip3"]))
+    return {
+        "gain_db": gain,
+        "nf_db": nf,
+        "iip3_dbm": iip3,
+        "sndr_db": sndr,
+        "power": power,
+    }
+
+
+def receiver_specs(sndr_min_db: float = 12.0,
+                   gain_min_db: float = 70.0) -> SpecSet:
+    """Signal-quality specs for the given application (e.g. GSM-like)."""
+    return SpecSet([
+        Spec.at_least("sndr_db", sndr_min_db),
+        Spec.at_least("gain_db", gain_min_db),
+        Spec.minimize("power", good=30e-3),
+    ])
+
+
+def receiver_space() -> DesignSpace:
+    return DesignSpace(variables={
+        "lna_gain": (5.0, 25.0), "lna_nf": (1.0, 8.0),
+        "lna_iip3": (-15.0, 10.0),
+        "mixer_gain": (0.0, 20.0), "mixer_nf": (4.0, 18.0),
+        "mixer_iip3": (-10.0, 15.0),
+        "vga_gain": (10.0, 60.0), "vga_nf": (8.0, 30.0),
+        "vga_iip3": (-5.0, 20.0),
+    }, log_scale=False)
+
+
+def optimize_receiver(sndr_min_db: float = 12.0,
+                      gain_min_db: float = 70.0,
+                      seed: int = 1) -> SizingResult:
+    """Distribute block specs for minimum front-end power (the [29] loop)."""
+    sizer = EquationBasedSizer(
+        receiver_performance, receiver_space(),
+        receiver_specs(sndr_min_db, gain_min_db),
+        schedule=AnnealSchedule(moves_per_temperature=200, cooling=0.9,
+                                max_evaluations=30000),
+        seed=seed)
+    return sizer.run()

@@ -1,0 +1,211 @@
+"""Switched-capacitor filter synthesis — the silicon-compiler application.
+
+The tutorial cites SC filters twice: as a synthesis success ("not only
+operational amplifiers but also filters [30]") and as the canonical
+procedural-generation workload at the system level ("switched capacitor
+filters [52]").  This module implements the frontend half of such a
+silicon compiler:
+
+1. continuous-time prototype: cascade of biquads from a lowpass spec
+   (Butterworth pole placement);
+2. discrete-time mapping: bilinear transform at the switching rate;
+3. capacitor-ratio synthesis for the standard parasitic-insensitive
+   switched-capacitor biquad (Fleischer–Laker style), with unit-cap
+   quantization;
+4. area/spread optimization: choose the unit capacitance so that kT/C
+   noise and total capacitor area trade off under a matching-driven
+   minimum unit size.
+
+The backend half (the common-centroid unit-capacitor array generator)
+lives in :mod:`repro.layout.caparray`; together they form the [52]-style
+generator pipeline.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+
+from repro.circuits.devices import BOLTZMANN, ROOM_TEMP_K
+
+
+class ScSynthesisError(ValueError):
+    pass
+
+
+@dataclass(frozen=True)
+class BiquadSpec:
+    """One second-order section: pole frequency and quality factor."""
+
+    f0: float
+    q: float
+    gain: float = 1.0
+
+
+def butterworth_biquads(f_cutoff: float, order: int,
+                        gain: float = 1.0) -> list[BiquadSpec]:
+    """Butterworth lowpass prototype as cascaded biquads.
+
+    Even orders only (each section is second-order), poles at the
+    standard equally-spaced positions on the circle of radius ω_c.
+    """
+    if order < 2 or order % 2 != 0:
+        raise ScSynthesisError("order must be even and >= 2")
+    sections = []
+    n_sections = order // 2
+    for k in range(n_sections):
+        theta = math.pi * (2 * k + 1) / (2 * order)
+        q = 1.0 / (2.0 * math.sin(theta))
+        section_gain = gain ** (1.0 / n_sections)
+        sections.append(BiquadSpec(f_cutoff, q, section_gain))
+    return sections
+
+
+@dataclass
+class ScBiquad:
+    """Capacitor ratios of one parasitic-insensitive SC biquad.
+
+    Uses the classic low-Q Fleischer–Laker assignment: integrating caps
+    ``a`` (normalized to 1), switched input/feedback caps ``k1, k2, k3``
+    realized as ratios to the unit capacitor.
+    """
+
+    spec: BiquadSpec
+    f_clock: float
+    # Ratios relative to the integrating capacitor.
+    k1: float = field(init=False)
+    k2: float = field(init=False)
+    k3: float = field(init=False)
+
+    def __post_init__(self):
+        if self.f_clock < 10.0 * self.spec.f0:
+            raise ScSynthesisError(
+                "switching rate must be >= 10x the pole frequency "
+                f"(got {self.f_clock:g} vs f0 {self.spec.f0:g})")
+        # Bilinear prewarping of the pole frequency.
+        t = 1.0 / self.f_clock
+        w0 = 2.0 / t * math.tan(math.pi * self.spec.f0 * t)
+        # Classic design equations for the low-Q biquad:
+        #   k1 = w0·T/Q (damping), k2 = (w0·T)^2 (resonance),
+        #   k3 = gain·k2 (input).
+        w0t = w0 * t
+        self.k2 = w0t * w0t
+        self.k1 = w0t / self.spec.q
+        self.k3 = self.spec.gain * self.k2
+
+    def z_poles(self) -> tuple[complex, complex]:
+        """Poles of the discrete-time transfer function."""
+        # Denominator: z^2 + (k1·k2... ) — use the standard mapping
+        # D(z) = z² + (k1 + k2 - 2)z + (1 - k1).
+        b = self.k1 + self.k2 - 2.0
+        c = 1.0 - self.k1
+        disc = cmath.sqrt(b * b - 4.0 * c)
+        return ((-b + disc) / 2.0, (-b - disc) / 2.0)
+
+    def is_stable(self) -> bool:
+        return all(abs(p) < 1.0 for p in self.z_poles())
+
+    def effective_f0_q(self) -> tuple[float, float]:
+        """Realized pole frequency/Q back-computed from the z-poles."""
+        p = self.z_poles()[0]
+        s = cmath.log(p) * self.f_clock  # z = exp(sT)
+        w0 = abs(s)
+        q = -w0 / (2.0 * s.real) if s.real != 0 else float("inf")
+        return w0 / (2.0 * math.pi), q
+
+
+@dataclass
+class CapacitorBudget:
+    """Unit-capacitor realization of one biquad's ratios."""
+
+    unit_cap: float
+    units: dict[str, int]            # cap name -> number of unit caps
+    total_cap: float
+    total_units: int
+    spread: float                    # largest/smallest cap ratio
+    ratio_error: float               # worst quantization error
+    kt_c_noise_v: float              # rms noise of the smallest sampler
+
+
+def quantize_ratios(biquad: ScBiquad, unit_cap: float,
+                    max_units: int = 4096) -> CapacitorBudget:
+    """Realize the biquad's ratios as integer multiples of a unit cap.
+
+    The integrating capacitor gets enough units that the smallest
+    switched cap is at least one unit; ratio errors are the relative
+    quantization residuals the matching-driven layout must preserve.
+    """
+    ratios = {"c_int1": 1.0, "c_int2": 1.0, "k1": biquad.k1,
+              "k2": biquad.k2, "k3": biquad.k3}
+    smallest = min(r for r in ratios.values() if r > 0)
+    scale = max(1.0, 1.0 / smallest)
+    units = {}
+    worst_err = 0.0
+    for name, ratio in ratios.items():
+        n = max(1, round(ratio * scale))
+        if n > max_units:
+            raise ScSynthesisError(
+                f"capacitor spread too large: {name} needs {n} units")
+        units[name] = n
+        realized = n / scale
+        worst_err = max(worst_err, abs(realized - ratio) / ratio)
+    total_units = sum(units.values())
+    total_cap = total_units * unit_cap
+    spread = max(units.values()) / min(units.values())
+    smallest_cap = min(units.values()) * unit_cap
+    ktc = math.sqrt(BOLTZMANN * ROOM_TEMP_K / smallest_cap)
+    return CapacitorBudget(unit_cap, units, total_cap, total_units,
+                           spread, worst_err, ktc)
+
+
+@dataclass
+class ScFilterDesign:
+    """A synthesized SC filter: biquads + capacitor budgets."""
+
+    sections: list[ScBiquad]
+    budgets: list[CapacitorBudget]
+    f_clock: float
+
+    @property
+    def total_capacitance(self) -> float:
+        return sum(b.total_cap for b in self.budgets)
+
+    @property
+    def total_units(self) -> int:
+        return sum(b.total_units for b in self.budgets)
+
+    def worst_noise_v(self) -> float:
+        return max(b.kt_c_noise_v for b in self.budgets)
+
+    def area_estimate(self, cap_density: float = 1e-3,
+                      overhead: float = 1.6) -> float:
+        """m² of capacitor array including routing/matching overhead."""
+        return self.total_capacitance / cap_density * overhead
+
+
+def synthesize_sc_filter(f_cutoff: float, order: int, f_clock: float,
+                         noise_budget_v: float = 200e-6,
+                         unit_cap_min: float = 50e-15,
+                         gain: float = 1.0) -> ScFilterDesign:
+    """Synthesize a Butterworth SC lowpass meeting a kT/C noise budget.
+
+    The unit capacitor is the design degree of freedom: grown until the
+    worst sampler's kT/C noise is inside the budget, floored at the
+    matching-driven minimum.
+    """
+    specs = butterworth_biquads(f_cutoff, order, gain)
+    sections = [ScBiquad(s, f_clock) for s in specs]
+    for section in sections:
+        if not section.is_stable():
+            raise ScSynthesisError("unstable discrete-time section")
+    unit = unit_cap_min
+    for _ in range(40):
+        budgets = [quantize_ratios(b, unit) for b in sections]
+        design = ScFilterDesign(sections, budgets, f_clock)
+        if design.worst_noise_v() <= noise_budget_v:
+            return design
+        unit *= 1.5
+    raise ScSynthesisError(
+        f"noise budget {noise_budget_v:g} V unreachable below 40 unit-cap "
+        "growth steps")

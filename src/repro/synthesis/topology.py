@@ -1,0 +1,253 @@
+"""Topology selection: rules, interval feasibility, GA and enumeration.
+
+The tutorial describes four generations of topology selection, all
+reproduced here over a shared candidate registry:
+
+* **rule-based** (OASYS/OPASYN): heuristic if-then rules on the specs;
+* **boundary checking / interval analysis** [15]: evaluate the analytic
+  performance equations over the *intervals* of the design parameters and
+  discard topologies whose achievable performance interval cannot meet the
+  spec;
+* **GA-based** (DARWIN [28]): a genetic algorithm over topology choice
+  plus sizing genes;
+* **mixed boolean optimization** [26]: exhaustive relaxation over the
+  (small) boolean topology space, each evaluated by sizing — the exact
+  version of the MINLP formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.specs import Spec, SpecKind, SpecSet
+from repro.opt.genetic import CategoricalGene, FloatGene, GeneticOptimizer
+from repro.opt.interval import Interval, IntervalError
+from repro.synthesis.equation_based import (
+    DesignSpace,
+    EquationBasedSizer,
+    SizingResult,
+)
+from repro.synthesis.models import (
+    OtaDesign,
+    TwoStageDesign,
+    folded_cascode_performance,
+    ota_performance,
+    two_stage_performance,
+)
+
+
+@dataclass
+class TopologyCandidate:
+    """One selectable circuit topology with its equation model and space."""
+
+    name: str
+    model: Callable[[dict], dict]
+    space: DesignSpace
+    # Qualitative attributes consumed by the rule-based selector.
+    stages: int = 1
+    max_gain_db: float = 60.0
+    relative_power: float = 1.0  # heuristic power rank (1 = cheapest)
+
+
+def _ota_model(sizes: dict) -> dict:
+    return ota_performance(OtaDesign.from_sizes(sizes))
+
+
+def _two_stage_model(sizes: dict) -> dict:
+    return two_stage_performance(TwoStageDesign(
+        w_in=sizes["w_in"], l_in=sizes["l_in"],
+        w_load=sizes["w_load"], l_load=sizes["l_load"],
+        w_tail=sizes["w_tail"], l_tail=sizes["l_tail"],
+        w_p2=sizes["w_p2"], l_p2=sizes["l_p2"],
+        c_comp=sizes["c_comp"], i_bias=sizes["i_bias"],
+        c_load=sizes["c_load"], vdd=sizes.get("vdd", 3.3)))
+
+
+def _folded_model(sizes: dict) -> dict:
+    return folded_cascode_performance(sizes)
+
+
+def default_candidates(c_load: float = 2e-12) -> list[TopologyCandidate]:
+    """The registry of opamp topologies the selector chooses between."""
+    common = {"c_load": c_load, "vdd": 3.3}
+    ota_space = DesignSpace(
+        variables={
+            "w_in": (2e-6, 1000e-6), "l_in": (1e-6, 10e-6),
+            "w_load": (2e-6, 500e-6), "l_load": (1e-6, 10e-6),
+            "w_tail": (2e-6, 500e-6), "l_tail": (1e-6, 10e-6),
+            "i_bias": (1e-6, 2e-3),
+        }, fixed=dict(common))
+    two_stage_space = DesignSpace(
+        variables={
+            "w_in": (2e-6, 1000e-6), "l_in": (1e-6, 10e-6),
+            "w_load": (2e-6, 500e-6), "l_load": (1e-6, 10e-6),
+            "w_tail": (2e-6, 500e-6), "l_tail": (1e-6, 10e-6),
+            "w_p2": (2e-6, 2000e-6), "l_p2": (1e-6, 5e-6),
+            "c_comp": (0.2e-12, 20e-12),
+            "i_bias": (1e-6, 2e-3),
+        }, fixed=dict(common))
+    folded_space = DesignSpace(
+        variables={
+            "w_in": (2e-6, 1000e-6), "l_in": (1e-6, 10e-6),
+            "w_tail": (2e-6, 500e-6), "l_tail": (1e-6, 10e-6),
+            "w_psrc": (2e-6, 1000e-6), "l_psrc": (1e-6, 10e-6),
+            "w_pcas": (2e-6, 1000e-6), "l_pcas": (1e-6, 10e-6),
+            "w_ncas": (2e-6, 500e-6), "l_ncas": (1e-6, 10e-6),
+            "w_nsrc": (2e-6, 500e-6), "l_nsrc": (1e-6, 10e-6),
+            "i_bias": (1e-6, 2e-3),
+        }, fixed=dict(common))
+    return [
+        TopologyCandidate("five_transistor_ota", _ota_model, ota_space,
+                          stages=1, max_gain_db=52.0, relative_power=1.0),
+        TopologyCandidate("folded_cascode", _folded_model, folded_space,
+                          stages=1, max_gain_db=80.0, relative_power=2.0),
+        TopologyCandidate("two_stage_miller", _two_stage_model,
+                          two_stage_space, stages=2, max_gain_db=95.0,
+                          relative_power=2.5),
+    ]
+
+
+# ----------------------------------------------------------------------
+# 1. Rule-based selection
+# ----------------------------------------------------------------------
+
+def select_rule_based(specs: SpecSet,
+                      candidates: list[TopologyCandidate]) -> list[str]:
+    """Heuristic ranking: cheapest topology whose gain headroom suffices.
+
+    Returns candidate names best-first — the OASYS behaviour of proposing
+    a topology and falling back on failure.
+    """
+    gain_req = _required_gain_db(specs)
+    viable = [c for c in candidates if c.max_gain_db >= gain_req + 3.0]
+    if not viable:
+        viable = sorted(candidates, key=lambda c: -c.max_gain_db)
+    return [c.name for c in sorted(viable, key=lambda c: c.relative_power)]
+
+
+def _required_gain_db(specs: SpecSet) -> float:
+    for s in specs.constraints:
+        if s.name == "gain_db" and s.kind is SpecKind.MIN:
+            return s.value
+        if s.name == "gain" and s.kind is SpecKind.MIN:
+            import math
+            return 20.0 * math.log10(s.value)
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# 2. Interval / boundary-checking feasibility
+# ----------------------------------------------------------------------
+
+def interval_feasible(candidate: TopologyCandidate,
+                      specs: SpecSet) -> bool:
+    """Is any point of the design space possibly spec-compliant?
+
+    Evaluates the candidate's performance model with *interval* design
+    variables; a constraint whose achievable interval misses the spec
+    proves infeasibility (the converse is not a proof — interval arithmetic
+    over-approximates — which is exactly how [15] used it: as a fast
+    pre-filter).
+    """
+    point: dict[str, object] = {
+        name: Interval(lo, hi)
+        for name, (lo, hi) in candidate.space.variables.items()
+    }
+    point.update(candidate.space.fixed)
+    try:
+        performance = candidate.model(point)
+    except (IntervalError, TypeError, ValueError):
+        return True  # model not interval-safe for this topology: no proof
+    for spec in specs.constraints:
+        achieved = performance.get(spec.name)
+        if achieved is None or not isinstance(achieved, Interval):
+            continue
+        if spec.kind is SpecKind.MIN and achieved.hi < spec.value:
+            return False
+        if spec.kind is SpecKind.MAX and achieved.lo > spec.value:
+            return False
+        if spec.kind is SpecKind.EQUAL and not achieved.contains(spec.value):
+            return False
+    return True
+
+
+def select_interval(specs: SpecSet,
+                    candidates: list[TopologyCandidate]) -> list[str]:
+    """Filter candidates by interval feasibility, rank by power heuristic."""
+    viable = [c for c in candidates if interval_feasible(c, specs)]
+    return [c.name for c in sorted(viable, key=lambda c: c.relative_power)]
+
+
+# ----------------------------------------------------------------------
+# 3. GA-based simultaneous topology selection + sizing (DARWIN)
+# ----------------------------------------------------------------------
+
+@dataclass
+class TopologySelectionResult:
+    topology: str
+    sizing: SizingResult
+    evaluations: int = 0
+
+
+def select_genetic(specs: SpecSet, candidates: list[TopologyCandidate],
+                   generations: int = 25, population: int = 40,
+                   seed: int = 1) -> TopologySelectionResult:
+    """DARWIN: one genome carries the topology gene plus the *union* of all
+    sizing genes; fitness sizes whichever topology the genome selects."""
+    by_name = {c.name: c for c in candidates}
+    genes: list = [CategoricalGene("topology",
+                                   tuple(c.name for c in candidates))]
+    seen: set[str] = set()
+    for cand in candidates:
+        for var, (lo, hi) in cand.space.variables.items():
+            if var not in seen:
+                seen.add(var)
+                genes.append(FloatGene(var, lo, hi))
+
+    def fitness(genome: dict) -> float:
+        cand = by_name[genome["topology"]]
+        point = {v: genome[v] for v in cand.space.variables}
+        try:
+            perf = cand.model(cand.space.complete(point))
+        except (ValueError, ZeroDivisionError, OverflowError):
+            return 1e6
+        return specs.cost(perf)
+
+    ga = GeneticOptimizer(genes, fitness, population=population, seed=seed)
+    result = ga.run(generations=generations)
+    winner = by_name[result.best["topology"]]
+    point = {v: result.best[v] for v in winner.space.variables}
+    perf = winner.model(winner.space.complete(point))
+    sizing = SizingResult(
+        sizes=winner.space.complete(point), performance=perf,
+        cost=result.best_fitness,
+        feasible=specs.all_satisfied(perf),
+        evaluations=result.evaluations, runtime_s=0.0)
+    return TopologySelectionResult(winner.name, sizing, result.evaluations)
+
+
+# ----------------------------------------------------------------------
+# 4. Boolean enumeration (exact version of the MINLP formulation [26])
+# ----------------------------------------------------------------------
+
+def select_enumerate(specs: SpecSet, candidates: list[TopologyCandidate],
+                     seed: int = 1) -> TopologySelectionResult:
+    """Size *every* candidate and keep the best — exact 'boolean' optimum.
+
+    [26] relaxed the boolean topology variables inside one optimization;
+    with a handful of candidates the exact enumeration is affordable and
+    gives the reference answer the benchmarks compare the other selectors
+    against.
+    """
+    best: TopologySelectionResult | None = None
+    total_evals = 0
+    for cand in candidates:
+        sizer = EquationBasedSizer(cand.model, cand.space, specs, seed=seed)
+        result = sizer.run()
+        total_evals += result.evaluations
+        if best is None or result.cost < best.sizing.cost:
+            best = TopologySelectionResult(cand.name, result)
+    assert best is not None
+    best.evaluations = total_evals
+    return best

@@ -1,0 +1,262 @@
+"""Tests for AC, transient, noise and sensitivity analyses vs. theory."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ParameterRef,
+    ac_adjoint_sensitivities,
+    ac_analysis,
+    bode_metrics,
+    dc_operating_point,
+    equivalent_noise_charge,
+    finite_difference_sensitivities,
+    logspace_frequencies,
+    noise_analysis,
+    small_signal_system,
+    transient,
+)
+from repro.circuits.devices import BOLTZMANN, ROOM_TEMP_K, Waveform
+from repro.circuits.library import (
+    common_source_amp,
+    five_transistor_ota,
+    rc_ladder,
+    rlc_tank,
+    two_stage_miller,
+    voltage_divider,
+)
+from repro.circuits.netlist import Circuit
+
+
+def _rc_lowpass(r=1e3, c=1e-9):
+    ckt = Circuit("rc")
+    ckt.vsource("vin", "a", "0", dc=0.0, ac=1.0)
+    ckt.resistor("r1", "a", "out", r)
+    ckt.capacitor("c1", "out", "0", c)
+    return ckt
+
+
+class TestAc:
+    def test_rc_pole_location(self):
+        r, c = 1e3, 1e-9
+        f_pole = 1 / (2 * math.pi * r * c)
+        res = ac_analysis(_rc_lowpass(r, c), np.array([f_pole]))
+        assert abs(res.v("out")[0]) == pytest.approx(1 / math.sqrt(2), rel=1e-6)
+
+    def test_rc_phase_at_pole(self):
+        r, c = 1e3, 1e-9
+        f_pole = 1 / (2 * math.pi * r * c)
+        res = ac_analysis(_rc_lowpass(r, c), np.array([f_pole]))
+        assert np.angle(res.v("out")[0]) == pytest.approx(-math.pi / 4, rel=1e-6)
+
+    def test_rc_bode_metrics(self):
+        r, c = 1e3, 1e-9
+        f_pole = 1 / (2 * math.pi * r * c)
+        res = ac_analysis(_rc_lowpass(r, c),
+                          logspace_frequencies(10, 1e9, 20))
+        m = bode_metrics(res, "out")
+        assert m.dc_gain == pytest.approx(1.0, rel=1e-3)
+        assert m.bandwidth_3db == pytest.approx(f_pole, rel=0.05)
+
+    def test_rlc_resonance(self):
+        l, c = 1e-9, 1e-12
+        f0 = 1 / (2 * math.pi * math.sqrt(l * c))
+        res = ac_analysis(rlc_tank(5.0, l, c),   # Q = sqrt(L/C)/R ~ 6.3
+                          np.array([f0 / 100, f0, f0 * 100]))
+        mags = np.abs(res.v("out"))
+        assert mags[1] > 2 * mags[0]  # peaking at resonance (Q > 1)
+        assert mags[2] < 0.01         # rolls off above
+
+    def test_divider_flat(self):
+        res = ac_analysis(voltage_divider(1e3, 1e3),
+                          logspace_frequencies(1, 1e6, 4))
+        assert np.allclose(np.abs(res.v("out")), 0.5, rtol=1e-6)
+
+    def test_ota_gain_matches_gm_ro(self):
+        ota = five_transistor_ota()
+        ota.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        ota.vsource("vin_", "inn", "0", dc=1.5)
+        op = dc_operating_point(ota)
+        m2, m4 = op.mos["m2"], op.mos["m4"]
+        expected = m2.gm / (m2.gds + m4.gds)
+        res = ac_analysis(ota, np.array([10.0]), op=op)
+        assert abs(res.v("out")[0]) == pytest.approx(expected, rel=0.05)
+
+    def test_two_stage_has_higher_gain_than_ota(self):
+        def gain(build):
+            ckt = build()
+            ckt.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+            ckt.vsource("vin_", "inn", "0", dc=1.5)
+            res = ac_analysis(ckt, np.array([1.0]))
+            return abs(res.v("out")[0])
+        assert gain(two_stage_miller) > 3 * gain(five_transistor_ota)
+
+    def test_miller_compensation_single_pole_rolloff(self):
+        amp = two_stage_miller()
+        amp.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        amp.vsource("vin_", "inn", "0", dc=1.5)
+        res = ac_analysis(amp, logspace_frequencies(1, 1e9, 10))
+        m = bode_metrics(res, "out")
+        assert m.phase_margin_deg > 30.0
+        assert m.unity_gain_freq > m.bandwidth_3db
+
+
+class TestTransient:
+    def test_rc_step_response(self):
+        c = Circuit("rc")
+        c.vsource("vin", "a", "0", dc=0.0,
+                  waveform=Waveform("pulse", (0, 1, 0, 1e-12, 1e-12, 1, 2)))
+        c.resistor("r1", "a", "out", 1e3)
+        c.capacitor("c1", "out", "0", 1e-9)
+        tr = transient(c, 5e-6, 2e-8)
+        tau = 1e-6
+        for t_check in (0.5e-6, 1e-6, 2e-6):
+            expected = 1 - math.exp(-t_check / tau)
+            assert tr.value_at("out", t_check) == pytest.approx(expected, abs=5e-3)
+
+    def test_sin_steady_state(self):
+        c = Circuit("sin")
+        c.vsource("vin", "a", "0", dc=0.0,
+                  waveform=Waveform("sin", (0.0, 1.0, 1e6)))
+        c.resistor("r1", "a", "out", 1.0)
+        tr = transient(c, 2e-6, 1e-8)
+        assert tr.value_at("out", 0.25e-6) == pytest.approx(1.0, abs=1e-2)
+
+    def test_initial_condition_from_op(self):
+        # DC source charged: output starts at the DC solution.
+        c = Circuit("ic")
+        c.vsource("vin", "a", "0", dc=2.0)
+        c.resistor("r1", "a", "out", 1e3)
+        c.capacitor("c1", "out", "0", 1e-9)
+        tr = transient(c, 1e-6, 1e-8)
+        assert tr.v("out")[0] == pytest.approx(2.0, rel=1e-3)
+
+    def test_settling_time(self):
+        c = Circuit("rc")
+        c.vsource("vin", "a", "0", dc=0.0,
+                  waveform=Waveform("pulse", (0, 1, 0, 1e-12, 1e-12, 1, 2)))
+        c.resistor("r1", "a", "out", 1e3)
+        c.capacitor("c1", "out", "0", 1e-9)
+        tr = transient(c, 10e-6, 2e-8)
+        ts = tr.settling_time("out", final=1.0, band=0.01)
+        # 1% settling of a single pole is ~4.6 tau = 4.6 us.
+        assert 3e-6 < ts < 6e-6
+
+    def test_peak_measurement(self):
+        c = Circuit("peak")
+        c.vsource("vin", "a", "0", dc=0.0,
+                  waveform=Waveform("pwl", points=((0, 0), (1e-6, 1), (2e-6, 0))))
+        c.resistor("r1", "a", "out", 1.0)
+        tr = transient(c, 3e-6, 1e-8)
+        t_pk, v_pk = tr.peak("out")
+        assert v_pk == pytest.approx(1.0, abs=0.02)
+        assert t_pk == pytest.approx(1e-6, abs=5e-8)
+
+    def test_mos_inverter_switches(self):
+        from repro.circuits.devices import NMOS_DEFAULT
+        c = Circuit("inv")
+        c.vsource("vdd_src", "vdd", "0", dc=3.3)
+        c.vsource("vin", "g", "0", dc=0.0,
+                  waveform=Waveform("pulse", (0, 3.3, 1e-9, 1e-10, 1e-10, 1e-8, 1)))
+        c.resistor("rl", "vdd", "out", 10e3)
+        c.mosfet("m1", "out", "g", "0", "0", NMOS_DEFAULT, 20e-6, 1e-6)
+        c.capacitor("cl", "out", "0", 10e-15)
+        tr = transient(c, 8e-9, 5e-11)
+        assert tr.v("out")[0] == pytest.approx(3.3, rel=1e-2)  # off: pulled up
+        assert tr.value_at("out", 6e-9) < 0.5                   # on: pulled low
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            transient(_rc_lowpass(), -1.0, 1e-9)
+        with pytest.raises(ValueError):
+            transient(_rc_lowpass(), 1e-6, 0.0)
+
+
+class TestNoise:
+    def test_resistor_divider_thermal(self):
+        # Two equal resistors: output noise = 4kT·(R/2).
+        r = 10e3
+        res = noise_analysis(voltage_divider(r, r, 1.0), "out",
+                             np.logspace(2, 5, 10))
+        expected = 4 * BOLTZMANN * ROOM_TEMP_K * (r / 2)
+        assert res.output_psd[0] == pytest.approx(expected, rel=1e-3)
+        assert res.output_psd[-1] == pytest.approx(expected, rel=1e-3)
+
+    def test_rc_integrated_noise_is_kt_over_c(self):
+        # Total noise of an RC lowpass integrates to kT/C, independent of R.
+        c_val = 1e-12
+        ckt = _rc_lowpass(1e3, c_val)
+        freqs = np.logspace(0, 12, 400)
+        res = noise_analysis(ckt, "out", freqs)
+        v2 = res.output_rms() ** 2
+        assert v2 == pytest.approx(BOLTZMANN * ROOM_TEMP_K / c_val, rel=0.02)
+
+    def test_mos_flicker_dominates_low_freq(self):
+        cs = common_source_amp(vgs=1.0)
+        res = noise_analysis(cs, "out", np.logspace(0, 8, 30))
+        flicker = [c for c in res.contributions if c.kind == "flicker"]
+        thermal = [c for c in res.contributions
+                   if c.kind == "thermal" and c.device == "m1"]
+        assert flicker and thermal
+        assert flicker[0].psd[0] > thermal[0].psd[0]      # 1/f wins at 1 Hz
+        assert flicker[0].psd[-1] < thermal[0].psd[-1]    # thermal wins at 100 MHz
+
+    def test_gain_available_with_ac_source(self):
+        cs = common_source_amp(vgs=1.0)
+        res = noise_analysis(cs, "out", np.logspace(2, 4, 5))
+        assert res.gain is not None
+        inp = res.input_referred_psd()
+        assert np.all(inp > 0)
+
+    def test_dominant_contributor(self):
+        # Output node sees r1 || r2; both transfers are equal, so the
+        # smaller resistor's larger current noise (4kT/R) dominates.
+        res = noise_analysis(voltage_divider(10.0, 100e3, 1.0), "out",
+                             np.logspace(2, 4, 5))
+        assert res.dominant_contributor() == "r1"
+
+    def test_enc_scaling(self):
+        res = noise_analysis(voltage_divider(1e3, 1e3, 1.0), "out",
+                             np.logspace(2, 6, 30))
+        enc1 = equivalent_noise_charge(res, gain_v_per_coulomb=1e12)
+        enc2 = equivalent_noise_charge(res, gain_v_per_coulomb=2e12)
+        assert enc1 == pytest.approx(2 * enc2, rel=1e-9)
+
+
+class TestSensitivity:
+    def test_fd_divider_sensitivity(self):
+        ckt = voltage_divider(1e3, 1e3, 2.0)
+
+        def perf(c):
+            return dc_operating_point(c).v("out")
+
+        refs = [ParameterRef("r1", "value"), ParameterRef("r2", "value")]
+        sens = finite_difference_sensitivities(ckt, perf, refs)
+        # vout = vin·r2/(r1+r2): dv/dr1 = -vin·r2/(r1+r2)^2 = -0.5e-3
+        assert sens[refs[0]] == pytest.approx(-2.0 * 1e3 / 4e6, rel=1e-3)
+        assert sens[refs[1]] == pytest.approx(+2.0 * 1e3 / 4e6, rel=1e-3)
+
+    def test_fd_does_not_mutate(self):
+        ckt = voltage_divider(1e3, 1e3, 2.0)
+        refs = [ParameterRef("r1", "value")]
+        finite_difference_sensitivities(
+            ckt, lambda c: dc_operating_point(c).v("out"), refs)
+        assert ckt.device("r1").value == 1e3
+
+    def test_adjoint_matches_finite_difference(self):
+        ckt = _rc_lowpass(1e3, 1e-9)
+        ss = small_signal_system(ckt)
+        f_test = 1e5
+        adjoint = {s.device: s.d_mag
+                   for s in ac_adjoint_sensitivities(ss, "out", f_test)}
+
+        def mag_out(c):
+            res = ac_analysis(c, np.array([f_test]))
+            return abs(res.v("out")[0])
+
+        refs = [ParameterRef("r1", "value"), ParameterRef("c1", "value")]
+        fd = finite_difference_sensitivities(ckt, mag_out, refs, rel_step=1e-4)
+        assert adjoint["r1"] == pytest.approx(fd[refs[0]], rel=1e-2)
+        assert adjoint["c1"] == pytest.approx(fd[refs[1]], rel=1e-2)

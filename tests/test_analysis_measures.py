@@ -1,0 +1,80 @@
+"""Tests for the opamp measurement utilities."""
+
+import pytest
+
+from repro.analysis.measures import (
+    cmrr_db,
+    common_mode_gain,
+    differential_gain,
+    full_characterization,
+    output_swing,
+    psrr_db,
+    systematic_offset,
+    unity_step_response,
+)
+from repro.circuits.library import five_transistor_ota, two_stage_miller
+
+
+@pytest.fixture(scope="module")
+def ota():
+    return five_transistor_ota()
+
+
+class TestGains:
+    def test_differential_gain_matches_bode(self, ota):
+        # Same number the AC/bode path reports.
+        assert differential_gain(ota) == pytest.approx(188.5, rel=0.02)
+
+    def test_common_mode_gain_small(self, ota):
+        assert common_mode_gain(ota) < 0.1 * differential_gain(ota)
+
+    def test_cmrr_large_for_matched_pair(self, ota):
+        # Perfectly matched devices: CMRR limited only by the tail gds.
+        assert cmrr_db(ota) > 60.0
+
+    def test_psrr_positive(self, ota):
+        assert psrr_db(ota) > 20.0
+
+    def test_cmrr_degrades_at_high_frequency(self, ota):
+        assert cmrr_db(ota, freq=1e8) < cmrr_db(ota, freq=10.0)
+
+
+class TestDcMeasures:
+    def test_offset_small_for_symmetric_cell(self, ota):
+        # Systematic offset of a balanced OTA is a few mV at most.
+        assert abs(systematic_offset(ota)) < 0.05
+
+    def test_swing_within_rails(self, ota):
+        lo, hi = output_swing(ota)
+        assert 0.0 <= lo < hi <= 3.3
+        assert hi - lo > 1.0  # a healthy OTA swings over a volt
+
+
+class TestStepResponse:
+    def test_follower_slew_matches_bias(self, ota):
+        response = unity_step_response(ota)
+        # SR = I_tail/CL = 20 uA / 2 pF = 1e7 V/s.
+        assert response.slew_rate == pytest.approx(1e7, rel=0.3)
+
+    def test_follower_settles(self, ota):
+        response = unity_step_response(ota)
+        assert 0 < response.settling_time_1pct < 2e-6
+
+    def test_overshoot_bounded(self, ota):
+        # PM ~ 80 degrees: essentially no overshoot.
+        response = unity_step_response(ota)
+        assert response.overshoot_fraction < 0.1
+
+
+class TestFullCharacterization:
+    def test_datasheet_row_complete(self, ota):
+        row = full_characterization(ota)
+        assert set(row) == {"gain_db", "gbw", "phase_margin", "cmrr_db",
+                            "psrr_db", "offset_v", "swing_low",
+                            "swing_high"}
+
+    def test_two_stage_has_more_gain_less_swing_headroom(self, ota):
+        two_stage = two_stage_miller()
+        row1 = full_characterization(ota)
+        row2 = full_characterization(two_stage)
+        assert row2["gain_db"] > row1["gain_db"] + 20

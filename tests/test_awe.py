@@ -1,0 +1,147 @@
+"""Tests for asymptotic waveform evaluation against analytic references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, small_signal_system, transient
+from repro.awe import (
+    MomentEngine,
+    PadeError,
+    bandwidth_estimate,
+    delay_estimate,
+    pade_model,
+    peak_response,
+    reduce_circuit,
+)
+from repro.circuits.devices import Waveform
+from repro.circuits.library import rc_ladder
+from repro.circuits.netlist import Circuit
+
+
+def _rc(r=1e3, c=1e-9) -> Circuit:
+    ckt = Circuit("rc")
+    ckt.vsource("vin", "a", "0", dc=0.0, ac=1.0)
+    ckt.resistor("r1", "a", "out", r)
+    ckt.capacitor("c1", "out", "0", c)
+    return ckt
+
+
+class TestMoments:
+    def test_rc_moments_analytic(self):
+        # H(s) = 1/(1+sRC): moments 1, -RC, (RC)², ...
+        r, c = 1e3, 1e-9
+        ss = small_signal_system(_rc(r, c))
+        eng = MomentEngine(ss.G, ss.C, np.real(ss.b_ac))
+        m = eng.moments(ss.node("out"), 4)
+        rc = r * c
+        assert m[0] == pytest.approx(1.0, rel=1e-9)
+        assert m[1] == pytest.approx(-rc, rel=1e-6)
+        assert m[2] == pytest.approx(rc ** 2, rel=1e-6)
+        assert m[3] == pytest.approx(-rc ** 3, rel=1e-6)
+
+    def test_moment_caching(self):
+        ss = small_signal_system(_rc())
+        eng = MomentEngine(ss.G, ss.C, np.real(ss.b_ac))
+        first = eng.moments(ss.node("out"), 3)
+        second = eng.moments(ss.node("out"), 3)
+        assert np.array_equal(first, second)
+
+
+class TestPade:
+    def test_single_pole_exact(self):
+        rc = 1e-6
+        moments = np.array([1.0, -rc, rc ** 2, -rc ** 3])
+        model = pade_model(moments, order=1)
+        assert model.poles[0] == pytest.approx(-1 / rc, rel=1e-9)
+        assert model.dc_value() == pytest.approx(1.0, rel=1e-9)
+
+    def test_two_pole_recovery(self):
+        # H(s) = 1/((1+s/p1)(1+s/p2)) with known poles.
+        p1, p2 = 1e6, 1e8
+        k1 = -p1 * p2 / (p2 - p1)  # residues of partial fractions
+        k2 = p1 * p2 / (p2 - p1)
+
+        def moment(k):
+            return -(k1 / (-p1) ** (k + 1) + k2 / (-p2) ** (k + 1))
+
+        moments = np.array([moment(k) for k in range(4)])
+        model = pade_model(moments, order=2)
+        found = sorted(np.abs(model.poles.real))
+        assert found[0] == pytest.approx(p1, rel=1e-4)
+        assert found[1] == pytest.approx(p2, rel=1e-2)
+
+    def test_too_few_moments(self):
+        with pytest.raises(PadeError):
+            pade_model(np.array([1.0, -1.0]), order=2)
+
+    def test_degenerate_order_reduces(self):
+        # Single-pole moments asked for order 2: Hankel is singular, the
+        # model should still come back (order reduced), matching the pole.
+        rc = 1e-6
+        moments = np.array([1.0, -rc, rc ** 2, -rc ** 3])
+        model = pade_model(moments, order=2)
+        assert any(np.isclose(model.poles.real, -1 / rc, rtol=1e-6))
+
+    def test_step_response_single_pole(self):
+        rc = 1e-6
+        model = pade_model(np.array([1.0, -rc, rc ** 2, -rc ** 3]), 1)
+        t = np.array([rc, 2 * rc, 5 * rc])
+        expected = 1 - np.exp(-t / rc)
+        assert np.allclose(model.step_response(t), expected, rtol=1e-6)
+
+
+class TestReduceCircuit:
+    def test_rc_bandwidth(self):
+        r, c = 1e3, 1e-9
+        ss = small_signal_system(_rc(r, c))
+        model = reduce_circuit(ss, "out", order=2)
+        assert bandwidth_estimate(model) == pytest.approx(
+            1 / (2 * math.pi * r * c), rel=1e-3)
+
+    def test_ladder_frequency_response_matches_ac(self):
+        lad = rc_ladder(6, r=1e3, c=1e-12)
+        ss = small_signal_system(lad)
+        model = reduce_circuit(ss, "n6", order=3)
+        freqs = np.logspace(5, 8.5, 12)
+        awe_resp = np.abs(model.frequency_response(freqs))
+        ac = ac_analysis(lad, freqs, ss=ss)
+        exact = np.abs(ac.v("n6"))
+        # AWE captures the dominant poles: accurate while the response is
+        # in-band, progressively worse deep in the stopband.
+        in_band = exact > 0.4
+        assert np.allclose(awe_resp[in_band], exact[in_band], rtol=0.05)
+
+    def test_ladder_delay_vs_transient(self):
+        lad = rc_ladder(5, r=1e3, c=1e-12)
+        ss = small_signal_system(lad)
+        model = reduce_circuit(ss, "n5", order=3)
+        t50_awe = delay_estimate(model, 0.5)
+        # Reference: transient simulation of the same ladder with a step.
+        ckt = rc_ladder(5, r=1e3, c=1e-12)
+        ckt.update_device(
+            "vin", dc=0.0,
+            waveform=Waveform("pulse", (0.0, 1.0, 0.0, 1e-13, 1e-13, 1.0, 2.0)))
+        tr = transient(ckt, 60e-9, 0.1e-9)
+        wave = tr.v("n5")
+        k = int(np.argmax(wave >= 0.5))
+        t50_sim = tr.times[k]
+        assert t50_awe == pytest.approx(t50_sim, rel=0.15)
+
+    def test_dc_value_matches(self):
+        lad = rc_ladder(4)
+        ss = small_signal_system(lad)
+        model = reduce_circuit(ss, "n4", order=2)
+        assert model.dc_value() == pytest.approx(1.0, rel=1e-3)
+
+    def test_peak_response_monotone_step(self):
+        ss = small_signal_system(_rc())
+        model = reduce_circuit(ss, "out", order=1)
+        t_pk, v_pk = peak_response(model, 10e-6)
+        assert v_pk == pytest.approx(1.0, rel=1e-2)
+
+    def test_ground_output_rejected(self):
+        ss = small_signal_system(_rc())
+        with pytest.raises(ValueError):
+            reduce_circuit(ss, "0")

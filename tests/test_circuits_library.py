@@ -1,0 +1,178 @@
+"""Tests for the circuit topology library: every builder is healthy.
+
+Each canned topology must (a) build without duplicate names, (b) reach a
+DC operating point, (c) put its active devices in sensible regions, and
+(d) show the qualitative behaviour it exists to provide.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ac_analysis,
+    bode_metrics,
+    dc_operating_point,
+    logspace_frequencies,
+    transient,
+)
+from repro.circuits.devices import Waveform
+from repro.circuits.library import (
+    charge_sensitive_amplifier,
+    common_source_amp,
+    five_transistor_ota,
+    folded_cascode_ota,
+    large_cascode_opamp,
+    rc_ladder,
+    rlc_tank,
+    shaper_stage,
+    switched_cap_integrator,
+    two_stage_miller,
+    voltage_divider,
+)
+
+
+def _with_inputs(circuit, bias=1.5):
+    circuit.vsource("tb_vip", "inp", "0", dc=bias, ac=1.0)
+    circuit.vsource("tb_vin", "inn", "0", dc=bias)
+    return circuit
+
+
+class TestFoldedCascode:
+    def test_dc_converges_all_saturated(self):
+        fc = _with_inputs(folded_cascode_ota(), bias=1.65)
+        op = dc_operating_point(fc)
+        critical = ("m1", "m2", "m8", "m9", "m10", "m11")
+        regions = {n: op.mos[n].region for n in critical}
+        assert all(r == "saturation" for r in regions.values()), regions
+
+    def test_higher_gain_than_simple_ota(self):
+        def gain(builder, bias):
+            ckt = _with_inputs(builder(), bias)
+            res = ac_analysis(ckt, np.array([10.0]))
+            return abs(res.v("out")[0])
+
+        assert gain(folded_cascode_ota, 1.65) > \
+            3 * gain(five_transistor_ota, 1.5)
+
+    def test_single_stage_stable(self):
+        fc = _with_inputs(folded_cascode_ota(), bias=1.65)
+        metrics = bode_metrics(
+            ac_analysis(fc, logspace_frequencies(10, 1e9, 5)), "out")
+        assert metrics.phase_margin_deg > 45.0
+
+    def test_size_override(self):
+        fc = folded_cascode_ota({"i_bias": 80e-6})
+        assert fc.device("ib1").dc == pytest.approx(80e-6)
+
+
+class TestLargeCascodeOpamp:
+    def test_device_count_741_class(self):
+        big = large_cascode_opamp()
+        assert len(big.mosfets) >= 17
+
+    def test_dc_converges(self):
+        big = _with_inputs(large_cascode_opamp(), bias=1.65)
+        op = dc_operating_point(big)
+        assert 0.0 < op.v("outb") < 3.3
+
+    def test_buffer_output_follows(self):
+        big = _with_inputs(large_cascode_opamp(), bias=1.65)
+        res = ac_analysis(big, np.array([100.0]))
+        # Buffered output carries substantial gain from the cascade.
+        assert abs(res.v("outb")[0]) > 10.0
+
+
+class TestChargeSensitiveAmplifier:
+    def test_self_biased_operating_point(self):
+        csa = charge_sensitive_amplifier()
+        op = dc_operating_point(csa)
+        # Self-bias through R_fb: V(in) == V(out) at DC.
+        assert op.v("in") == pytest.approx(op.v("out"), abs=1e-3)
+        assert op.mos["m1"].region == "saturation"
+
+    def test_charge_integration(self):
+        """A current impulse deposits Q/C_fb at the output (inverted)."""
+        c_fb = 0.5e-12
+        csa = charge_sensitive_amplifier({"c_fb": c_fb, "r_fb": 100e6})
+        q = 10e-15
+        t_pulse = 10e-9
+        csa.isource("idet", "in", "0", dc=0.0,
+                    waveform=Waveform("pulse",
+                                      (0.0, q / t_pulse, 50e-9,
+                                       1e-10, 1e-10, t_pulse, 1.0)))
+        result = transient(csa, 1.2e-6, 2e-9)
+        _, v_pk = result.peak("out")
+        baseline = result.v("out")[0]
+        # Step height ~= Q/C_fb (within loop-gain/charge-split losses).
+        assert abs(v_pk - baseline) == pytest.approx(q / c_fb, rel=0.35)
+
+    def test_reset_through_rfb(self):
+        csa = charge_sensitive_amplifier({"c_fb": 0.5e-12, "r_fb": 5e6})
+        q = 10e-15
+        csa.isource("idet", "in", "0", dc=0.0,
+                    waveform=Waveform("pulse",
+                                      (0.0, q / 10e-9, 50e-9,
+                                       1e-10, 1e-10, 10e-9, 1.0)))
+        result = transient(csa, 20e-6, 20e-9)
+        baseline = result.v("out")[0]
+        # tau = R_fb*C_fb = 2.5 us: by 8 tau the output has recovered.
+        assert result.value_at("out", 20e-6 - 1e-9) == pytest.approx(
+            baseline, abs=0.1 * abs(result.peak("out")[1] - baseline)
+            + 1e-4)
+
+
+class TestShaperStage:
+    def test_lowpass_dc_gain(self):
+        stage = shaper_stage(1, tau=1e-6, gain=4.0)
+        stage.vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        res = ac_analysis(stage, np.array([1.0]))
+        assert abs(res.v("out")[0]) == pytest.approx(4.0, rel=0.01)
+
+    def test_differentiator_blocks_dc(self):
+        stage = shaper_stage(0, tau=1e-6, gain=4.0, differentiator=True)
+        stage.vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        res = ac_analysis(stage, np.array([1.0, 1e7]))
+        assert abs(res.v("out")[0]) < 0.1          # DC blocked
+        assert abs(res.v("out")[1]) == pytest.approx(4.0, rel=0.05)
+
+    def test_corner_at_tau(self):
+        tau = 1e-6
+        stage = shaper_stage(1, tau=tau, gain=1.0)
+        stage.vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        f_c = 1 / (2 * np.pi * tau)
+        res = ac_analysis(stage, np.array([f_c]))
+        assert abs(res.v("out")[0]) == pytest.approx(1 / np.sqrt(2),
+                                                     rel=0.02)
+
+
+class TestMiscBuilders:
+    def test_sc_integrator_charge_gain(self):
+        # Continuous-time (both switches on) view: a charge amplifier
+        # with flat gain C_sample/C_int.
+        sc = switched_cap_integrator(c_sample=1e-12, c_int=4e-12)
+        res = ac_analysis(sc, np.array([1e3, 1e4]))
+        mag = np.abs(res.v("out"))
+        assert mag[0] == pytest.approx(0.25, rel=0.01)
+        assert mag[1] == pytest.approx(0.25, rel=0.01)
+
+    def test_rc_ladder_validation(self):
+        with pytest.raises(ValueError):
+            rc_ladder(0)
+
+    def test_rlc_tank_dc_passes(self):
+        op = dc_operating_point(rlc_tank())
+        assert op.v("out") == pytest.approx(0.0, abs=1e-6)
+
+    def test_divider_values(self):
+        d = voltage_divider(2e3, 1e3, 3.0)
+        op = dc_operating_point(d)
+        assert op.v("out") == pytest.approx(1.0, rel=1e-6)
+
+    def test_common_source_inverts(self):
+        cs = common_source_amp(vgs=1.0)
+        res = ac_analysis(cs, np.array([100.0]))
+        assert np.real(res.v("out")[0]) < 0  # inverting stage
+
+    def test_unknown_size_key_rejected(self):
+        with pytest.raises(KeyError):
+            five_transistor_ota({"nonsense": 1.0})

@@ -1,0 +1,198 @@
+"""Unit tests for the circuit container, devices and hierarchy flattening."""
+
+import pytest
+
+from repro.circuits.devices import (
+    NMOS_DEFAULT,
+    Capacitor,
+    Mosfet,
+    Resistor,
+    SubcktInstance,
+    Waveform,
+)
+from repro.circuits.netlist import GROUND, Circuit, NetlistError, SubcktDef
+
+
+class TestDevices:
+    def test_resistor_positive(self):
+        with pytest.raises(ValueError):
+            Resistor("r1", ("a", "b"), -1.0)
+
+    def test_capacitor_nonnegative(self):
+        with pytest.raises(ValueError):
+            Capacitor("c1", ("a", "b"), -1e-12)
+
+    def test_mosfet_dimensions(self):
+        with pytest.raises(ValueError):
+            Mosfet("m1", ("d", "g", "s", "b"), NMOS_DEFAULT, w=-1e-6, l=1e-6)
+        with pytest.raises(ValueError):
+            Mosfet("m1", ("d", "g", "s", "b"), NMOS_DEFAULT, w=1e-6, l=1e-6, m=0)
+
+    def test_mosfet_terminals(self):
+        m = Mosfet("m1", ("d", "g", "s", "b"), NMOS_DEFAULT, 1e-6, 1e-6)
+        assert (m.drain, m.gate, m.source, m.bulk) == ("d", "g", "s", "b")
+
+    def test_mosfet_beta(self):
+        m = Mosfet("m1", ("d", "g", "s", "b"), NMOS_DEFAULT, w=20e-6, l=2e-6, m=2)
+        assert m.beta == pytest.approx(NMOS_DEFAULT.kp * 10 * 2)
+
+    def test_renamed(self):
+        r = Resistor("r1", ("a", "b"), 1e3)
+        r2 = r.renamed({"a": "x"})
+        assert r2.nodes == ("x", "b")
+        assert r.nodes == ("a", "b")  # original untouched
+
+    def test_with_prefix(self):
+        r = Resistor("r1", ("a", "b"), 1e3)
+        assert r.with_prefix("x1.").name == "x1.r1"
+
+
+class TestWaveform:
+    def test_dc(self):
+        assert Waveform().value_at(1.0, 2.5) == 2.5
+
+    def test_pulse_levels(self):
+        wf = Waveform("pulse", (0.0, 1.0, 1e-9, 1e-10, 1e-10, 5e-9, 20e-9))
+        assert wf.value_at(0.0, 0.0) == 0.0
+        assert wf.value_at(3e-9, 0.0) == pytest.approx(1.0)
+        assert wf.value_at(8e-9, 0.0) == pytest.approx(0.0)
+
+    def test_pulse_periodic(self):
+        wf = Waveform("pulse", (0.0, 1.0, 0.0, 1e-12, 1e-12, 5e-9, 10e-9))
+        assert wf.value_at(12e-9, 0.0) == pytest.approx(1.0)
+        assert wf.value_at(17e-9, 0.0) == pytest.approx(0.0)
+
+    def test_pulse_rise_interpolates(self):
+        wf = Waveform("pulse", (0.0, 2.0, 0.0, 2e-9, 1e-12, 5e-9, 0.0))
+        assert wf.value_at(1e-9, 0.0) == pytest.approx(1.0)
+
+    def test_sin(self):
+        wf = Waveform("sin", (0.5, 1.0, 1e6))
+        assert wf.value_at(0.0, 0.0) == pytest.approx(0.5)
+        assert wf.value_at(0.25e-6, 0.0) == pytest.approx(1.5)
+
+    def test_sin_delay(self):
+        wf = Waveform("sin", (0.0, 1.0, 1e6, 1e-6))
+        assert wf.value_at(0.5e-6, 0.0) == 0.0
+
+    def test_pwl(self):
+        wf = Waveform("pwl", points=((0.0, 0.0), (1e-6, 1.0), (2e-6, 0.5)))
+        assert wf.value_at(0.5e-6, 0.0) == pytest.approx(0.5)
+        assert wf.value_at(1.5e-6, 0.0) == pytest.approx(0.75)
+        assert wf.value_at(5e-6, 0.0) == pytest.approx(0.5)  # holds last
+
+    def test_pwl_before_first_point(self):
+        wf = Waveform("pwl", points=((1e-6, 1.0), (2e-6, 2.0)))
+        assert wf.value_at(0.0, 0.0) == 1.0
+
+
+class TestCircuit:
+    def test_add_duplicate_name_rejected(self):
+        c = Circuit("t")
+        c.resistor("r1", "a", "b", 1e3)
+        with pytest.raises(NetlistError):
+            c.resistor("r1", "b", "c", 2e3)
+
+    def test_nets_ground_first(self):
+        c = Circuit("t")
+        c.resistor("r1", "a", "0", 1e3)
+        c.resistor("r2", "b", "a", 1e3)
+        nets = c.nets()
+        assert nets[0] == GROUND
+        assert set(nets) == {"0", "a", "b"}
+
+    def test_device_lookup(self):
+        c = Circuit("t")
+        c.resistor("r1", "a", "0", 1e3)
+        assert c.device("r1").value == 1e3
+        with pytest.raises(KeyError):
+            c.device("r9")
+
+    def test_update_device(self):
+        c = Circuit("t")
+        c.resistor("r1", "a", "0", 1e3)
+        c.update_device("r1", value=2e3)
+        assert c.device("r1").value == 2e3
+
+    def test_connected_devices(self):
+        c = Circuit("t")
+        c.resistor("r1", "a", "0", 1e3)
+        c.capacitor("c1", "a", "b", 1e-12)
+        assert {d.name for d in c.connected_devices("a")} == {"r1", "c1"}
+
+    def test_copy_is_independent(self):
+        c = Circuit("t")
+        c.resistor("r1", "a", "0", 1e3)
+        c2 = c.copy()
+        c2.update_device("r1", value=5e3)
+        assert c.device("r1").value == 1e3
+
+    def test_mosfets_property(self):
+        c = Circuit("t")
+        c.mosfet("m1", "d", "g", "0", "0", NMOS_DEFAULT, 1e-6, 1e-6)
+        c.resistor("r1", "d", "0", 1e3)
+        assert [m.name for m in c.mosfets] == ["m1"]
+
+
+class TestHierarchy:
+    def _divider_subckt(self) -> SubcktDef:
+        body = Circuit("divider_body")
+        body.resistor("r1", "in", "out", 1e3)
+        body.resistor("r2", "out", "0", 1e3)
+        return SubcktDef("div", ("in", "out"), body)
+
+    def test_flatten_renames_internals(self):
+        c = Circuit("top")
+        c.define_subckt(self._divider_subckt())
+        c.vsource("vin", "a", "0", dc=1.0)
+        c.add(SubcktInstance("x1", ("a", "b"), "div"))
+        flat = c.flattened()
+        names = {d.name for d in flat.devices}
+        assert "x1.r1" in names and "x1.r2" in names
+        nets = set(flat.nets())
+        assert "a" in nets and "b" in nets and "0" in nets
+
+    def test_flatten_two_instances_disjoint(self):
+        c = Circuit("top")
+        c.define_subckt(self._divider_subckt())
+        c.add(SubcktInstance("x1", ("a", "m"), "div"))
+        c.add(SubcktInstance("x2", ("m", "b"), "div"))
+        flat = c.flattened()
+        assert len(flat.devices) == 4
+        # Shared net "m" joins x1.r1, x1.r2 and x2.r1.
+        assert len([d for d in flat.devices if "m" in d.nodes]) == 3
+
+    def test_flatten_nested(self):
+        inner = Circuit("inner")
+        inner.resistor("r", "p", "0", 1e3)
+        mid = Circuit("mid")
+        mid.add(SubcktInstance("xi", ("q",), "inner"))
+        mid.resistor("rm", "q", "0", 2e3)
+        top = Circuit("top")
+        top.define_subckt(SubcktDef("inner", ("p",), inner))
+        top.define_subckt(SubcktDef("mid", ("q",), mid))
+        # Subckt bodies resolve against the defining circuit's table.
+        mid.subckts = top.subckts
+        top.add(SubcktInstance("x1", ("n",), "mid"))
+        flat = top.flattened()
+        assert {d.name for d in flat.devices} == {"x1.xi.r", "x1.rm"}
+
+    def test_port_count_mismatch(self):
+        c = Circuit("top")
+        c.define_subckt(self._divider_subckt())
+        c.add(SubcktInstance("x1", ("a",), "div"))
+        with pytest.raises(NetlistError):
+            c.flattened()
+
+    def test_unknown_subckt(self):
+        c = Circuit("top")
+        c.add(SubcktInstance("x1", ("a", "b"), "nosuch"))
+        with pytest.raises(NetlistError):
+            c.flattened()
+
+    def test_ground_never_renamed(self):
+        c = Circuit("top")
+        c.define_subckt(self._divider_subckt())
+        c.add(SubcktInstance("x1", ("a", "b"), "div"))
+        flat = c.flattened()
+        assert "x1.0" not in flat.nets()

@@ -1,0 +1,236 @@
+"""Unit tests for the SPICE parser, expression evaluator and writer."""
+
+import pytest
+
+from repro.circuits.devices import (
+    Capacitor,
+    CurrentSource,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuits.parser import (
+    NetlistParser,
+    ParseError,
+    evaluate_expression,
+    parse_netlist,
+)
+from repro.circuits.writer import write_netlist
+
+
+class TestExpressionEvaluator:
+    @pytest.mark.parametrize("text,expected", [
+        ("1+2", 3.0),
+        ("2*3+4", 10.0),
+        ("2*(3+4)", 14.0),
+        ("10/4", 2.5),
+        ("2**3", 8.0),
+        ("-3+1", -2.0),
+        ("1.5u*2", 3e-6),
+        ("sqrt(16)", 4.0),
+        ("exp(0)", 1.0),
+        ("log10(100)", 2.0),
+        ("abs(-2)", 2.0),
+    ])
+    def test_arithmetic(self, text, expected):
+        assert evaluate_expression(text) == pytest.approx(expected)
+
+    def test_parameters(self):
+        assert evaluate_expression("w/l", {"w": 10e-6, "l": 2e-6}) == pytest.approx(5.0)
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ParseError):
+            evaluate_expression("foo+1")
+
+    def test_unbalanced_paren_raises(self):
+        with pytest.raises(ParseError):
+            evaluate_expression("(1+2")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            evaluate_expression("1 2")
+
+
+class TestParser:
+    def test_rc_deck(self):
+        ckt = parse_netlist("""
+* simple RC
+V1 in 0 dc 1.0 ac 1
+R1 in out 1k
+C1 out 0 1p
+.end
+""")
+        assert len(ckt.devices) == 3
+        r = ckt.device("R1")
+        assert isinstance(r, Resistor) and r.value == 1e3
+        c = ckt.device("C1")
+        assert isinstance(c, Capacitor) and c.value == 1e-12
+
+    def test_title_line_skipped(self):
+        ckt = parse_netlist("my amplifier deck\nR1 a 0 1k\n.end")
+        assert len(ckt.devices) == 1
+
+    def test_continuation_lines(self):
+        ckt = parse_netlist("R1 a 0\n+ 2k\n.end")
+        assert ckt.device("R1").value == 2e3
+
+    def test_comments_ignored(self):
+        ckt = parse_netlist("* comment\nR1 a 0 1k ; trailing\n.end")
+        assert ckt.device("R1").value == 1e3
+
+    def test_sources_with_waveforms(self):
+        ckt = parse_netlist("""
+V1 a 0 dc 1 ac 0.5 pulse(0 1 1n 1n 1n 5n 20n)
+I1 a 0 dc 1m
+.end
+""")
+        v = ckt.device("V1")
+        assert isinstance(v, VoltageSource)
+        assert v.dc == 1.0 and v.ac == 0.5
+        assert v.waveform.kind == "pulse"
+        assert v.waveform.params[6] == pytest.approx(20e-9)
+        i = ckt.device("I1")
+        assert isinstance(i, CurrentSource) and i.dc == 1e-3
+
+    def test_pwl_source(self):
+        ckt = parse_netlist("V1 a 0 pwl(0 0 1u 1 2u 0)\n.end")
+        wf = ckt.device("V1").waveform
+        assert wf.kind == "pwl"
+        assert wf.points == ((0.0, 0.0), (1e-6, 1.0), (2e-6, 0.0))
+
+    def test_bare_dc_value(self):
+        ckt = parse_netlist("V1 a 0 3.3\n.end")
+        assert ckt.device("V1").dc == pytest.approx(3.3)
+
+    def test_mosfet_with_model(self):
+        ckt = parse_netlist("""
+.model mynmos nmos kp=120u vto=0.6 lambda=0.03
+M1 d g 0 0 mynmos w=10u l=1u m=2
+.end
+""")
+        m = ckt.device("M1")
+        assert isinstance(m, Mosfet)
+        assert m.model.kp == pytest.approx(120e-6)
+        assert m.model.vto == pytest.approx(0.6)
+        assert m.w == pytest.approx(10e-6)
+        assert m.m == 2
+
+    def test_unknown_mos_model_raises(self):
+        with pytest.raises(ParseError):
+            parse_netlist("* deck\nM1 d g 0 0 nosuch w=1u l=1u\n.end")
+
+    def test_controlled_sources(self):
+        ckt = parse_netlist("""
+V1 ctrl 0 1
+E1 o1 0 ctrl 0 10
+G1 o2 0 ctrl 0 1m
+F1 o3 0 V1 2
+H1 o4 0 V1 1k
+R1 o1 0 1k
+.end
+""")
+        assert ckt.device("E1").gain == 10
+        assert ckt.device("G1").gm == 1e-3
+        assert ckt.device("F1").gain == 2
+        assert ckt.device("H1").transres == 1e3
+
+    def test_param_expressions(self):
+        ckt = parse_netlist("""
+.param rval=2k cval={1p*2}
+R1 a 0 {rval}
+C1 a 0 {cval*2}
+.end
+""")
+        assert ckt.device("R1").value == pytest.approx(2e3)
+        assert ckt.device("C1").value == pytest.approx(4e-12)
+
+    def test_subckt_roundtrip(self):
+        ckt = parse_netlist("""
+.subckt div in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+X1 a b div
+V1 a 0 1
+.end
+""")
+        flat = ckt.flattened()
+        assert {d.name for d in flat.devices} == {"X1.R1", "X1.R2", "V1"}
+
+    def test_unterminated_subckt(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".subckt foo a\nR1 a 0 1k\n.end")
+
+    def test_unknown_card_raises(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".wibble foo\n.end")
+
+    def test_unknown_element_raises(self):
+        # Past the title line, unknown elements are hard errors.
+        with pytest.raises(ParseError):
+            parse_netlist("* deck\nQ1 a b c model\n.end")
+
+    def test_too_few_fields(self):
+        with pytest.raises(ParseError):
+            parse_netlist("* deck\nR1 a\n.end")
+
+    def test_first_line_forgiven_as_title(self):
+        # Even an element-looking-but-broken first line is treated as title.
+        ckt = parse_netlist("R1 a\nR2 a 0 1k\n.end")
+        assert len(ckt.devices) == 1
+
+    def test_diode(self):
+        ckt = parse_netlist("""
+.model dd d is=1e-15 n=1.1
+D1 a 0 dd area=2
+.end
+""")
+        d = ckt.device("D1")
+        assert d.model.i_sat == pytest.approx(1e-15)
+        assert d.area == 2.0
+
+
+class TestWriterRoundtrip:
+    def test_roundtrip_preserves_devices(self):
+        from repro.circuits.library import two_stage_miller
+        original = two_stage_miller()
+        text = write_netlist(original)
+        reparsed = parse_netlist(text)
+        assert len(reparsed.devices) == len(original.devices)
+        for dev in original.devices:
+            again = reparsed.device(dev.name)
+            assert type(again) is type(dev)
+            assert tuple(again.nodes) == tuple(dev.nodes)
+
+    def test_roundtrip_mos_sizes(self):
+        from repro.circuits.library import five_transistor_ota
+        original = five_transistor_ota({"w_in": 33e-6})
+        reparsed = parse_netlist(write_netlist(original))
+        m1 = reparsed.device("m1")
+        assert m1.w == pytest.approx(33e-6)
+        assert m1.model.kp == pytest.approx(original.device("m1").model.kp)
+
+    def test_roundtrip_subckt(self):
+        from repro.circuits.netlist import Circuit, SubcktDef
+        from repro.circuits.devices import SubcktInstance
+        body = Circuit("b")
+        body.resistor("r1", "p", "0", 1e3)
+        top = Circuit("top")
+        top.define_subckt(SubcktDef("cell", ("p",), body))
+        top.add(SubcktInstance("x1", ("n",), "cell"))
+        top.vsource("v1", "n", "0", dc=1.0)
+        reparsed = parse_netlist(write_netlist(top))
+        assert "cell" in reparsed.subckts
+        flat = reparsed.flattened()
+        assert {d.name for d in flat.devices} == {"x1.r1", "v1"}
+
+    def test_roundtrip_waveform(self):
+        from repro.circuits.netlist import Circuit
+        from repro.circuits.devices import Waveform
+        c = Circuit("t")
+        c.vsource("v1", "a", "0", dc=0.5,
+                  waveform=Waveform("pulse", (0, 1, 1e-9, 1e-10, 1e-10, 5e-9, 2e-8)))
+        reparsed = parse_netlist(write_netlist(c))
+        wf = reparsed.device("v1").waveform
+        assert wf.kind == "pulse"
+        assert wf.params[1] == pytest.approx(1.0)

@@ -1,0 +1,112 @@
+"""Unit tests for repro.core.units."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.units import (
+    UnitError,
+    db20,
+    format_si,
+    from_db20,
+    parse_value,
+)
+
+
+class TestParseValue:
+    def test_plain_number(self):
+        assert parse_value("42") == 42.0
+
+    def test_float_passthrough(self):
+        assert parse_value(1.5) == 1.5
+
+    def test_int_passthrough(self):
+        assert parse_value(7) == 7.0
+
+    def test_exponent(self):
+        assert parse_value("1e-6") == 1e-6
+
+    def test_exponent_positive(self):
+        assert parse_value("2.5e+3") == 2500.0
+
+    @pytest.mark.parametrize("text,expected", [
+        ("1.5u", 1.5e-6),
+        ("20k", 20e3),
+        ("3meg", 3e6),
+        ("3MEG", 3e6),
+        ("100n", 100e-9),
+        ("2p", 2e-12),
+        ("5f", 5e-15),
+        ("1.2m", 1.2e-3),
+        ("7g", 7e9),
+        ("1t", 1e12),
+        ("4x", 4e6),
+        ("2a", 2e-18),
+    ])
+    def test_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    def test_suffix_with_unit_name(self):
+        assert parse_value("1.5uF") == pytest.approx(1.5e-6)
+        assert parse_value("20kOhm") == pytest.approx(20e3)
+
+    def test_unit_without_scale(self):
+        # 'V' is not a scale suffix: value passes through.
+        assert parse_value("3.3V") == pytest.approx(3.3)
+
+    def test_mil(self):
+        assert parse_value("1mil") == pytest.approx(25.4e-6)
+
+    def test_negative(self):
+        assert parse_value("-4.7k") == pytest.approx(-4700.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(UnitError):
+            parse_value("")
+
+    def test_garbage_raises(self):
+        with pytest.raises(UnitError):
+            parse_value("abc")
+
+    @given(st.floats(min_value=-1e20, max_value=1e20,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip_plain(self, x):
+        assert parse_value(repr(x)) == pytest.approx(x, rel=1e-12, abs=1e-300)
+
+
+class TestFormatSi:
+    def test_zero(self):
+        assert format_si(0.0, "F") == "0F"
+
+    def test_micro(self):
+        assert format_si(1.5e-6, "F") == "1.5uF"
+
+    def test_kilo(self):
+        assert format_si(20e3) == "20k"
+
+    def test_nan(self):
+        assert "nan" in format_si(float("nan"))
+
+    @given(st.floats(min_value=1e-17, max_value=1e13, allow_nan=False))
+    def test_roundtrip_through_parse(self, x):
+        text = format_si(x)
+        assert parse_value(text) == pytest.approx(x, rel=1e-3)
+
+    @given(st.floats(min_value=1e-17, max_value=1e13))
+    def test_negative_mirrors_positive(self, x):
+        assert format_si(-x) == "-" + format_si(x)
+
+
+class TestDecibels:
+    def test_db20_of_10(self):
+        assert db20(10.0) == pytest.approx(20.0)
+
+    def test_db20_nonpositive(self):
+        assert db20(0.0) == float("-inf")
+        assert db20(-1.0) == float("-inf")
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_db_roundtrip(self, ratio):
+        assert from_db20(db20(ratio)) == pytest.approx(ratio, rel=1e-9)

@@ -1,0 +1,104 @@
+"""Integration tests for the closed-loop cell flow and chip assembly."""
+
+import pytest
+
+from repro.core.specs import Spec, SpecSet
+from repro.flows import (
+    CellFlowError,
+    assemble_chip,
+    design_ota_cell,
+    layout_cell,
+)
+from repro.msystem import demo_mixed_signal_system
+from repro.msystem.powergrid import RailSpec
+from repro.opt.anneal import AnnealSchedule
+
+FP_FAST = AnnealSchedule(moves_per_temperature=80, cooling=0.85,
+                         max_evaluations=6000)
+
+
+class TestCellFlow:
+    SPECS = SpecSet([
+        Spec.at_least("gbw", 8e6),
+        Spec.at_least("gain", 80.0),
+        Spec.at_least("slew_rate", 4e6),
+    ])
+
+    def test_flow_produces_spec_compliant_layout(self):
+        design = design_ota_cell(self.SPECS, seed=2)
+        assert self.SPECS.all_satisfied(design.post_layout)
+        assert design.area_um2 > 0
+
+    def test_flow_artifacts_complete(self):
+        design = design_ota_cell(self.SPECS, seed=2)
+        assert design.layout_cell.shapes
+        assert len(design.extracted_circuit.devices) > \
+            len(design.schematic.devices)
+        assert design.log  # audit trail exists
+
+    def test_post_layout_gbw_not_better_than_pre(self):
+        design = design_ota_cell(self.SPECS, seed=2)
+        assert design.post_layout["gbw"] <= design.pre_layout["gbw"] * 1.02
+
+    def test_impossible_specs_raise(self):
+        impossible = SpecSet([Spec.at_least("gbw", 8e6),
+                              Spec.at_least("gain", 1e6)])
+        with pytest.raises(CellFlowError):
+            design_ota_cell(impossible, seed=1, max_iterations=2)
+
+    def test_layout_cell_standalone(self):
+        from repro.circuits.library import five_transistor_ota
+        placement, routing, extraction, cell = layout_cell(
+            five_transistor_ota(), seed=4)
+        assert not routing.failed
+        assert extraction.total_wire_cap() > 0
+        assert cell.bbox().area > 0
+
+    def test_gds_export_of_flow_result(self):
+        from repro.layout.gdslite import read_gds_rect_count, write_gds
+        design = design_ota_cell(self.SPECS, seed=2)
+        data = write_gds([design.layout_cell])
+        assert read_gds_rect_count(data) > 50
+
+
+class TestChipFlow:
+    def test_assembly_end_to_end(self):
+        blocks, nets = demo_mixed_signal_system()
+        plan = assemble_chip(blocks, nets, seed=1,
+                             floorplan_schedule=FP_FAST)
+        assert not plan.routing.failed
+        assert plan.power.feasible
+        assert plan.snr_budgets  # sensitive nets got budgets
+
+    def test_report_renders(self):
+        blocks, nets = demo_mixed_signal_system()
+        plan = assemble_chip(blocks, nets, seed=1,
+                             floorplan_schedule=FP_FAST)
+        text = plan.report()
+        assert "power grid" in text and "SNR map" in text
+
+    def test_segment_budgets_cover_routes(self):
+        blocks, nets = demo_mixed_signal_system()
+        plan = assemble_chip(blocks, nets, seed=1,
+                             floorplan_schedule=FP_FAST)
+        for name, budgets in plan.segment_budgets.items():
+            route = plan.routing.routes[name]
+            assert len(budgets) == len(route.tiles)
+            total = sum(b.coupling_bound for b in budgets)
+            assert total <= plan.snr_budgets[name].coupling_budget
+
+    def test_noise_aware_flag_propagates(self):
+        blocks, nets = demo_mixed_signal_system()
+        aware = assemble_chip(blocks, nets, seed=1, noise_aware=True,
+                              floorplan_schedule=FP_FAST)
+        blind = assemble_chip(blocks, nets, seed=1, noise_aware=False,
+                              floorplan_schedule=FP_FAST)
+        assert aware.floorplan.noise <= blind.floorplan.noise
+
+    def test_power_meets_custom_spec(self):
+        blocks, nets = demo_mixed_signal_system()
+        spec = RailSpec(max_ir_drop=0.15, max_droop=0.4)
+        plan = assemble_chip(blocks, nets, rail_spec=spec, seed=2,
+                             floorplan_schedule=FP_FAST)
+        assert plan.power.worst_ir_drop <= 0.15
+        assert plan.power.worst_droop <= 0.4

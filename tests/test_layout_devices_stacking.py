@@ -1,0 +1,304 @@
+"""Tests for device generators, constraint extraction and stacking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.devices import (
+    NMOS_DEFAULT,
+    PMOS_DEFAULT,
+    Capacitor,
+    Mosfet,
+    Resistor,
+)
+from repro.circuits.library import five_transistor_ota, two_stage_miller
+from repro.circuits.netlist import Circuit
+from repro.layout.constraints import extract_constraints
+from repro.layout.devicegen import (
+    generate_capacitor,
+    generate_device,
+    generate_mosfet,
+    generate_resistor,
+    good_finger_count,
+)
+from repro.layout.stacking import (
+    enumerate_stackings,
+    extract_stacks,
+    minimum_stack_count,
+    stack_junction_savings,
+)
+from repro.layout.technology import (
+    DEFAULT_TECH,
+    LAYER_CONTACT,
+    LAYER_NDIFF,
+    LAYER_NWELL,
+    LAYER_PDIFF,
+    LAYER_POLY,
+)
+
+
+def _mos(name="m1", w=10e-6, l=1e-6, nodes=("d", "g", "s", "0"),
+         model=NMOS_DEFAULT):
+    return Mosfet(name, nodes, model, w, l)
+
+
+class TestMosGenerator:
+    def test_single_finger_structure(self):
+        lay = generate_mosfet(_mos(), fingers=1)
+        cell = lay.cell
+        assert len(cell.shapes_on(LAYER_NDIFF)) == 1
+        polys = cell.shapes_on(LAYER_POLY)
+        assert len(polys) == 1  # one gate, no head strap needed
+        assert set(cell.ports) == {"g", "s", "d"}
+
+    def test_fingers_share_regions(self):
+        one = generate_mosfet(_mos(), fingers=1)
+        four = generate_mosfet(_mos(), fingers=4)
+        # 4 fingers → 5 S/D regions vs 2, but each finger is 1/4 as tall:
+        # the folded device must be wider and much shorter.
+        assert four.width > one.width
+        assert four.height < one.height
+
+    def test_even_fingers_source_on_both_edges(self):
+        lay = generate_mosfet(_mos(), fingers=2)
+        assert lay.left_net == "s"
+        assert lay.right_net == "s"
+
+    def test_odd_fingers_drain_on_right(self):
+        lay = generate_mosfet(_mos(), fingers=1)
+        assert lay.left_net == "s" and lay.right_net == "d"
+
+    def test_pmos_gets_nwell(self):
+        dev = _mos(model=PMOS_DEFAULT, nodes=("d", "g", "s", "vdd"))
+        lay = generate_mosfet(dev)
+        assert lay.cell.shapes_on(LAYER_NWELL)
+        assert lay.cell.shapes_on(LAYER_PDIFF)
+
+    def test_contacts_present(self):
+        lay = generate_mosfet(_mos(), fingers=2)
+        assert len(lay.cell.shapes_on(LAYER_CONTACT)) >= 3
+
+    def test_port_nets(self):
+        lay = generate_mosfet(_mos())
+        assert lay.port_nets == {"g": "g", "s": "s", "d": "d", "b": "0"}
+
+    def test_bad_fingers(self):
+        with pytest.raises(ValueError):
+            generate_mosfet(_mos(), fingers=0)
+
+    @given(st.floats(min_value=2e-6, max_value=500e-6),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_area_scales_with_width(self, w, fingers):
+        lay = generate_mosfet(_mos(w=w), fingers=fingers)
+        # Active diffusion area must at least cover W·L.
+        diff = lay.cell.shapes_on(LAYER_NDIFF)[0].rect
+        assert diff.height * lay.fingers >= w * 1e9 * 0.9
+
+    def test_good_finger_count_wide_device(self):
+        wide = _mos(w=500e-6, l=1e-6)
+        assert good_finger_count(wide) > 1
+        narrow = _mos(w=5e-6, l=1e-6)
+        assert good_finger_count(narrow) == 1
+
+
+class TestPassiveGenerators:
+    def test_resistor_squares(self):
+        dev = Resistor("r1", ("a", "b"), 100e3)
+        lay = generate_resistor(dev)
+        assert set(lay.cell.ports) == {"a", "b"}
+        assert lay.kind == "resistor"
+
+    def test_large_resistor_serpentines(self):
+        small = generate_resistor(Resistor("r1", ("a", "b"), 10e3))
+        big = generate_resistor(Resistor("r2", ("a", "b"), 10e6))
+        assert big.bbox().area > small.bbox().area
+        # Serpentine: the big one must not be a single long strip.
+        assert big.bbox().width < 100 * big.bbox().height
+
+    def test_capacitor_area_matches_density(self):
+        c_val = 2e-12
+        lay = generate_capacitor(Capacitor("c1", ("t", "b"), c_val))
+        top = lay.cell.shapes_on("captop")[0].rect
+        area_m2 = top.area * 1e-18
+        assert area_m2 == pytest.approx(c_val / DEFAULT_TECH.cap_density,
+                                        rel=0.1)
+
+    def test_dispatch(self):
+        assert generate_device(_mos()).kind == "mos"
+        assert generate_device(Resistor("r", ("a", "b"), 1e3)).kind == \
+            "resistor"
+        with pytest.raises(TypeError):
+            from repro.circuits.devices import VoltageSource
+            generate_device(VoltageSource("v", ("a", "0")))
+
+
+class TestConstraintExtraction:
+    def test_ota_diff_pair_found(self):
+        cs = extract_constraints(five_transistor_ota())
+        pairs = {frozenset((p.device_a, p.device_b))
+                 for p in cs.symmetry_pairs}
+        assert frozenset(("m1", "m2")) in pairs
+
+    def test_ota_mirror_found(self):
+        cs = extract_constraints(five_transistor_ota())
+        groups = [set(g.devices) for g in cs.match_groups]
+        assert {"m3", "m4"} in groups
+
+    def test_net_pairs_differential(self):
+        cs = extract_constraints(five_transistor_ota())
+        pairs = {frozenset((n.net_a, n.net_b)) for n in cs.net_pairs}
+        assert frozenset(("inp", "inn")) in pairs
+
+    def test_two_stage_constraints(self):
+        cs = extract_constraints(two_stage_miller())
+        assert cs.symmetry_pairs  # diff pair must be found
+        assert len(cs.match_groups) >= 2
+
+    def test_no_false_pair_on_different_sizes(self):
+        c = Circuit("t")
+        c.mosfet("ma", "d1", "g1", "s", "0", NMOS_DEFAULT, 10e-6, 1e-6)
+        c.mosfet("mb", "d2", "g2", "s", "0", NMOS_DEFAULT, 20e-6, 1e-6)
+        cs = extract_constraints(c)
+        assert not cs.symmetry_pairs
+
+    def test_partner_lookup(self):
+        cs = extract_constraints(five_transistor_ota())
+        assert cs.partner_of("m1") == "m2"
+        assert cs.partner_of("m5") in (None, "m6")
+
+
+class TestStacking:
+    def _chain(self, n: int) -> Circuit:
+        """n series devices: a perfect single stack."""
+        c = Circuit("chain")
+        for i in range(n):
+            c.mosfet(f"m{i}", f"n{i + 1}", f"g{i}", f"n{i}", "0",
+                     NMOS_DEFAULT, 10e-6, 1e-6)
+        return c
+
+    def test_series_chain_is_one_stack(self):
+        c = self._chain(5)
+        result = extract_stacks(c)
+        assert result.stack_count == 1
+        assert result.merged_junctions == 4
+
+    def test_min_count_matches_euler_bound(self):
+        c = self._chain(5)
+        assert minimum_stack_count(c.mosfets) == 1
+
+    def test_star_needs_multiple_stacks(self):
+        # Four devices all sharing one net: 4 odd vertices → 2 stacks.
+        c = Circuit("star")
+        for i in range(4):
+            c.mosfet(f"m{i}", "hub", f"g{i}", f"leaf{i}", "0",
+                     NMOS_DEFAULT, 10e-6, 1e-6)
+        assert minimum_stack_count(c.mosfets) == 2
+        result = extract_stacks(c)
+        assert result.stack_count == 2
+
+    def test_extraction_achieves_minimum(self):
+        ota = five_transistor_ota()
+        result = extract_stacks(ota)
+        from repro.layout.stacking import group_devices
+        expected = sum(minimum_stack_count(devs)
+                       for devs in group_devices(ota).values())
+        assert result.stack_count == expected
+
+    def test_incompatible_devices_not_stacked(self):
+        c = Circuit("mix")
+        c.mosfet("mn", "x", "g1", "y", "0", NMOS_DEFAULT, 10e-6, 1e-6)
+        c.mosfet("mp", "y", "g2", "z", "vdd", PMOS_DEFAULT, 10e-6, 1e-6)
+        result = extract_stacks(c)
+        assert result.stack_count == 2  # polarity split
+
+    def test_different_widths_not_stacked(self):
+        c = Circuit("widths")
+        c.mosfet("ma", "x", "g1", "y", "0", NMOS_DEFAULT, 10e-6, 1e-6)
+        c.mosfet("mb", "y", "g2", "z", "0", NMOS_DEFAULT, 30e-6, 1e-6)
+        assert extract_stacks(c).stack_count == 2
+
+    def test_stacks_validate(self):
+        result = extract_stacks(two_stage_miller())
+        for stack in result.stacks:
+            stack.validate()  # raises on inconsistency
+
+    def test_enumeration_finds_all_optimal(self):
+        c = self._chain(3)
+        partitions = enumerate_stackings(c.mosfets)
+        # A 3-chain has exactly one optimal stacking (the full trail; its
+        # reversal is the same physical stack and is deduplicated).
+        assert len(partitions) == 1
+        assert len(partitions[0]) == 1
+        assert len(partitions[0][0]) == 3
+
+    def test_enumeration_grows_fast(self):
+        sizes = [2, 4, 6]
+        counts = []
+        for n in sizes:
+            c = Circuit("par")
+            # n parallel devices between the same two nets: worst case.
+            for i in range(n):
+                c.mosfet(f"m{i}", "a", f"g{i}", "b", "0",
+                         NMOS_DEFAULT, 10e-6, 1e-6)
+            counts.append(len(enumerate_stackings(c.mosfets,
+                                                  limit=50_000)))
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_junction_savings_fraction(self):
+        c = self._chain(5)
+        result = extract_stacks(c)
+        assert stack_junction_savings(result, c) == 1.0
+
+
+class TestGuardRing:
+    def _ringed_cell(self):
+        from repro.layout.geometry import Cell, Rect
+        from repro.layout.guardring import add_guard_ring
+        cell = Cell("victim")
+        cell.add_shape("metal1", Rect(0, 0, 20_000, 10_000), "out")
+        return add_guard_ring(cell, net="0")
+
+    def test_ring_encloses_original(self):
+        from repro.layout.geometry import Rect
+        result = self._ringed_cell()
+        original = Rect(0, 0, 20_000, 10_000)
+        ring = result.ring_rect
+        assert ring.x1 < original.x1 and ring.x2 > original.x2
+        assert ring.y1 < original.y1 and ring.y2 > original.y2
+
+    def test_ring_contacted(self):
+        result = self._ringed_cell()
+        assert result.contact_count > 10
+        assert result.cell.shapes_on("contact")
+
+    def test_ring_port_created(self):
+        result = self._ringed_cell()
+        assert "guard_0" in result.cell.ports
+
+    def test_well_ring_adds_nwell(self):
+        from repro.layout.geometry import Cell, Rect
+        from repro.layout.guardring import add_guard_ring
+        cell = Cell("v")
+        cell.add_shape("metal1", Rect(0, 0, 5_000, 5_000))
+        result = add_guard_ring(cell, net="vdd", well_ring=True)
+        assert result.cell.shapes_on("nwell")
+
+    def test_attenuation_model(self):
+        from repro.layout.guardring import (
+            guard_ring_attenuation,
+            ring_resistance_estimate,
+        )
+        import pytest as _pytest
+        result = self._ringed_cell()
+        r_ring = ring_resistance_estimate(result)
+        assert r_ring < 1.0  # many parallel contacts: well under an ohm
+        att = guard_ring_attenuation(r_ring, 200.0)
+        assert att < 0.05  # >20x reduction
+        with _pytest.raises(ValueError):
+            guard_ring_attenuation(-1.0, 10.0)
+
+    def test_gds_export(self):
+        from repro.layout.gdslite import read_gds_rect_count, write_gds
+        result = self._ringed_cell()
+        assert read_gds_rect_count(write_gds([result.cell])) > 10

@@ -1,0 +1,184 @@
+"""Tests for geometry kernel, technology rules and GDS export."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.gdslite import (
+    cell_to_text,
+    read_gds_cell_names,
+    read_gds_rect_count,
+    write_gds,
+)
+from repro.layout.geometry import Cell, Orientation, Rect, bounding_box, um
+from repro.layout.technology import (
+    DEFAULT_TECH,
+    LAYER_METAL1,
+    LAYER_METAL2,
+    Technology,
+)
+
+coords = st.integers(min_value=-10_000_000, max_value=10_000_000)
+
+
+class TestRect:
+    def test_normalization(self):
+        r = Rect.of(10, 20, 0, 5)
+        assert (r.x1, r.y1, r.x2, r.y2) == (0, 5, 10, 20)
+
+    def test_dimensions(self):
+        r = Rect(0, 0, 30, 40)
+        assert r.width == 30 and r.height == 40 and r.area == 1200
+        assert r.center == (15, 20)
+
+    def test_moved(self):
+        assert Rect(0, 0, 10, 10).moved(5, -5) == Rect(5, -5, 15, 5)
+
+    def test_intersection(self):
+        a, b = Rect(0, 0, 10, 10), Rect(5, 5, 20, 20)
+        assert a.intersection(b) == Rect(5, 5, 10, 10)
+        assert a.intersection(Rect(20, 20, 30, 30)) is None
+
+    def test_touching_rects_do_not_intersect(self):
+        assert not Rect(0, 0, 10, 10).intersects(Rect(10, 0, 20, 10))
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(5, 5, 6, 7)) == Rect(0, 0, 6, 7)
+
+    def test_distance(self):
+        assert Rect(0, 0, 10, 10).distance_to(Rect(15, 0, 20, 10)) == 5
+        assert Rect(0, 0, 10, 10).distance_to(Rect(5, 5, 20, 20)) == 0
+        assert Rect(0, 0, 10, 10).distance_to(Rect(13, 14, 20, 20)) == 7
+
+    def test_expanded(self):
+        assert Rect(5, 5, 10, 10).expanded(2) == Rect(3, 3, 12, 12)
+
+    @given(coords, coords, coords, coords)
+    def test_area_nonnegative(self, a, b, c, d):
+        assert Rect.of(a, b, c, d).area >= 0
+
+    @given(coords, coords, coords, coords, coords, coords)
+    @settings(max_examples=50)
+    def test_union_contains_both(self, a, b, c, d, e, f):
+        r1 = Rect.of(a, b, c, d)
+        r2 = Rect.of(c, d, e, f)
+        u = r1.union(r2)
+        assert u.x1 <= min(r1.x1, r2.x1) and u.x2 >= max(r1.x2, r2.x2)
+
+
+class TestOrientation:
+    def test_r0_identity(self):
+        assert Orientation.R0.compose_point(3, 4) == (3, 4)
+
+    def test_r90(self):
+        assert Orientation.R90.compose_point(1, 0) == (0, 1)
+
+    def test_my_mirrors_x(self):
+        assert Orientation.MY.compose_point(3, 4) == (-3, 4)
+
+    @given(coords, coords)
+    @settings(max_examples=30)
+    def test_all_orientations_preserve_rect_area(self, x, y):
+        r = Rect.of(x, y, x + 100, y + 50)
+        for o in Orientation:
+            assert r.transformed(o).area == r.area
+
+    def test_r180_twice_is_identity(self):
+        r = Rect(1, 2, 5, 9)
+        assert r.transformed(Orientation.R180).transformed(
+            Orientation.R180) == r
+
+
+class TestCell:
+    def test_bbox(self):
+        c = Cell("t")
+        c.add_shape(LAYER_METAL1, Rect(0, 0, 10, 10))
+        c.add_shape(LAYER_METAL2, Rect(20, -5, 30, 5))
+        assert c.bbox() == Rect(0, -5, 30, 10)
+
+    def test_empty_bbox(self):
+        assert Cell("e").bbox() == Rect(0, 0, 0, 0)
+
+    def test_duplicate_port_rejected(self):
+        c = Cell("t")
+        c.add_port("a", LAYER_METAL1, Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            c.add_port("a", LAYER_METAL1, Rect(2, 2, 3, 3))
+
+    def test_transform_moves_ports(self):
+        c = Cell("t")
+        c.add_shape(LAYER_METAL1, Rect(0, 0, 10, 10))
+        c.add_port("p", LAYER_METAL1, Rect(0, 0, 2, 2))
+        moved = c.transformed(Orientation.R0, 100, 50)
+        assert moved.ports["p"].rect == Rect(100, 50, 102, 52)
+
+    def test_shapes_on_layer(self):
+        c = Cell("t")
+        c.add_shape(LAYER_METAL1, Rect(0, 0, 1, 1))
+        c.add_shape(LAYER_METAL2, Rect(0, 0, 1, 1))
+        assert len(c.shapes_on(LAYER_METAL1)) == 1
+
+
+class TestTechnology:
+    def test_lambda_scaling(self):
+        t = Technology(lambda_nm=400)
+        assert t.L(3) == 1200
+        assert t.min_width_metal == 1200
+
+    def test_scaled_process(self):
+        fine = Technology(name="scmos05", lambda_nm=250)
+        assert fine.routing_pitch < DEFAULT_TECH.routing_pitch
+
+    def test_wire_resistance(self):
+        r = DEFAULT_TECH.wire_resistance(LAYER_METAL1, 10000, 1000)
+        assert r == pytest.approx(0.07 * 10)
+
+    def test_wire_resistance_unknown_layer(self):
+        with pytest.raises(KeyError):
+            DEFAULT_TECH.wire_resistance("nosuch", 1, 1)
+
+    def test_wire_capacitance_positive_and_scales(self):
+        c1 = DEFAULT_TECH.wire_capacitance(10_000, 1200)
+        c2 = DEFAULT_TECH.wire_capacitance(20_000, 1200)
+        assert 0 < c1 < c2
+
+    def test_um_helper(self):
+        assert um(1.5) == 1500
+
+
+class TestGds:
+    def _cell(self):
+        c = Cell("opamp_cell")
+        c.add_shape(LAYER_METAL1, Rect(0, 0, 1000, 500), net="out")
+        c.add_shape(LAYER_METAL2, Rect(0, 0, 500, 1500))
+        return c
+
+    def test_roundtrip_names(self):
+        data = write_gds([self._cell()], library="lib")
+        assert read_gds_cell_names(data) == ["opamp_cell"]
+
+    def test_rect_count(self):
+        data = write_gds([self._cell()])
+        assert read_gds_rect_count(data) == 2
+
+    def test_header_magic(self):
+        data = write_gds([self._cell()])
+        # HEADER record: length 6, type 0x0002, version 600.
+        assert data[:6] == bytes([0, 6, 0, 2, 2, 88])
+
+    def test_multiple_cells(self):
+        cells = [self._cell(), Cell("empty")]
+        data = write_gds(cells)
+        assert read_gds_cell_names(data) == ["opamp_cell", "empty"]
+
+    def test_deterministic_output(self):
+        assert write_gds([self._cell()]) == write_gds([self._cell()])
+
+    def test_name_sanitized(self):
+        c = Cell("weird name!@#")
+        names = read_gds_cell_names(write_gds([c]))
+        assert names == ["weird_name___"]
+
+    def test_text_dump_stable(self):
+        text = cell_to_text(self._cell())
+        assert "rect metal1 0 0 1000 500 net=out" in text

@@ -1,0 +1,368 @@
+"""Integration tests: placement, routing, compaction, extraction, mapping."""
+
+import pytest
+
+from repro.circuits.library import five_transistor_ota
+from repro.layout import (
+    DEFAULT_TECH,
+    KoanPlacer,
+    NOISY,
+    SENSITIVE,
+    AnagramRouter,
+    Rect,
+    RoutingRequest,
+    annotate_circuit,
+    compact_placement,
+    extract_constraints,
+    extract_parasitics,
+    generate_device,
+    has_overlaps,
+    map_constraints,
+    procedural_cell_layout,
+    route_placement,
+    routed_cell,
+    sensitivities_from_circuit,
+    symmetry_error,
+    template_report,
+    verify_bounds,
+)
+from repro.layout.sensitivity_map import MappingError
+from repro.opt.anneal import AnnealSchedule
+
+FAST = AnnealSchedule(moves_per_temperature=80, cooling=0.85,
+                      max_evaluations=8000, stop_after_stale=6)
+
+
+def _placed_ota(seed=2):
+    ota = five_transistor_ota()
+    cs = extract_constraints(ota)
+    layouts = [generate_device(d) for d in ota.mosfets]
+    placer = KoanPlacer(layouts, cs, seed=seed)
+    return ota, cs, placer, placer.run(schedule=FAST)
+
+
+def _requests(placer, placement, sensitive=("inp", "inn")):
+    nets = {}
+    for name, obj in placement.objects.items():
+        lay = placer.layouts[name]
+        for port, net in lay.port_nets.items():
+            if port in lay.cell.ports:
+                x, y = obj.port_position(port)
+                nets.setdefault(net, []).append(
+                    (x, y, lay.cell.ports[port].layer))
+    reqs = []
+    for net, pins in nets.items():
+        if len(pins) < 2:
+            continue
+        cls = SENSITIVE if net in sensitive else "neutral"
+        reqs.append(RoutingRequest(net, pins, cls))
+    return reqs
+
+
+class TestKoanPlacer:
+    def test_no_overlaps(self):
+        _, _, _, result = _placed_ota()
+        assert not has_overlaps(result.placement)
+
+    def test_exact_symmetry(self):
+        _, cs, _, result = _placed_ota()
+        assert symmetry_error(result.placement, cs) == 0
+
+    def test_packing_reasonable(self):
+        _, _, placer, result = _placed_ota()
+        assert result.area <= 6 * placer.total_area
+
+    def test_beats_initial_placement(self):
+        ota = five_transistor_ota()
+        cs = extract_constraints(ota)
+        layouts = [generate_device(d) for d in ota.mosfets]
+        placer = KoanPlacer(layouts, cs, seed=3)
+        import numpy as np
+        initial_cost = placer.cost(
+            placer.initial_placement(np.random.default_rng(3)))
+        result = placer.run(schedule=FAST)
+        assert result.cost <= initial_cost
+
+    def test_deterministic_given_seed(self):
+        _, _, _, r1 = _placed_ota(seed=5)
+        _, _, _, r2 = _placed_ota(seed=5)
+        assert r1.area == r2.area and r1.wirelength == r2.wirelength
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KoanPlacer([], None)
+
+
+class TestCompaction:
+    def test_compaction_never_grows(self):
+        _, cs, _, result = _placed_ota()
+        report = compact_placement(result.placement, cs)
+        assert report.area_after <= report.area_before * 1.05
+
+    def test_compaction_preserves_legality(self):
+        _, cs, _, result = _placed_ota()
+        compact_placement(result.placement, cs)
+        assert not has_overlaps(result.placement)
+
+    def test_compaction_preserves_symmetry(self):
+        _, cs, _, result = _placed_ota()
+        compact_placement(result.placement, cs)
+        assert symmetry_error(result.placement, cs) == 0
+
+    def test_compacts_sparse_placement(self):
+        # Spread a placement out, compaction must pull it back in.
+        _, cs, _, result = _placed_ota()
+        for obj in result.placement.objects.values():
+            obj.x *= 3
+            obj.y *= 3
+        before = result.placement.bbox().area
+        report = compact_placement(result.placement, cs)
+        assert report.area_after < before
+
+
+class TestAnagramRouter:
+    def test_routes_all_ota_nets(self):
+        _, cs, placer, result = _placed_ota()
+        reqs = _requests(placer, result.placement)
+        routing, router = route_placement(result.placement, reqs,
+                                          cs.net_pairs)
+        assert not routing.failed
+        assert len(routing.wires) == len(reqs)
+
+    def test_wire_shapes_generated(self):
+        _, cs, placer, result = _placed_ota()
+        reqs = _requests(placer, result.placement)
+        routing, router = route_placement(result.placement, reqs,
+                                          cs.net_pairs)
+        cell = routed_cell(result.placement, routing)
+        m2 = cell.shapes_on("metal2")
+        assert len(cell.shapes) > 50
+        assert routing.total_length > 0
+
+    def test_simple_two_pin_route(self):
+        router = AnagramRouter(Rect(0, 0, 100_000, 100_000), [])
+        wire = router.route_net(RoutingRequest(
+            "n1", [(10_000, 10_000, "metal1"), (80_000, 60_000, "metal1")]))
+        assert wire.length_nm >= 70_000 + 50_000 - 2 * router.pitch
+
+    def test_obstacle_forces_detour(self):
+        area = Rect(0, 0, 100_000, 40_000)
+        wall = Rect(45_000, 0, 55_000, 35_000)
+        direct = AnagramRouter(area, [])
+        blocked = AnagramRouter(area, [wall], via_cost=1000.0)
+        pins = [(10_000, 10_000, "metal1"), (90_000, 10_000, "metal1")]
+        w_direct = direct.route_net(RoutingRequest("a", pins))
+        w_blocked = blocked.route_net(RoutingRequest("a", pins))
+        assert w_blocked.length_nm > w_direct.length_nm
+
+    def test_over_the_device_on_metal2(self):
+        # Same wall, but vias allowed: router may hop to metal2 over it.
+        area = Rect(0, 0, 100_000, 40_000)
+        wall = Rect(45_000, 0, 55_000, 35_000)
+        router = AnagramRouter(area, [wall], via_cost=2.0)
+        pins = [(10_000, 10_000, "metal1"), (90_000, 10_000, "metal1")]
+        wire = router.route_net(RoutingRequest("a", pins))
+        assert wire.vias  # crossed on metal2
+
+    def test_crosstalk_avoidance(self):
+        """A sensitive net pays to run beside a noisy one and detours."""
+        area = Rect(0, 0, 200_000, 100_000)
+        router = AnagramRouter(area, [], crosstalk_cost=50.0)
+        noisy = router.route_net(RoutingRequest(
+            "clk", [(10_000, 50_000, "metal1"),
+                    (190_000, 50_000, "metal1")], NOISY))
+        sens = router.route_net(RoutingRequest(
+            "vin", [(10_000, 52_000, "metal1"),
+                    (190_000, 52_000, "metal1")], SENSITIVE))
+        adjacencies = router.count_incompatible_adjacencies(None)
+        # The sensitive wire must have peeled away from the noisy track.
+        assert adjacencies < 10
+
+    def test_conflicting_nets_cannot_cross_same_layer(self):
+        router = AnagramRouter(Rect(0, 0, 50_000, 50_000), [])
+        router.route_net(RoutingRequest(
+            "a", [(5_000, 25_000, "metal1"), (45_000, 25_000, "metal1")]))
+        wire_b = router.route_net(RoutingRequest(
+            "b", [(25_000, 5_000, "metal1"), (25_000, 45_000, "metal1")]))
+        assert wire_b.vias  # must cross on the other layer
+
+    def test_single_pin_rejected(self):
+        router = AnagramRouter(Rect(0, 0, 10_000, 10_000), [])
+        from repro.layout.router import RoutingError
+        with pytest.raises(RoutingError):
+            router.route_net(RoutingRequest("x", [(0, 0, "metal1")]))
+
+    def test_parasitic_bound_shortens_net(self):
+        area = Rect(0, 0, 200_000, 200_000)
+        pins = [(10_000, 10_000, "metal1"), (150_000, 10_000, "metal1")]
+        free = AnagramRouter(area, [])
+        w_free = free.route_net(RoutingRequest("n", pins))
+        bound = DEFAULT_TECH.wire_capacitance(
+            160_000, DEFAULT_TECH.min_width_metal)
+        tight = AnagramRouter(area, [])
+        w_tight = tight.route_net(RoutingRequest("n", pins,
+                                                 cap_bound=bound))
+        assert w_tight.capacitance <= bound * 1.2
+
+
+class TestTemplates:
+    def test_all_styles_build(self):
+        ota = five_transistor_ota()
+        for style in ("rows_classic", "rows_wide", "column_compact",
+                      "interleaved"):
+            template = procedural_cell_layout(ota, style)
+            assert not has_overlaps(template.placement)
+            report = template_report(template)
+            assert report["area_um2"] > 0
+
+    def test_styles_differ(self):
+        ota = five_transistor_ota()
+        areas = {s: template_report(procedural_cell_layout(ota, s))
+                 ["area_um2"] for s in ("rows_classic", "rows_wide")}
+        assert areas["rows_wide"] > areas["rows_classic"]
+
+    def test_template_symmetric(self):
+        ota = five_transistor_ota()
+        template = procedural_cell_layout(ota, "rows_classic")
+        assert symmetry_error(template.placement,
+                              template.constraints) == 0
+
+    def test_unknown_style(self):
+        from repro.layout.templates import TemplateError
+        with pytest.raises(TemplateError):
+            procedural_cell_layout(five_transistor_ota(), "nope")
+
+    def test_template_routable(self):
+        ota = five_transistor_ota()
+        template = procedural_cell_layout(ota, "rows_classic")
+        placer = KoanPlacer(list(template.layouts.values()),
+                            template.constraints)
+        reqs = _requests(placer, template.placement)
+        routing, _ = route_placement(template.placement, reqs,
+                                     template.constraints.net_pairs)
+        assert not routing.failed
+
+
+class TestExtractionAndMapping:
+    def test_extraction_totals(self):
+        _, cs, placer, result = _placed_ota()
+        reqs = _requests(placer, result.placement)
+        routing, router = route_placement(result.placement, reqs,
+                                          cs.net_pairs)
+        extraction = extract_parasitics(routing, router)
+        assert extraction.total_wire_cap() > 0
+        for net in routing.wires:
+            assert extraction.nets[net].resistance >= 0
+
+    def test_coupling_symmetric(self):
+        _, cs, placer, result = _placed_ota()
+        reqs = _requests(placer, result.placement)
+        routing, router = route_placement(result.placement, reqs,
+                                          cs.net_pairs)
+        extraction = extract_parasitics(routing, router)
+        for net, para in extraction.nets.items():
+            for other, cap in para.coupling.items():
+                assert extraction.coupling_between(other, net) == \
+                    pytest.approx(cap)
+
+    def test_annotated_circuit_simulates(self):
+        from repro.analysis import ac_analysis, bode_metrics, \
+            dc_operating_point, logspace_frequencies
+        ota, cs, placer, result = _placed_ota()
+        reqs = _requests(placer, result.placement)
+        routing, router = route_placement(result.placement, reqs,
+                                          cs.net_pairs)
+        extraction = extract_parasitics(routing, router)
+        annotated = annotate_circuit(ota, extraction)
+        assert len(annotated.devices) > len(ota.devices)
+        annotated.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        annotated.vsource("vin_", "inn", "0", dc=1.5)
+        m = bode_metrics(
+            ac_analysis(annotated, logspace_frequencies(10, 1e9, 4)),
+            "out")
+        assert m.dc_gain > 10  # parasitics degrade, not destroy
+
+    def test_map_constraints_respects_budget(self):
+        sens = {"gbw": {"out": 2e12, "x1": 8e12},
+                "gain": {"out": 1e10, "x1": 1e10}}
+        budget = {"gbw": 1e6, "gain": 5.0}
+        cmap = map_constraints(sens, budget)
+        # First-order degradation at the bounds must not exceed budgets.
+        for perf, row in sens.items():
+            total = sum(abs(s) * cmap.bound_for(p) for p, s in row.items())
+            assert total <= budget[perf] * 1.0001
+
+    def test_map_constraints_sensitive_net_gets_less(self):
+        sens = {"gbw": {"hot": 1e13, "cold": 1e11}}
+        cmap = map_constraints(sens, {"gbw": 1e6})
+        assert cmap.bound_for("hot") < cmap.bound_for("cold")
+
+    def test_map_infeasible(self):
+        sens = {"gbw": {"n1": 1e15}}
+        with pytest.raises(MappingError):
+            map_constraints(sens, {"gbw": 1e-3}, min_bound=1e-9)
+
+    def test_sensitivities_from_circuit(self):
+        from repro.analysis import ac_analysis, logspace_frequencies, \
+            bode_metrics
+        ota = five_transistor_ota()
+        ota.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        ota.vsource("vin_", "inn", "0", dc=1.5)
+
+        def gbw(circuit):
+            m = bode_metrics(ac_analysis(
+                circuit, logspace_frequencies(1e3, 1e9, 4)), "out")
+            return m.unity_gain_freq
+
+        sens = sensitivities_from_circuit(ota, gbw, ["out", "tail"])
+        # Load cap on the output must reduce GBW.
+        assert sens["out"] < 0
+
+    def test_verify_bounds(self):
+        _, cs, placer, result = _placed_ota()
+        reqs = _requests(placer, result.placement)
+        routing, router = route_placement(result.placement, reqs,
+                                          cs.net_pairs)
+        extraction = extract_parasitics(routing, router)
+        from repro.layout.sensitivity_map import ConstraintMap
+        generous = ConstraintMap({net: 1.0 for net in extraction.nets})
+        assert all(verify_bounds(extraction, generous).values())
+
+
+class TestSimultaneousPlaceRoute:
+    def _spr(self, seed=2):
+        from repro.circuits.library import five_transistor_ota
+        from repro.layout.simultaneous import SimultaneousPlaceRoute
+        ota = five_transistor_ota()
+        cs = extract_constraints(ota)
+        layouts = [generate_device(d) for d in ota.mosfets]
+        return SimultaneousPlaceRoute(layouts, cs,
+                                      sensitive_nets=("inp", "inn"),
+                                      seed=seed)
+
+    def test_improves_on_initial_routed_cost(self):
+        import numpy as np
+        spr = self._spr()
+        rng = np.random.default_rng(2)
+        initial = spr.placer.initial_placement(rng)
+        c0, *_ = spr.routed_cost(initial.copy())
+        result = spr.run(rounds=15)
+        assert result.cost <= c0
+
+    def test_result_fully_routed_and_legal(self):
+        spr = self._spr()
+        result = spr.run(rounds=10)
+        assert not result.routing.failed
+        assert not has_overlaps(result.placement)
+
+    def test_symmetry_preserved_through_loop(self):
+        spr = self._spr()
+        result = spr.run(rounds=10)
+        assert symmetry_error(result.placement, spr.constraints) == 0
+
+    def test_wire_metrics_reported(self):
+        spr = self._spr()
+        result = spr.run(rounds=5)
+        assert result.wire_length > 0
+        assert result.wire_cap > 0
+        assert result.routed_area > 0

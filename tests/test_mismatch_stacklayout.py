@@ -1,0 +1,171 @@
+"""Tests for mismatch statistics and merged stack layout generation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.mismatch import (
+    area_for_offset,
+    gradient_offset,
+    monte_carlo_offsets,
+    pair_offset_statistics,
+    pelgrom_sigma,
+)
+from repro.circuits.devices import NMOS_DEFAULT, Mosfet
+from repro.circuits.netlist import Circuit
+from repro.layout.devicegen import generate_mosfet, generate_stack_layout
+from repro.layout.stacking import extract_stacks
+from repro.layout.technology import DEFAULT_TECH, LAYER_CONTACT
+
+
+def _mos(name="m1", w=20e-6, l=2e-6, nodes=("d", "g", "s", "0")):
+    return Mosfet(name, nodes, NMOS_DEFAULT, w, l)
+
+
+class TestPelgrom:
+    def test_sigma_scales_inverse_sqrt_area(self):
+        small = pelgrom_sigma(_mos(w=10e-6, l=1e-6))
+        big = pelgrom_sigma(_mos(w=40e-6, l=1e-6))
+        assert big.sigma_vt == pytest.approx(small.sigma_vt / 2, rel=1e-9)
+
+    def test_typical_magnitude(self):
+        # 20x2 um device: sigma_vt = 15 mV·um / sqrt(40 um²) ≈ 2.4 mV.
+        sigma = pelgrom_sigma(_mos(w=20e-6, l=2e-6))
+        assert sigma.sigma_vt == pytest.approx(2.37e-3, rel=0.02)
+
+    def test_offset_includes_beta_term(self):
+        sigma = pelgrom_sigma(_mos())
+        tight = sigma.offset_sigma(gm_over_id=20.0)
+        loose = sigma.offset_sigma(gm_over_id=5.0)
+        assert loose > tight  # low gm/Id exposes the beta mismatch
+
+    def test_gradient_zero_for_common_centroid(self):
+        assert gradient_offset(0.0) == 0.0
+        assert gradient_offset(100e-6) > 0.0
+
+    @given(st.floats(min_value=1e-4, max_value=1e-2))
+    @settings(max_examples=30)
+    def test_area_for_offset_inverts_pelgrom(self, sigma_target):
+        area = area_for_offset(sigma_target)
+        # Build a square device with that area and check the offset.
+        side = math.sqrt(area)
+        dev = _mos(w=side, l=side)
+        achieved = pelgrom_sigma(dev).offset_sigma(10.0)
+        assert achieved == pytest.approx(sigma_target, rel=1e-6)
+
+    def test_yield_improves_with_margin(self):
+        stats = pair_offset_statistics(_mos())
+        y_tight = stats.yield_within(stats.sigma_random)
+        y_loose = stats.yield_within(4 * stats.sigma_random)
+        assert y_loose > y_tight
+        assert y_loose > 0.999
+
+    def test_systematic_shifts_yield(self):
+        centered = pair_offset_statistics(_mos())
+        shifted = pair_offset_statistics(_mos(),
+                                         centroid_distance_m=1e-3)
+        limit = 3 * centered.sigma_random
+        assert shifted.yield_within(limit) < centered.yield_within(limit)
+
+    def test_monte_carlo_matches_analytic(self):
+        dev = _mos()
+        stats = pair_offset_statistics(dev)
+        samples = monte_carlo_offsets(dev, n=20000, seed=3)
+        assert np.std(samples) == pytest.approx(stats.sigma_random,
+                                                rel=0.05)
+        assert np.mean(samples) == pytest.approx(stats.systematic,
+                                                 abs=3 * stats.sigma_random
+                                                 / math.sqrt(20000))
+
+
+class TestStackLayout:
+    def _chain_circuit(self, n=3) -> Circuit:
+        c = Circuit("chain")
+        for i in range(n):
+            c.mosfet(f"m{i}", f"n{i + 1}", f"g{i}", f"n{i}", "0",
+                     NMOS_DEFAULT, 10e-6, 1e-6)
+        return c
+
+    def _stack(self, n=3):
+        circuit = self._chain_circuit(n)
+        return extract_stacks(circuit).stacks[0]
+
+    def test_stack_layout_generated(self):
+        layout = generate_stack_layout(self._stack())
+        assert layout.kind == "stack"
+        assert layout.cell.shapes
+
+    def test_shared_regions_save_area(self):
+        """n-device stack: n+1 regions vs 2n for separate devices."""
+        n = 4
+        stack = self._stack(n)
+        merged = generate_stack_layout(stack)
+        separate_width = sum(
+            generate_mosfet(d, fingers=1).bbox().width
+            for d in stack.devices)
+        assert merged.bbox().width < separate_width
+
+    def test_junction_region_count(self):
+        """Contacted regions = devices + 1 (the stacking saving)."""
+        n = 3
+        stack = self._stack(n)
+        merged = generate_stack_layout(stack)
+        # Count metal1 region straps: one per junction region.
+        regions = [s for s in merged.cell.shapes_on("metal1")]
+        assert len(regions) == n + 1
+
+    def test_gate_ports_per_device(self):
+        stack = self._stack(3)
+        layout = generate_stack_layout(stack)
+        for dev in stack.devices:
+            assert f"g_{dev.name}" in layout.cell.ports
+
+    def test_edge_nets(self):
+        stack = self._stack(3)
+        layout = generate_stack_layout(stack)
+        assert layout.left_net == stack.nets[0]
+        assert layout.right_net == stack.nets[-1]
+
+    def test_stack_placeable(self):
+        """Stack layouts drop into the KOAN placer like devices."""
+        from repro.layout.placer import KoanPlacer, has_overlaps
+        from repro.opt.anneal import AnnealSchedule
+        circuit = self._chain_circuit(3)
+        stacks = extract_stacks(circuit).stacks
+        layouts = [generate_stack_layout(s, name=f"stk{i}")
+                   for i, s in enumerate(stacks)]
+        # Add a second stack so there is something to place against.
+        other = Circuit("o")
+        other.mosfet("ma", "x", "ga", "y", "0", NMOS_DEFAULT, 10e-6, 1e-6)
+        other.mosfet("mb", "y", "gb", "z", "0", NMOS_DEFAULT, 10e-6, 1e-6)
+        layouts += [generate_stack_layout(s, name=f"ostk{i}")
+                    for i, s in enumerate(extract_stacks(other).stacks)]
+        placer = KoanPlacer(layouts, seed=1)
+        result = placer.run(AnnealSchedule(moves_per_temperature=40,
+                                           cooling=0.75,
+                                           max_evaluations=1200))
+        assert not has_overlaps(result.placement)
+
+    def test_ota_mirror_stack(self):
+        """The OTA's m3/m4 mirror stacks into one merged row."""
+        from repro.circuits.library import five_transistor_ota
+        ota = five_transistor_ota()
+        result = extract_stacks(ota)
+        mirror = next(s for s in result.stacks
+                      if {d.name for d in s.devices} == {"m3", "m4"})
+        layout = generate_stack_layout(mirror)
+        assert layout.cell.shapes_on("nwell")  # PMOS stack gets a well
+        assert "g_m3" in layout.cell.ports
+
+    def test_gds_export(self):
+        from repro.layout.gdslite import read_gds_rect_count, write_gds
+        layout = generate_stack_layout(self._stack())
+        assert read_gds_rect_count(write_gds([layout.cell])) > 5
+
+    def test_empty_stack_rejected(self):
+        from repro.layout.stacking import Stack
+        with pytest.raises(ValueError):
+            generate_stack_layout(Stack([], ["a"]))

@@ -1,0 +1,272 @@
+"""Tests for the optimization substrate: annealing, GA, intervals, ordering."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt import (
+    AnnealSchedule,
+    Annealer,
+    CategoricalGene,
+    ContinuousSpace,
+    Equation,
+    FloatGene,
+    GeneticOptimizer,
+    Interval,
+    IntervalError,
+    OrderingError,
+    UnderConstrained,
+    anneal_continuous,
+    order_equations,
+)
+
+
+class TestAnnealer:
+    def test_quadratic_bowl(self):
+        space = ContinuousSpace(["x", "y"], np.array([0.1, 0.1]),
+                                np.array([10.0, 10.0]))
+        result = anneal_continuous(
+            lambda p: (p["x"] - 2.0) ** 2 + (p["y"] - 3.0) ** 2,
+            space, seed=3)
+        best = space.to_dict(result.best_state)
+        assert best["x"] == pytest.approx(2.0, abs=0.2)
+        assert best["y"] == pytest.approx(3.0, abs=0.3)
+
+    def test_log_scale_spans_decades(self):
+        space = ContinuousSpace(["r"], np.array([1.0]), np.array([1e6]))
+        target = 1e4
+        result = anneal_continuous(
+            lambda p: abs(math.log10(p["r"] / target)), space, seed=7)
+        assert result.best_state[0] == pytest.approx(target, rel=0.5)
+
+    def test_history_monotone_nonincreasing(self):
+        space = ContinuousSpace(["x"], np.array([0.1]), np.array([10.0]))
+        result = anneal_continuous(lambda p: (p["x"] - 5) ** 2, space, seed=1)
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+
+    def test_discrete_state_annealing(self):
+        # Order a small permutation to minimize inversions.
+        target = list(range(8))
+
+        def cost(perm):
+            return sum(1 for i in range(len(perm))
+                       for j in range(i + 1, len(perm))
+                       if perm[i] > perm[j])
+
+        def propose(perm, rng, frac):
+            i, j = rng.integers(len(perm), size=2)
+            perm[i], perm[j] = perm[j], perm[i]
+            return perm
+
+        ann = Annealer(cost, propose, copy_state=list, seed=5,
+                       schedule=AnnealSchedule(moves_per_temperature=300,
+                                               stop_after_stale=15))
+        start = list(reversed(target))
+        result = ann.run(start)
+        assert result.best_cost == 0
+        assert result.best_state == target
+
+    def test_evaluation_budget_respected(self):
+        space = ContinuousSpace(["x"], np.array([0.1]), np.array([10.0]))
+        sched = AnnealSchedule(max_evaluations=300)
+        result = anneal_continuous(lambda p: p["x"], space,
+                                   schedule=sched, seed=1)
+        assert result.evaluations <= 310
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousSpace(["x"], np.array([2.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            ContinuousSpace(["x"], np.array([-1.0]), np.array([1.0]),
+                            log_scale=True)
+
+
+class TestGenetic:
+    def test_float_optimization(self):
+        genes = [FloatGene("x", 0.1, 100.0), FloatGene("y", 0.1, 100.0)]
+        ga = GeneticOptimizer(
+            genes, lambda g: (g["x"] - 7) ** 2 + (g["y"] - 3) ** 2,
+            population=30, seed=2)
+        result = ga.run(generations=60)
+        assert result.best["x"] == pytest.approx(7.0, abs=1.0)
+        assert result.best["y"] == pytest.approx(3.0, abs=1.0)
+
+    def test_categorical_choice(self):
+        genes = [CategoricalGene("topo", ("ota", "two_stage", "folded")),
+                 FloatGene("w", 1.0, 100.0)]
+        # two_stage with w near 50 is optimal.
+        scores = {"ota": 5.0, "two_stage": 0.0, "folded": 2.0}
+
+        def fitness(g):
+            return scores[g["topo"]] + abs(g["w"] - 50.0) / 50.0
+
+        ga = GeneticOptimizer(genes, fitness, population=30, seed=4)
+        result = ga.run(generations=40)
+        assert result.best["topo"] == "two_stage"
+
+    def test_target_early_stop(self):
+        genes = [FloatGene("x", 0.0, 1.0, log_scale=False)]
+        ga = GeneticOptimizer(genes, lambda g: g["x"], population=20, seed=1)
+        result = ga.run(generations=500, target=0.05)
+        assert result.generations < 500
+
+    def test_history_improves(self):
+        genes = [FloatGene("x", 0.1, 10.0)]
+        ga = GeneticOptimizer(genes, lambda g: (g["x"] - 5) ** 2,
+                              population=20, seed=3)
+        result = ga.run(generations=30)
+        assert result.history[-1] <= result.history[0]
+
+    def test_duplicate_gene_names_rejected(self):
+        with pytest.raises(ValueError):
+            GeneticOptimizer([FloatGene("x", 0, 1, log_scale=False),
+                              FloatGene("x", 0, 1, log_scale=False)],
+                             lambda g: 0.0)
+
+
+class TestInterval:
+    def test_add_sub(self):
+        a, b = Interval(1, 2), Interval(10, 20)
+        assert (a + b) == Interval(11, 22)
+        assert (b - a) == Interval(8, 19)
+
+    def test_mul_signs(self):
+        assert Interval(-2, 3) * Interval(-1, 4) == Interval(-8, 12)
+
+    def test_division_through_zero_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_inverse(self):
+        assert Interval(2, 4).inverse() == Interval(0.25, 0.5)
+
+    def test_even_power_straddling_zero(self):
+        assert (Interval(-2, 3) ** 2) == Interval(0, 9)
+
+    def test_odd_power(self):
+        assert (Interval(-2, 3) ** 3) == Interval(-8, 27)
+
+    def test_sqrt_and_log(self):
+        assert Interval(4, 9).sqrt() == Interval(2, 3)
+        with pytest.raises(IntervalError):
+            Interval(-1, 1).sqrt()
+
+    def test_intersects(self):
+        assert Interval(0, 2).intersects(Interval(1, 3))
+        assert not Interval(0, 1).intersects(Interval(2, 3))
+
+    def test_scalar_coercion(self):
+        assert (Interval(1, 2) + 1) == Interval(2, 3)
+        assert (2 * Interval(1, 2)) == Interval(2, 4)
+        assert (1 / Interval(1, 2)) == Interval(0.5, 1.0)
+
+    @given(st.floats(-100, 100), st.floats(-100, 100),
+           st.floats(-100, 100), st.floats(-100, 100),
+           st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=60)
+    def test_mul_contains_all_products(self, a1, a2, b1, b2, t1, t2):
+        ia, ib = Interval.make(a1, a2), Interval.make(b1, b2)
+        # Clamp: floating-point lo + t·width can land a hair outside hi.
+        x = min(max(ia.lo + t1 * ia.width, ia.lo), ia.hi)
+        y = min(max(ib.lo + t2 * ib.width, ib.lo), ib.hi)
+        assert (ia * ib).contains(x * y) or abs(x * y) > 1e290
+
+    @given(st.floats(-50, 50), st.floats(-50, 50),
+           st.floats(-50, 50), st.floats(-50, 50))
+    @settings(max_examples=60)
+    def test_add_inclusion(self, a1, a2, b1, b2):
+        ia, ib = Interval.make(a1, a2), Interval.make(b1, b2)
+        s = ia + ib
+        assert s.contains(ia.lo + ib.lo) and s.contains(ia.hi + ib.hi)
+
+
+class TestOrdering:
+    def test_simple_chain(self):
+        eqs = [
+            Equation.make("e1", {"a", "b"}, lambda v: v["b"] - 2 * v["a"]),
+            Equation.make("e2", {"b", "c"}, lambda v: v["c"] - v["b"] - 1),
+        ]
+        plan = order_equations(eqs, knowns=["a"])
+        assert plan.block_sizes() == [1, 1]
+        sol = plan.solve({"a": 3.0})
+        assert sol["b"] == pytest.approx(6.0)
+        assert sol["c"] == pytest.approx(7.0)
+
+    def test_simultaneous_block(self):
+        # x + y = 3, x - y = 1 → must be one 2-block.
+        eqs = [
+            Equation.make("sum", {"x", "y"}, lambda v: v["x"] + v["y"] - 3),
+            Equation.make("diff", {"x", "y"}, lambda v: v["x"] - v["y"] - 1),
+        ]
+        plan = order_equations(eqs, knowns=[])
+        assert plan.block_sizes() == [2]
+        sol = plan.solve({})
+        assert sol["x"] == pytest.approx(2.0)
+        assert sol["y"] == pytest.approx(1.0)
+
+    def test_ordering_minimizes_blocks(self):
+        # A chain a→b→c→d plus one coupled pair; only the pair should be
+        # simultaneous.
+        eqs = [
+            Equation.make("e1", {"a", "b"}, lambda v: v["b"] - v["a"] ** 2),
+            Equation.make("e2", {"b", "c"}, lambda v: v["c"] - v["b"] - 1),
+            Equation.make("p1", {"c", "u", "w"},
+                          lambda v: v["u"] + v["w"] - v["c"]),
+            Equation.make("p2", {"u", "w"}, lambda v: v["u"] - 2 * v["w"]),
+        ]
+        plan = order_equations(eqs, knowns=["a"])
+        sizes = plan.block_sizes()
+        assert sorted(sizes) == [1, 1, 2]
+        sol = plan.solve({"a": 2.0})
+        assert sol["b"] == pytest.approx(4.0)
+        assert sol["c"] == pytest.approx(5.0)
+        assert sol["u"] == pytest.approx(10.0 / 3.0)
+        assert sol["w"] == pytest.approx(5.0 / 3.0)
+
+    def test_under_constrained_reports_free_vars(self):
+        eqs = [Equation.make("e1", {"a", "b", "c"},
+                             lambda v: v["a"] + v["b"] + v["c"])]
+        with pytest.raises(UnderConstrained) as exc_info:
+            order_equations(eqs, knowns=["a"])
+        assert len(exc_info.value.free_variables) == 1
+
+    def test_over_constrained_rejected(self):
+        eqs = [
+            Equation.make("e1", {"x"}, lambda v: v["x"] - 1),
+            Equation.make("e2", {"x"}, lambda v: v["x"] - 2),
+        ]
+        with pytest.raises(OrderingError):
+            order_equations(eqs, knowns=[])
+
+    def test_nonlinear_single_equation(self):
+        eqs = [Equation.make("sq", {"x", "y"}, lambda v: v["y"] - v["x"] ** 2)]
+        plan = order_equations(eqs, knowns=["y"])
+        sol = plan.solve({"y": 16.0}, guess=5.0)
+        assert sol["x"] == pytest.approx(4.0, rel=1e-6)
+
+    def test_missing_known_value(self):
+        eqs = [Equation.make("e1", {"a", "b"}, lambda v: v["b"] - v["a"])]
+        plan = order_equations(eqs, knowns=["a"])
+        with pytest.raises(OrderingError):
+            plan.solve({})
+
+    def test_reordering_with_different_knowns(self):
+        # The same declarative model solved in two directions — the DONALD
+        # selling point.
+        eqs = [
+            Equation.make("ohm", {"v", "i", "r"},
+                          lambda x: x["v"] - x["i"] * x["r"]),
+            Equation.make("power", {"p", "v", "i"},
+                          lambda x: x["p"] - x["v"] * x["i"]),
+        ]
+        forward = order_equations(eqs, knowns=["v", "r"])
+        sol = forward.solve({"v": 10.0, "r": 2.0})
+        assert sol["i"] == pytest.approx(5.0)
+        assert sol["p"] == pytest.approx(50.0)
+        backward = order_equations(eqs, knowns=["p", "i"])
+        sol2 = backward.solve({"p": 50.0, "i": 5.0}, guess=3.0)
+        assert sol2["v"] == pytest.approx(10.0)
+        assert sol2["r"] == pytest.approx(2.0)

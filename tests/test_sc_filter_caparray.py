@@ -1,0 +1,188 @@
+"""Tests for SC-filter synthesis and common-centroid capacitor arrays."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.caparray import (
+    CapArrayError,
+    centroid_errors,
+    common_centroid_assignment,
+    generate_cap_array,
+)
+from repro.synthesis.sc_filter import (
+    ScBiquad,
+    ScSynthesisError,
+    BiquadSpec,
+    butterworth_biquads,
+    quantize_ratios,
+    synthesize_sc_filter,
+)
+
+
+class TestButterworth:
+    def test_order_2_q(self):
+        sections = butterworth_biquads(1e4, 2)
+        assert len(sections) == 1
+        assert sections[0].q == pytest.approx(1 / math.sqrt(2), rel=1e-9)
+
+    def test_order_4_qs(self):
+        sections = butterworth_biquads(1e4, 4)
+        qs = sorted(s.q for s in sections)
+        assert qs[0] == pytest.approx(0.5412, rel=1e-3)
+        assert qs[1] == pytest.approx(1.3066, rel=1e-3)
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(ScSynthesisError):
+            butterworth_biquads(1e4, 3)
+
+    def test_gain_distributed(self):
+        sections = butterworth_biquads(1e4, 4, gain=4.0)
+        product = math.prod(s.gain for s in sections)
+        assert product == pytest.approx(4.0, rel=1e-9)
+
+
+class TestScBiquad:
+    def test_realized_pole_accuracy(self):
+        bq = ScBiquad(BiquadSpec(10e3, 0.707), f_clock=1e6)
+        f0, q = bq.effective_f0_q()
+        assert f0 == pytest.approx(10e3, rel=0.05)
+        assert q == pytest.approx(0.707, rel=0.1)
+
+    def test_stability(self):
+        bq = ScBiquad(BiquadSpec(10e3, 2.0), f_clock=1e6)
+        assert bq.is_stable()
+
+    def test_low_oversampling_rejected(self):
+        with pytest.raises(ScSynthesisError):
+            ScBiquad(BiquadSpec(200e3, 1.0), f_clock=1e6)
+
+    def test_higher_clock_better_accuracy(self):
+        coarse = ScBiquad(BiquadSpec(10e3, 1.0), f_clock=2e5)
+        fine = ScBiquad(BiquadSpec(10e3, 1.0), f_clock=4e6)
+        err_coarse = abs(coarse.effective_f0_q()[0] - 10e3)
+        err_fine = abs(fine.effective_f0_q()[0] - 10e3)
+        assert err_fine < err_coarse
+
+    @given(st.floats(min_value=1e3, max_value=40e3),
+           st.floats(min_value=0.52, max_value=5.0))
+    @settings(max_examples=40, deadline=None)
+    def test_always_stable_at_high_oversampling(self, f0, q):
+        bq = ScBiquad(BiquadSpec(f0, q), f_clock=1e6)
+        assert bq.is_stable()
+
+
+class TestQuantization:
+    def test_ratio_error_bounded(self):
+        bq = ScBiquad(BiquadSpec(10e3, 1.0), f_clock=1e6)
+        budget = quantize_ratios(bq, 100e-15)
+        assert budget.ratio_error < 0.05
+        assert budget.total_units == sum(budget.units.values())
+
+    def test_spread_reported(self):
+        bq = ScBiquad(BiquadSpec(10e3, 1.0), f_clock=1e6)
+        budget = quantize_ratios(bq, 100e-15)
+        assert budget.spread >= 1.0
+
+    def test_ktc_decreases_with_unit_cap(self):
+        bq = ScBiquad(BiquadSpec(10e3, 1.0), f_clock=1e6)
+        small = quantize_ratios(bq, 50e-15)
+        large = quantize_ratios(bq, 500e-15)
+        assert large.kt_c_noise_v < small.kt_c_noise_v
+
+
+class TestFilterSynthesis:
+    def test_meets_noise_budget(self):
+        design = synthesize_sc_filter(10e3, 4, 1e6,
+                                      noise_budget_v=150e-6)
+        assert design.worst_noise_v() <= 150e-6
+
+    def test_tighter_noise_costs_area(self):
+        loose = synthesize_sc_filter(10e3, 4, 1e6, noise_budget_v=400e-6)
+        tight = synthesize_sc_filter(10e3, 4, 1e6, noise_budget_v=100e-6)
+        assert tight.area_estimate() >= loose.area_estimate()
+
+    def test_sections_match_order(self):
+        design = synthesize_sc_filter(20e3, 6, 2e6)
+        assert len(design.sections) == 3
+
+    def test_realized_response_shape(self):
+        design = synthesize_sc_filter(10e3, 4, 1e6)
+        for section in design.sections:
+            f0, _ = section.effective_f0_q()
+            assert f0 == pytest.approx(10e3, rel=0.08)
+
+
+class TestCommonCentroid:
+    def test_unit_conservation(self):
+        units = {"a": 8, "b": 6, "c": 2}
+        grid = common_centroid_assignment(units)
+        flat = [cell for row in grid for cell in row]
+        for name, count in units.items():
+            assert flat.count(name) == count
+
+    def test_even_caps_perfectly_centered(self):
+        units = {"a": 8, "b": 8, "c": 4}
+        errors = centroid_errors(common_centroid_assignment(units))
+        for name in units:
+            assert errors[name] == pytest.approx(0.0, abs=1e-9)
+
+    def test_odd_caps_near_center(self):
+        units = {"big": 12, "one": 1}
+        errors = centroid_errors(common_centroid_assignment(units))
+        assert errors["one"] <= 1.5  # the unpaired unit sits near center
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(CapArrayError):
+            common_centroid_assignment({})
+        with pytest.raises(CapArrayError):
+            common_centroid_assignment({"a": 0})
+
+    @given(st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(min_value=1, max_value=20),
+        min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_property_conservation_and_balance(self, units):
+        grid = common_centroid_assignment(units)
+        flat = [cell for row in grid for cell in row]
+        for name, count in units.items():
+            assert flat.count(name) == count
+        errors = centroid_errors(grid)
+        for name, count in units.items():
+            if count % 2 == 0:
+                # Even-count caps balance closely (exact unless fallback
+                # cells had to be used for geometric reasons).
+                assert errors[name] < 1.5
+
+
+class TestCapArrayLayout:
+    def test_layout_generated(self):
+        result = generate_cap_array({"a": 4, "b": 4}, 100e-15)
+        assert result.cell.shapes
+        assert set(result.cell.ports) == {"a", "b"}
+
+    def test_gds_exportable(self):
+        from repro.layout.gdslite import read_gds_rect_count, write_gds
+        result = generate_cap_array({"a": 4, "b": 4}, 100e-15)
+        assert read_gds_rect_count(write_gds([result.cell])) > 10
+
+    def test_units_of(self):
+        result = generate_cap_array({"a": 6, "b": 2}, 100e-15)
+        assert result.units_of("a") == 6
+        assert result.units_of("b") == 2
+
+    def test_sc_filter_array_end_to_end(self):
+        design = synthesize_sc_filter(10e3, 2, 1e6)
+        budget = design.budgets[0]
+        result = generate_cap_array(budget.units, budget.unit_cap)
+        # Integrating caps (even counts by construction or large) must be
+        # well balanced.
+        for name, err in result.centroid_error.items():
+            units = budget.units[name]
+            if units % 2 == 0:
+                assert err < 0.75
+            else:
+                assert err < 2.5

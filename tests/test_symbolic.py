@@ -1,0 +1,234 @@
+"""Tests for the symbolic expression kernel and the ISAAC-style analyzer."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ac_analysis
+from repro.circuits.library import (
+    common_source_amp,
+    five_transistor_ota,
+    voltage_divider,
+)
+from repro.circuits.netlist import Circuit
+from repro.symbolic import (
+    RationalFunction,
+    SignedSum,
+    SPoly,
+    SymbolicAnalyzer,
+    SymbolicError,
+)
+
+
+class TestSignedSum:
+    def test_zero(self):
+        assert SignedSum.zero().is_zero
+        assert SignedSum.zero().evaluate({}) == 0.0
+
+    def test_symbol_evaluate(self):
+        s = SignedSum.symbol("gm")
+        assert s.evaluate({"gm": 3.0}) == 3.0
+
+    def test_addition_cancels(self):
+        a = SignedSum.symbol("x")
+        assert (a + (-a)).is_zero
+
+    def test_multiplication(self):
+        a = SignedSum.symbol("x")
+        b = SignedSum.symbol("y")
+        p = a * b
+        assert p.evaluate({"x": 2, "y": 5}) == 10.0
+        assert p.term_count() == 1
+
+    def test_powers_accumulate(self):
+        a = SignedSum.symbol("x")
+        sq = a * a
+        assert sq.evaluate({"x": 3}) == 9.0
+        assert list(sq.terms) == [(("x", 2),)]
+
+    def test_distribution(self):
+        x, y = SignedSum.symbol("x"), SignedSum.symbol("y")
+        p = (x + y) * (x + y)
+        assert p.evaluate({"x": 1, "y": 2}) == 9.0
+        assert p.term_count() == 3  # x², 2xy, y²
+
+    def test_pruned_keeps_dominant(self):
+        x = SignedSum.symbol("big") + SignedSum.symbol("small")
+        pruned = x.pruned({"big": 1.0, "small": 1e-9}, rel_tol=1e-6)
+        assert pruned.term_count() == 1
+        assert "big" in pruned.symbols()
+
+    def test_pruned_respects_cancellation(self):
+        # big1 - big2 cancels; 'tiny' defines the residual and must survive.
+        terms = (SignedSum.symbol("big1") - SignedSum.symbol("big2")
+                 + SignedSum.symbol("tiny"))
+        values = {"big1": 1.0, "big2": 1.0, "tiny": 1e-6}
+        pruned = terms.pruned(values, rel_tol=0.1)
+        assert "tiny" in pruned.symbols()
+
+    def test_to_string(self):
+        x = SignedSum.symbol("x") - SignedSum.symbol("y")
+        text = x.to_string()
+        assert "x" in text and "y" in text
+
+    @given(st.integers(min_value=-5, max_value=5),
+           st.integers(min_value=-5, max_value=5))
+    def test_number_arithmetic(self, a, b):
+        sa, sb = SignedSum.number(a), SignedSum.number(b)
+        assert (sa + sb).evaluate({}) == a + b
+        assert (sa * sb).evaluate({}) == a * b
+
+
+class TestSPoly:
+    def test_constant(self):
+        p = SPoly.constant(SignedSum.number(2.0))
+        assert p.evaluate(1j, {}) == 2.0
+
+    def test_s_power(self):
+        p = SPoly.symbol("c", s_power=1)
+        assert p.evaluate(2.0, {"c": 3.0}) == 6.0
+
+    def test_mul_adds_degrees(self):
+        p = SPoly.symbol("c", s_power=1) * SPoly.symbol("d", s_power=2)
+        assert p.degree() == 3
+
+    def test_add_cancel(self):
+        p = SPoly.symbol("x")
+        assert (p - p).is_zero
+
+    def test_numeric_coefficients(self):
+        p = SPoly.symbol("g") + SPoly.symbol("c", s_power=1)
+        coeffs = p.numeric_coefficients({"g": 2.0, "c": 3.0})
+        assert list(coeffs) == [2.0, 3.0]
+
+
+class TestRationalFunction:
+    def test_rc_pole(self):
+        num = SPoly.symbol("g")
+        den = SPoly.symbol("g") + SPoly.symbol("c", s_power=1)
+        tf = RationalFunction(num, den, {"g": 1e-3, "c": 1e-9})
+        poles = tf.poles()
+        assert poles[0] == pytest.approx(-1e6)
+        assert tf.dc_gain() == pytest.approx(1.0)
+
+    def test_evaluate_jw(self):
+        num = SPoly.symbol("g")
+        den = SPoly.symbol("g") + SPoly.symbol("c", s_power=1)
+        tf = RationalFunction(num, den, {"g": 1e-3, "c": 1e-9})
+        f_pole = 1e6 / (2 * math.pi)
+        assert abs(tf.evaluate_jw(f_pole)) == pytest.approx(
+            1 / math.sqrt(2), rel=1e-9)
+
+
+class TestAnalyzer:
+    def test_divider_exact(self):
+        tf = SymbolicAnalyzer(voltage_divider(2e3, 1e3, 1.0)) \
+            .transfer_function("out")
+        assert tf.dc_gain() == pytest.approx(1.0 / 3.0)
+        # Expression is g_r1/(g_r1+g_r2) up to overall sign.
+        syms = tf.num.coefficient(0).symbols()
+        assert syms == {"g_r1"}
+
+    def test_rc_matches_numeric(self):
+        c = Circuit("rc")
+        c.vsource("vin", "a", "0", dc=0, ac=1)
+        c.resistor("r1", "a", "out", 1e3)
+        c.capacitor("c1", "out", "0", 1e-9)
+        tf = SymbolicAnalyzer(c).transfer_function("out")
+        for f in (1e3, 1e5, 1e7):
+            num = ac_analysis(c, np.array([f])).v("out")[0]
+            assert tf.evaluate_jw(f) == pytest.approx(num, rel=1e-9)
+
+    def test_rc_pole_symbolic(self):
+        c = Circuit("rc")
+        c.vsource("vin", "a", "0", dc=0, ac=1)
+        c.resistor("r1", "a", "out", 1e3)
+        c.capacitor("c1", "out", "0", 1e-9)
+        tf = SymbolicAnalyzer(c).transfer_function("out")
+        assert tf.poles()[0] == pytest.approx(-1e6, rel=1e-9)
+
+    def test_common_source_matches_numeric(self):
+        cs = common_source_amp(vgs=1.0)
+        tf = SymbolicAnalyzer(cs).transfer_function("out")
+        for f in (10.0, 1e6, 1e9):
+            num = ac_analysis(cs, np.array([f])).v("out")[0]
+            assert abs(tf.evaluate_jw(f)) == pytest.approx(abs(num), rel=1e-6)
+
+    def test_ota_matches_numeric(self):
+        ota = five_transistor_ota()
+        ota.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        ota.vsource("vin_", "inn", "0", dc=1.5)
+        tf = SymbolicAnalyzer(ota).transfer_function("out")
+        for f in (10.0, 1e5, 1e8):
+            num = ac_analysis(ota, np.array([f])).v("out")[0]
+            assert abs(tf.evaluate_jw(f)) == pytest.approx(abs(num), rel=1e-6)
+
+    def test_ac_ground_collapse_shrinks_matrix(self):
+        ota = five_transistor_ota()
+        ota.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        ota.vsource("vin_", "inn", "0", dc=1.5)
+        sym = SymbolicAnalyzer(ota)
+        # vdd, inn merged to ground; unknowns: x1, tail, out, nbias, inp + branch.
+        assert sym.matrix_size() <= 7
+
+    def test_pruned_expansion_accuracy(self):
+        ota = five_transistor_ota()
+        ota.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        ota.vsource("vin_", "inn", "0", dc=1.5)
+        sym = SymbolicAnalyzer(ota)
+        exact = sym.transfer_function("out")
+        pruned = sym.transfer_function("out", prune_tol=1e-2)
+        assert pruned.term_count() < exact.term_count()
+        g_exact = abs(exact.evaluate_jw(10.0))
+        g_pruned = abs(pruned.evaluate_jw(10.0))
+        assert g_pruned == pytest.approx(g_exact, rel=0.05)
+
+    def test_simplified_after_exact(self):
+        ota = five_transistor_ota()
+        ota.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        ota.vsource("vin_", "inn", "0", dc=1.5)
+        tf = SymbolicAnalyzer(ota).transfer_function("out")
+        simp = tf.simplified(0.1)
+        assert simp.term_count() < tf.term_count() / 10
+        assert simp.dc_gain() == pytest.approx(tf.dc_gain(), rel=0.05)
+
+    def test_gain_formula_structure(self):
+        # 5T OTA dc gain must be gm-over-go shaped: numerator carries a gm.
+        ota = five_transistor_ota()
+        ota.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        ota.vsource("vin_", "inn", "0", dc=1.5)
+        tf = SymbolicAnalyzer(ota).transfer_function("out").simplified(0.2)
+        num_syms = tf.num.coefficient(0).symbols()
+        assert any(s.startswith("gm_") for s in num_syms)
+
+    def test_multiple_ac_sources_rejected(self):
+        c = Circuit("two")
+        c.vsource("v1", "a", "0", ac=1.0)
+        c.vsource("v2", "b", "0", ac=1.0)
+        c.resistor("r", "a", "b", 1e3)
+        with pytest.raises(SymbolicError):
+            SymbolicAnalyzer(c)
+
+    def test_no_input_rejected(self):
+        c = voltage_divider(1e3, 1e3, 1.0)
+        c.update_device("vin", ac=0.0)
+        sym = SymbolicAnalyzer(c)
+        with pytest.raises(SymbolicError):
+            sym.transfer_function("out")
+
+    def test_inductor_rejected(self):
+        c = Circuit("l")
+        c.vsource("v1", "a", "0", ac=1.0)
+        c.inductor("l1", "a", "out", 1e-9)
+        c.resistor("r1", "out", "0", 50.0)
+        with pytest.raises(SymbolicError):
+            SymbolicAnalyzer(c)
+
+    def test_output_at_ac_ground_rejected(self):
+        cs = common_source_amp()
+        sym = SymbolicAnalyzer(cs)
+        with pytest.raises(SymbolicError):
+            sym.transfer_function("vdd")

@@ -1,0 +1,136 @@
+"""Tests for the BLADES-style rule-based sizing system."""
+
+import math
+
+import pytest
+
+from repro.synthesis.blades import (
+    Consultation,
+    InferenceError,
+    Rule,
+    RuleEngine,
+    size_ota_with_rules,
+)
+
+
+class TestRuleEngine:
+    def _simple_rules(self):
+        return [
+            Rule("a-from-x", lambda f: "x" in f,
+                 lambda f: {"a": f["x"] * 2}, ("a",), priority=5),
+            Rule("b-from-a", lambda f: "a" in f,
+                 lambda f: {"b": f["a"] + 1}, ("b",)),
+        ]
+
+    def test_forward_chaining(self):
+        engine = RuleEngine(self._simple_rules())
+        result = engine.run({"x": 3.0}, goals=("b",))
+        assert result.facts["a"] == 6.0
+        assert result.facts["b"] == 7.0
+        assert result.goals_met
+
+    def test_rule_fires_once(self):
+        count = {"n": 0}
+
+        def action(f):
+            count["n"] += 1
+            return {"y": 1}
+
+        engine = RuleEngine([
+            Rule("once", lambda f: True, action, ("y",)),
+        ])
+        engine.run({}, goals=())
+        assert count["n"] == 1
+
+    def test_priority_ordering(self):
+        order = []
+        engine = RuleEngine([
+            Rule("low", lambda f: True,
+                 lambda f: order.append("low") or {"l": 1}, ("l",),
+                 priority=1),
+            Rule("high", lambda f: True,
+                 lambda f: order.append("high") or {"h": 1}, ("h",),
+                 priority=9),
+        ])
+        engine.run({})
+        assert order == ["high", "low"]
+
+    def test_missing_goal_raises(self):
+        engine = RuleEngine(self._simple_rules())
+        with pytest.raises(InferenceError, match="could not establish"):
+            engine.consult({}, goals=("b",))
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = Rule("r", lambda f: True, lambda f: {}, ())
+        with pytest.raises(ValueError):
+            RuleEngine([rule, rule])
+
+    def test_condition_keyerror_treated_as_not_ready(self):
+        engine = RuleEngine([
+            Rule("needs-x", lambda f: f["x"] > 0,
+                 lambda f: {"y": 1}, ("y",)),
+        ])
+        result = engine.run({})
+        assert "y" not in result.facts
+
+    def test_trace_records_cycles(self):
+        engine = RuleEngine(self._simple_rules())
+        result = engine.run({"x": 1.0})
+        assert [f.rule for f in result.trace] == ["a-from-x", "b-from-a"]
+        assert "cycle 1" in result.explain()
+
+
+class TestOtaRuleBase:
+    def test_sizes_derived(self):
+        result = size_ota_with_rules(gbw=10e6, slew_rate=5e6,
+                                     c_load=2e-12)
+        facts = result.facts
+        assert facts["i_tail"] == pytest.approx(1e-5)
+        gm = 2 * math.pi * 10e6 * 2e-12
+        assert facts["gm_in"] == pytest.approx(gm)
+        assert facts["w_in"] > 0 and facts["w_tail"] > 0
+
+    def test_agrees_with_design_plan(self):
+        """BLADES and IDAC encode the same expertise: same answer."""
+        from repro.synthesis.plan_library import build_ota_plan
+        rules = size_ota_with_rules(gbw=10e6, slew_rate=5e6, c_load=2e-12)
+        plan = build_ota_plan().execute(
+            {"gbw": 10e6, "slew_rate": 5e6, "c_load": 2e-12,
+             "gain": 100.0, "vdd": 3.3})
+        for key in ("w_in", "w_load", "w_tail", "i_bias"):
+            assert rules.facts[key] == pytest.approx(plan.sizes[key],
+                                                     rel=1e-6)
+
+    def test_gain_goal_checked(self):
+        result = size_ota_with_rules(gbw=10e6, slew_rate=5e6,
+                                     c_load=2e-12, gain=100.0)
+        assert result.facts["gain_ok"]
+
+    def test_unreachable_gain_diagnosed(self):
+        with pytest.raises(InferenceError, match="gain"):
+            size_ota_with_rules(gbw=10e6, slew_rate=5e6, c_load=2e-12,
+                                gain=1e6)
+
+    def test_explanation_names_rules(self):
+        result = size_ota_with_rules(gbw=10e6, slew_rate=5e6,
+                                     c_load=2e-12)
+        text = result.explain()
+        assert "tail-from-slew" in text and "gm-from-gbw" in text
+
+    def test_sized_circuit_simulates(self):
+        import numpy as np
+        from repro.analysis import ac_analysis, bode_metrics, \
+            logspace_frequencies
+        from repro.circuits.library import five_transistor_ota
+        result = size_ota_with_rules(gbw=10e6, slew_rate=5e6,
+                                     c_load=2e-12)
+        sizes = {k: result.facts[k]
+                 for k in ("w_in", "l_in", "w_load", "l_load", "w_tail",
+                           "l_tail", "i_bias")}
+        sizes["c_load"] = 2e-12
+        ckt = five_transistor_ota(sizes)
+        ckt.vsource("vip", "inp", "0", dc=1.5, ac=1.0)
+        ckt.vsource("vin_", "inn", "0", dc=1.5)
+        metrics = bode_metrics(
+            ac_analysis(ckt, logspace_frequencies(100, 1e9, 5)), "out")
+        assert metrics.unity_gain_freq == pytest.approx(10e6, rel=0.5)

@@ -1,0 +1,195 @@
+"""Tests for the Table 1 pulse detector, RF front-end, and hierarchy engine."""
+
+import pytest
+
+from repro.core.specs import Spec, SpecSet
+from repro.synthesis import (
+    DesignTask,
+    FlowError,
+    MANUAL_DESIGN,
+    PulseDetectorDesign,
+    cascade_iip3_dbm,
+    cascade_noise_figure,
+    default_plan_library,
+    pulse_detector_performance,
+    pulse_detector_specs,
+    receiver_performance,
+    run_design_task,
+    synthesize_pulse_detector,
+)
+from repro.synthesis.hierarchy import StepKind
+from repro.synthesis.rf_frontend import BlockSpec
+
+
+class TestPulseDetectorModel:
+    def test_manual_design_meets_all_specs(self):
+        perf = pulse_detector_performance(MANUAL_DESIGN.sizes())
+        assert pulse_detector_specs().all_satisfied(perf)
+
+    def test_manual_matches_table1_column(self):
+        """The calibrated manual point reproduces Table 1's manual column."""
+        perf = pulse_detector_performance(MANUAL_DESIGN.sizes())
+        assert perf["peaking_time"] == pytest.approx(1.1e-6, rel=0.05)
+        assert perf["counting_rate"] == pytest.approx(200e3, rel=0.1)
+        assert perf["noise_enc"] == pytest.approx(750.0, rel=0.1)
+        assert perf["gain"] == pytest.approx(20.0, rel=0.05)
+        assert perf["output_range"] >= 1.0
+        assert perf["power"] == pytest.approx(40e-3, rel=0.1)
+        assert perf["area"] == pytest.approx(0.7e-6, rel=0.15)
+
+    def test_peaking_time_is_n_tau(self):
+        d = PulseDetectorDesign(i_csa=1e-3, w_in=500e-6, c_fb=0.1e-12,
+                                r_fb=50e6, tau=0.2e-6, i_shaper=0.3e-3)
+        perf = pulse_detector_performance(d.sizes())
+        assert perf["peaking_time"] == pytest.approx(4 * 0.2e-6)
+
+    def test_noise_decreases_with_current(self):
+        base = MANUAL_DESIGN.sizes()
+        lo = pulse_detector_performance(dict(base, i_csa=0.5e-3))
+        hi = pulse_detector_performance(dict(base, i_csa=4e-3))
+        assert hi["noise_enc"] < lo["noise_enc"]
+
+    def test_noise_has_optimum_in_width(self):
+        """Capacitive matching: ENC is non-monotone in input width."""
+        base = MANUAL_DESIGN.sizes()
+        widths = [100e-6, 400e-6, 900e-6, 2000e-6, 3000e-6]
+        encs = [pulse_detector_performance(dict(base, w_in=w))["noise_enc"]
+                for w in widths]
+        best = min(range(len(encs)), key=lambda i: encs[i])
+        assert 0 < best < len(encs) - 1
+
+    def test_rate_vs_reset_tradeoff(self):
+        base = MANUAL_DESIGN.sizes()
+        fast = pulse_detector_performance(dict(base, r_fb=10e6))
+        slow = pulse_detector_performance(dict(base, r_fb=400e6))
+        assert fast["counting_rate"] > slow["counting_rate"]
+        assert fast["noise_enc"] > slow["noise_enc"]  # parallel noise
+
+    def test_gain_capped_by_shaper(self):
+        # Large C_fb needs more shaper gain than A_SHAPER_MAX provides, so
+        # the chain cannot reach 20 V/fC there.
+        base = MANUAL_DESIGN.sizes()
+        perf = pulse_detector_performance(dict(base, c_fb=1e-12))
+        assert perf["gain"] < 20.0 * 0.92
+
+
+class TestPulseDetectorSynthesis:
+    def test_synthesis_beats_manual_on_power(self):
+        manual = pulse_detector_performance(MANUAL_DESIGN.sizes())
+        result = synthesize_pulse_detector(seed=1)
+        assert result.feasible
+        ratio = manual["power"] / result.performance["power"]
+        assert 3.0 <= ratio <= 16.0  # Table 1 reports ~5.7x
+
+    def test_synthesis_meets_every_spec(self):
+        result = synthesize_pulse_detector(seed=2)
+        report = pulse_detector_specs().report(result.performance)
+        assert report.all_satisfied
+
+    def test_transient_verification_of_manual_design(self):
+        """Simulating the built circuit confirms the model's peaking time."""
+        from repro.synthesis import verified_peaking_time
+        measured = verified_peaking_time(MANUAL_DESIGN)
+        model = pulse_detector_performance(MANUAL_DESIGN.sizes())
+        assert measured["peaking_time"] == pytest.approx(
+            model["peaking_time"], rel=0.35)
+        assert measured["gain"] == pytest.approx(model["gain"], rel=0.35)
+
+
+class TestRfFrontend:
+    def test_friis_single_block(self):
+        blocks = [BlockSpec("lna", 20.0, 3.0, 0.0)]
+        assert cascade_noise_figure(blocks) == pytest.approx(3.0)
+
+    def test_friis_second_stage_suppressed_by_gain(self):
+        lna = BlockSpec("lna", 20.0, 2.0, 0.0)
+        noisy_mixer = BlockSpec("mixer", 10.0, 15.0, 5.0)
+        nf = cascade_noise_figure([lna, noisy_mixer])
+        assert nf < 4.0  # LNA gain suppresses mixer noise
+
+    def test_iip3_dominated_by_late_stages(self):
+        lna = BlockSpec("lna", 20.0, 2.0, 10.0)
+        weak_vga = BlockSpec("vga", 20.0, 10.0, -10.0)
+        iip3 = cascade_iip3_dbm([lna, weak_vga])
+        # Referred to the input, the VGA's IIP3 is degraded by LNA gain.
+        assert iip3 < -25.0
+
+    def test_performance_dict_complete(self):
+        params = {"lna_gain": 15.0, "lna_nf": 3.0, "lna_iip3": -5.0,
+                  "mixer_gain": 10.0, "mixer_nf": 10.0, "mixer_iip3": 5.0,
+                  "vga_gain": 40.0, "vga_nf": 15.0, "vga_iip3": 10.0}
+        perf = receiver_performance(params)
+        assert set(perf) == {"gain_db", "nf_db", "iip3_dbm", "sndr_db",
+                             "power"}
+        assert perf["gain_db"] == pytest.approx(15 + 10 - 2 + 40)
+
+    def test_lower_nf_costs_power(self):
+        base = {"lna_gain": 15.0, "lna_nf": 3.0, "lna_iip3": -5.0,
+                "mixer_gain": 10.0, "mixer_nf": 10.0, "mixer_iip3": 5.0,
+                "vga_gain": 40.0, "vga_nf": 15.0, "vga_iip3": 10.0}
+        quiet = receiver_performance(dict(base, lna_nf=1.2))
+        assert quiet["power"] > receiver_performance(base)["power"]
+        assert quiet["nf_db"] < receiver_performance(base)["nf_db"]
+
+
+class TestHierarchyEngine:
+    def _plan_translate(self, topology, specs):
+        lib = default_plan_library()
+        plan = lib.get(topology)
+        spec_map = {"gbw": 10e6, "slew_rate": 5e6, "c_load": 2e-12,
+                    "gain": 100.0, "vdd": 3.3, "phase_margin": 60.0}
+        result = plan.execute(spec_map)
+        return result.sizes, result.performance
+
+    def test_flow_succeeds_with_plan_strategy(self):
+        specs = SpecSet([Spec.at_least("gbw", 9e6),
+                         Spec.at_least("gain", 100.0)])
+        task = DesignTask(
+            name="ota_cell", specs=specs,
+            select=lambda s: ["five_transistor_ota"],
+            translate=self._plan_translate)
+        outcome = run_design_task(task)
+        assert outcome.topology == "five_transistor_ota"
+        assert outcome.sizes["w_in"] > 0
+        steps = [e.step for e in outcome.log.events]
+        assert StepKind.TOPOLOGY in steps and StepKind.TRANSLATE in steps
+
+    def test_flow_falls_back_to_next_topology(self):
+        specs = SpecSet([Spec.at_least("gain", 5000.0),
+                         Spec.at_least("gbw", 9e6)])
+        task = DesignTask(
+            name="high_gain_cell", specs=specs,
+            select=lambda s: ["five_transistor_ota", "two_stage_miller"],
+            translate=lambda topo, s: self._plan_translate(
+                topo, s) if topo != "five_transistor_ota"
+            else (_ for _ in ()).throw(RuntimeError("gain infeasible")),
+        )
+        outcome = run_design_task(task)
+        assert outcome.topology == "two_stage_miller"
+        assert outcome.log.failures()  # the OTA failure was recorded
+
+    def test_flow_error_when_everything_fails(self):
+        specs = SpecSet([Spec.at_least("gain", 1e9)])
+        task = DesignTask(
+            name="impossible", specs=specs,
+            select=lambda s: ["five_transistor_ota"],
+            translate=self._plan_translate, max_redesigns=2)
+        with pytest.raises(FlowError):
+            run_design_task(task)
+
+    def test_verification_gate(self):
+        specs = SpecSet([Spec.at_least("gbw", 9e6)])
+        calls = {"n": 0}
+
+        def verify(topology, sizes):
+            calls["n"] += 1
+            return {"gbw": 10e6}
+
+        task = DesignTask(
+            name="verified_cell", specs=specs,
+            select=lambda s: ["five_transistor_ota"],
+            translate=self._plan_translate,
+            verify=verify)
+        outcome = run_design_task(task)
+        assert calls["n"] == 1
+        assert outcome.verified == {"gbw": 10e6}
