@@ -16,6 +16,7 @@ Subpackages
 ``repro.symbolic``   ISAAC-style symbolic small-signal analysis
 ``repro.awe``        asymptotic waveform evaluation
 ``repro.opt``        annealing, genetic search, intervals, equation ordering
+``repro.engine``     parallel, cache-aware evaluation engine + job graphs
 ``repro.synthesis``  frontend: sizing, topology selection, manufacturability
 ``repro.layout``     backend cell level: generators, placer, router, compactor
 ``repro.msystem``    backend system level: floorplan, routing, power grids

@@ -1,0 +1,31 @@
+"""Parallel, cache-aware evaluation engine shared by all synthesis loops.
+
+The frontends the paper surveys are evaluation-bound: simulation-in-the-
+loop sizing, plan execution, and closed-loop resynthesis all spend their
+time re-running the circuit simulator.  This package centralizes that
+work behind one engine — pluggable executors (serial / process pool), a
+content-addressed result cache, per-stage telemetry, and a task-graph
+runner for the flow pipelines.
+"""
+
+from repro.engine.cache import CacheStats, EvalCache, canonical_key
+from repro.engine.core import EvaluationEngine, KeyedEngine
+from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.engine.jobs import Job, JobGraph, JobGraphError
+from repro.engine.telemetry import Telemetry, TimerStat
+
+__all__ = [
+    "CacheStats",
+    "EvalCache",
+    "EvaluationEngine",
+    "Executor",
+    "Job",
+    "JobGraph",
+    "JobGraphError",
+    "KeyedEngine",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "Telemetry",
+    "TimerStat",
+    "canonical_key",
+]

@@ -1,0 +1,188 @@
+"""Content-addressed memoization cache for circuit evaluations.
+
+Simulation-in-the-loop synthesis (ASTRX/OBLX, FRIDGE, the §3.1 resynthesis
+loop) re-simulates the same sized netlist far more often than one would
+expect: annealers revisit accepted states, genetic elites survive across
+generations, and a resynthesis iteration re-measures circuits the previous
+iteration already evaluated.  The cache removes all of that redundant work
+by keying each result on a canonical hash of *what the simulator would
+actually see*: the serialized netlist (device sizes included), the analysis
+kind, and the analysis parameters.  Two circuits that serialize identically
+are the same evaluation, no matter which loop asked.
+
+The cache is an in-memory LRU with hit/miss/eviction statistics and an
+optional on-disk layer (one pickle per key) so results survive across
+processes and sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+_MISS = object()
+
+
+def _canonical_bytes(part: Any) -> bytes:
+    """Stable byte encoding of one key part.
+
+    Circuits serialize through the SPICE writer (the canonical statement of
+    netlist + sizes + models); mappings sort their keys; floats use ``repr``
+    so the encoding is exact, not rounded.
+    """
+    # Late import: circuits must not depend on the engine package.
+    from repro.circuits.netlist import Circuit
+
+    if isinstance(part, Circuit):
+        from repro.circuits.writer import write_netlist
+        return write_netlist(part, title=part.name).encode()
+    if isinstance(part, bytes):
+        return part
+    if isinstance(part, str):
+        return part.encode()
+    if isinstance(part, bool) or part is None:
+        return repr(part).encode()
+    if isinstance(part, float):
+        # float() collapses numpy float subclasses onto one exact repr.
+        return repr(float(part)).encode()
+    if isinstance(part, int):
+        return repr(int(part)).encode()
+    if isinstance(part, dict):
+        items = sorted(part.items(), key=lambda kv: str(kv[0]))
+        return b"{" + b",".join(
+            _canonical_bytes(k) + b":" + _canonical_bytes(v)
+            for k, v in items) + b"}"
+    if isinstance(part, (list, tuple)):
+        return b"[" + b",".join(_canonical_bytes(p) for p in part) + b"]"
+    if hasattr(part, "tolist"):  # numpy scalars and arrays
+        return _canonical_bytes(part.tolist())
+    raise TypeError(f"cannot canonicalize {type(part).__name__} for cache key")
+
+
+def canonical_key(*parts: Any) -> str:
+    """SHA-256 hex digest over the canonical encoding of ``parts``."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(_canonical_bytes(part))
+        h.update(b"\x1f")  # separator: ("ab","c") != ("a","bc")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "disk_hits": self.disk_hits,
+                "hit_rate": self.hit_rate}
+
+
+class EvalCache:
+    """LRU evaluation cache with optional on-disk persistence.
+
+    Values are returned exactly as stored (no copying), so a hit is
+    bit-identical to the original computation.  Callers must therefore
+    treat cached values as immutable — every producer in this toolkit
+    returns fresh performance dicts, so this is the natural contract.
+    """
+
+    def __init__(self, max_entries: int = 65536,
+                 disk_dir: str | Path | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        if self.disk_dir is not None:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._store: OrderedDict[str, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- core operations ----------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        value = self._store.get(key, _MISS)
+        if value is not _MISS:
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            return value
+        value = self._disk_get(key)
+        if value is not _MISS:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._insert(key, value, write_disk=False)
+            return value
+        self.stats.misses += 1
+        return default
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store or self._disk_path(key) is not None and \
+            self._disk_path(key).exists()
+
+    def put(self, key: str, value: Any) -> None:
+        self._insert(key, value, write_disk=True)
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        value = self.get(key, _MISS)
+        if value is not _MISS:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- internals -----------------------------------------------------
+    def _insert(self, key: str, value: Any, write_disk: bool) -> None:
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = value
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+        if write_disk and self.disk_dir is not None:
+            path = self._disk_path(key)
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)  # atomic: a reader never sees a partial file
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.pkl"
+
+    def _disk_get(self, key: str) -> Any:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return _MISS
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return _MISS
+
+    def report(self) -> dict:
+        out = self.stats.as_dict()
+        out["entries"] = len(self._store)
+        out["max_entries"] = self.max_entries
+        out["disk_dir"] = str(self.disk_dir) if self.disk_dir else None
+        return out

@@ -1,0 +1,148 @@
+"""The evaluation engine: executor + cache + telemetry behind one API.
+
+Every synthesis loop in the toolkit funnels its circuit evaluations
+through an :class:`EvaluationEngine`.  The engine checks the
+content-addressed cache first, dispatches only the misses to its executor
+(serial or process-parallel), stores the new results, and counts
+everything.  Because caching and dispatch both live *above* the evaluation
+function, the function itself stays a pure ``point → result`` mapping that
+can run in a worker process unchanged.
+
+Counter vocabulary (all under ``engine.``):
+
+* ``engine.requests``      — points asked for, hit or miss;
+* ``engine.evaluations``   — functions actually executed (cache misses);
+* ``engine.cache_hits`` / ``engine.cache_misses`` — lookup outcomes.
+
+The acceptance test for a warm cache is therefore one line: rerun the flow
+and assert the ``engine.evaluations`` delta is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.engine.cache import EvalCache
+from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.telemetry import Telemetry
+
+
+class EvaluationEngine:
+    """Cache-aware, executor-backed batch evaluation.
+
+    Parameters
+    ----------
+    executor:
+        Where misses run; defaults to :class:`SerialExecutor`.
+    cache:
+        Optional :class:`EvalCache`.  Without it the engine still batches
+        and counts, it just never skips work.
+    telemetry:
+        Optional shared :class:`Telemetry`; one is created if omitted.
+    """
+
+    def __init__(self, executor: Executor | None = None,
+                 cache: EvalCache | None = None,
+                 telemetry: Telemetry | None = None):
+        self.executor = executor or SerialExecutor()
+        self.cache = cache
+        self.telemetry = telemetry or Telemetry()
+
+    # -- evaluation ----------------------------------------------------
+    def map_evaluate(self, fn: Callable[[Any], Any], points: Sequence[Any],
+                     key_fn: Callable[[Any], str] | None = None) -> list:
+        """``[fn(p) for p in points]`` with caching and batched dispatch.
+
+        ``key_fn`` maps a point to its content-addressed cache key; when
+        omitted (or when there is no cache) every point is evaluated.  The
+        key must capture everything ``fn`` depends on — for circuit
+        evaluations that is the serialized netlist plus analysis
+        parameters (see :func:`repro.engine.cache.canonical_key`).
+        """
+        points = list(points)
+        tele = self.telemetry
+        tele.count("engine.requests", len(points))
+        with tele.timer("engine.map_evaluate"):
+            if self.cache is None or key_fn is None:
+                tele.count("engine.evaluations", len(points))
+                return self.executor.map_evaluate(fn, points)
+            results: list[Any] = [None] * len(points)
+            miss_keys: list[str] = []
+            miss_points: list[Any] = []
+            key_slot: dict[str, int] = {}
+            placements: list[tuple[int, int]] = []  # (result idx, miss slot)
+            sentinel = object()
+            for i, point in enumerate(points):
+                key = key_fn(point)
+                value = self.cache.get(key, sentinel)
+                if value is not sentinel:
+                    results[i] = value
+                    continue
+                # Dedup identical keys within the batch: duplicates share
+                # one dispatched evaluation instead of racing each other.
+                slot = key_slot.get(key)
+                if slot is None:
+                    slot = len(miss_keys)
+                    key_slot[key] = slot
+                    miss_keys.append(key)
+                    miss_points.append(point)
+                placements.append((i, slot))
+            tele.count("engine.cache_hits", len(points) - len(miss_keys))
+            tele.count("engine.cache_misses", len(miss_keys))
+            tele.count("engine.evaluations", len(miss_keys))
+            if miss_keys:
+                computed = self.executor.map_evaluate(fn, miss_points)
+                for key, value in zip(miss_keys, computed):
+                    self.cache.put(key, value)
+                for i, slot in placements:
+                    results[i] = computed[slot]
+            return results
+
+    def evaluate(self, fn: Callable[[Any], Any], point: Any,
+                 key: str | None = None) -> Any:
+        """Single-point convenience wrapper over :meth:`map_evaluate`."""
+        key_fn = (lambda _p: key) if key is not None else None
+        return self.map_evaluate(fn, [point], key_fn=key_fn)[0]
+
+    def keyed(self, key_fn: Callable[[Any], str]) -> "KeyedEngine":
+        """Bind a key function, yielding a plain ``map_evaluate`` adapter.
+
+        The result satisfies the batch-evaluation hook protocol the
+        optimizers accept (anything with ``map_evaluate(fn, points)``),
+        with caching wired in.
+        """
+        return KeyedEngine(self, key_fn)
+
+    # -- reporting / lifecycle ----------------------------------------
+    def report(self) -> dict:
+        out = self.telemetry.report()
+        out["executor"] = self.executor.describe()
+        out["cache"] = self.cache.report() if self.cache is not None else None
+        return out
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class KeyedEngine:
+    """An engine with a pre-bound cache key function.
+
+    Exposes the two-argument ``map_evaluate(fn, points)`` the optimizer
+    batch hooks expect, while still routing through the parent engine's
+    cache and telemetry.
+    """
+
+    engine: EvaluationEngine
+    key_fn: Callable[[Any], str]
+
+    def map_evaluate(self, fn: Callable[[Any], Any],
+                     points: Sequence[Any]) -> list:
+        return self.engine.map_evaluate(fn, points, key_fn=self.key_fn)

@@ -1,0 +1,90 @@
+"""Task-graph runner for flow stages (size → place → route → extract → verify).
+
+The cell and chip flows are pipelines of expensive stages with explicit
+data dependencies.  Declaring them as a :class:`JobGraph` buys three
+things: dependency ordering is checked instead of implied by statement
+order, every stage is timed under the engine's telemetry (``stage.<name>``
+timers), and stage results are collected in one dict so a failed flow can
+report exactly how far it got.
+
+Execution is deterministic: ready jobs run in declaration order.  Stage
+bodies remain free to use the engine's executor/cache internally for their
+own data parallelism — the graph sequences stages, the engine parallelizes
+the evaluations inside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+JobFn = Callable[[dict[str, Any]], Any]
+
+
+class JobGraphError(ValueError):
+    """Raised on malformed graphs: duplicates, unknown deps, cycles."""
+
+
+@dataclass(frozen=True)
+class Job:
+    name: str
+    fn: JobFn
+    deps: tuple[str, ...] = ()
+
+
+@dataclass
+class JobGraph:
+    """Named jobs with dependencies, executed through an engine."""
+
+    jobs: dict[str, Job] = field(default_factory=dict)
+
+    def add(self, name: str, fn: JobFn,
+            deps: Sequence[str] = ()) -> str:
+        """Register ``fn`` under ``name``; ``fn`` receives the results dict."""
+        if name in self.jobs:
+            raise JobGraphError(f"duplicate job {name!r}")
+        self.jobs[name] = Job(name, fn, tuple(deps))
+        return name
+
+    def order(self) -> list[str]:
+        """Topological order, deterministic (declaration order among ready)."""
+        for job in self.jobs.values():
+            for dep in job.deps:
+                if dep not in self.jobs:
+                    raise JobGraphError(
+                        f"job {job.name!r} depends on unknown job {dep!r}")
+        remaining = dict(self.jobs)
+        done: set[str] = set()
+        ordered: list[str] = []
+        while remaining:
+            ready = [name for name, job in remaining.items()
+                     if all(d in done for d in job.deps)]
+            if not ready:
+                raise JobGraphError(
+                    f"dependency cycle among {sorted(remaining)}")
+            for name in ready:
+                ordered.append(name)
+                done.add(name)
+                del remaining[name]
+        return ordered
+
+    def run(self, engine=None,
+            results: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Execute all jobs; returns ``{job name: result}``.
+
+        ``engine`` is an optional :class:`repro.engine.EvaluationEngine`
+        whose telemetry receives a ``stage.<name>`` timer and a
+        ``jobs.completed`` counter per job.  Pre-seeded ``results`` entries
+        are visible to job functions (useful for feeding external inputs
+        in without a synthetic job).
+        """
+        results = results if results is not None else {}
+        for name in self.order():
+            job = self.jobs[name]
+            if engine is not None:
+                with engine.telemetry.timer(f"stage.{name}"):
+                    results[name] = job.fn(results)
+                engine.telemetry.count("jobs.completed")
+            else:
+                results[name] = job.fn(results)
+        return results

@@ -1,0 +1,94 @@
+"""Lightweight counters and timers for the evaluation engine.
+
+Every synthesis loop in the toolkit is dominated by repeated circuit
+evaluations, and the paper's cost argument (the 4x-10x CPU overhead of
+manufacturability-aware synthesis, §2.2) only means anything if evaluation
+counts and wall time are actually measured.  :class:`Telemetry` is the one
+place they are recorded: the engine counts requests/evaluations/cache hits,
+the flow stages time themselves, and ``report()`` returns it all as a plain
+dict that benchmarks and flows can print or assert on.
+
+The implementation is deliberately minimal — dicts plus ``perf_counter`` —
+so instrumentation never becomes the bottleneck it is supposed to measure.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class TimerStat:
+    """Accumulated wall time for one named operation."""
+
+    calls: int = 0
+    total_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+@dataclass
+class Telemetry:
+    """Named counters plus named wall-clock timers.
+
+    Counters are plain integers (``count("engine.evaluations", 8)``);
+    timers accumulate call count and total seconds through the
+    :meth:`timer` context manager.  ``merge`` folds another instance in,
+    which lets per-stage telemetry roll up into a flow-level report.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, TimerStat] = field(default_factory=dict)
+
+    # -- counters ------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> int:
+        new = self.counters.get(name, 0) + n
+        self.counters[name] = new
+        return new
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- timers --------------------------------------------------------
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            stat = self.timers.setdefault(name, TimerStat())
+            stat.calls += 1
+            stat.total_s += time.perf_counter() - t0
+
+    def record_time(self, name: str, seconds: float) -> None:
+        stat = self.timers.setdefault(name, TimerStat())
+        stat.calls += 1
+        stat.total_s += seconds
+
+    # -- aggregation ---------------------------------------------------
+    def merge(self, other: "Telemetry") -> None:
+        for name, n in other.counters.items():
+            self.count(name, n)
+        for name, stat in other.timers.items():
+            mine = self.timers.setdefault(name, TimerStat())
+            mine.calls += stat.calls
+            mine.total_s += stat.total_s
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+    def report(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "timers": {
+                name: {"calls": stat.calls, "total_s": stat.total_s,
+                       "mean_s": stat.mean_s}
+                for name, stat in self.timers.items()
+            },
+        }

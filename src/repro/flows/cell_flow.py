@@ -34,6 +34,8 @@ from repro.layout.router import (
     route_placement,
     routed_cell,
 )
+from repro.engine.core import EvaluationEngine
+from repro.engine.jobs import JobGraph
 from repro.opt.anneal import AnnealSchedule
 from repro.synthesis.plan_library import default_plan_library
 
@@ -61,6 +63,7 @@ class CellDesign:
     iterations: int
     area_um2: float
     log: list[str] = field(default_factory=list)
+    telemetry: dict | None = None  # engine report, when a flow engine ran
 
 
 def _measure(circuit: Circuit, output: str = "out") -> dict:
@@ -125,12 +128,39 @@ def layout_cell(circuit: Circuit, seed: int = 1,
     return placement_result, routing, extraction, cell
 
 
+def _iteration_graph(plan, targets: dict, seed: int) -> JobGraph:
+    """One resynthesis iteration as an explicit stage graph.
+
+    size → schematic → (measure_pre, layout) → extract → verify; each
+    stage is timed under ``stage.<name>`` when an engine is supplied.
+    """
+    graph = JobGraph()
+    graph.add("size", lambda r: plan.execute(targets))
+    graph.add("schematic",
+              lambda r: five_transistor_ota(dict(r["size"].sizes)),
+              deps=("size",))
+    graph.add("measure_pre", lambda r: _measure(r["schematic"]),
+              deps=("schematic",))
+    graph.add("layout", lambda r: layout_cell(r["schematic"], seed=seed),
+              deps=("schematic",))
+    graph.add("extract",
+              lambda r: annotate_circuit(r["schematic"], r["layout"][2]),
+              deps=("schematic", "layout"))
+    graph.add("verify", lambda r: _measure(r["extract"]),
+              deps=("extract",))
+    return graph
+
+
 def design_ota_cell(specs: SpecSet, seed: int = 1,
-                    max_iterations: int = 3) -> CellDesign:
+                    max_iterations: int = 3,
+                    engine: EvaluationEngine | None = None) -> CellDesign:
     """The full closed loop for the 5-transistor OTA.
 
     Sizing uses the design plan (fast, deterministic); re-iterations
-    tighten the GBW target by the layout-induced degradation.
+    tighten the GBW target by the layout-induced degradation.  Each
+    iteration runs as a :class:`repro.engine.JobGraph` (size → layout →
+    extract → verify); pass an ``engine`` to collect per-stage wall times
+    and counters in the returned design's ``telemetry``.
     """
     plan = default_plan_library().get("five_transistor_ota")
     gbw_spec = _required(specs, "gbw")
@@ -142,27 +172,26 @@ def design_ota_cell(specs: SpecSet, seed: int = 1,
         # 15% margin on the slew target: the plan's ideal mirror ratio
         # overestimates the tail current the simulator will deliver.
         from repro.synthesis.plans import PlanError
+        graph = _iteration_graph(plan, {
+            "gbw": gbw_target,
+            "slew_rate": 1.15 * _required(specs, "slew_rate",
+                                          default=gbw_spec),
+            "c_load": 2e-12,
+            "gain": gain_spec,
+            "vdd": 3.3,
+        }, seed)
         try:
-            plan_result = plan.execute({
-                "gbw": gbw_target,
-                "slew_rate": 1.15 * _required(specs, "slew_rate",
-                                              default=gbw_spec),
-                "c_load": 2e-12,
-                "gain": gain_spec,
-                "vdd": 3.3,
-            })
+            stages = graph.run(engine)
         except PlanError as exc:
             raise CellFlowError(f"sizing infeasible: {exc}") from exc
-        sizes = plan_result.sizes
-        circuit = five_transistor_ota(
-            {k: v for k, v in sizes.items()})
-        pre = _measure(circuit)
+        sizes = stages["size"].sizes
+        circuit = stages["schematic"]
+        pre = stages["measure_pre"]
         log.append(f"iter {iteration}: sized for gbw={gbw_target:.4g}, "
                    f"pre-layout gbw={pre['gbw']:.4g}")
-        placement, routing, extraction, cell = layout_cell(circuit,
-                                                           seed=seed)
-        extracted = annotate_circuit(circuit, extraction)
-        post = _measure(extracted)
+        placement, routing, extraction, cell = stages["layout"]
+        extracted = stages["extract"]
+        post = stages["verify"]
         log.append(f"iter {iteration}: post-layout gbw={post['gbw']:.4g}")
         if specs.all_satisfied(post):
             box = cell.bbox()
@@ -171,7 +200,8 @@ def design_ota_cell(specs: SpecSet, seed: int = 1,
                 schematic=circuit, placement=placement, routing=routing,
                 layout_cell=cell, extracted_circuit=extracted,
                 pre_layout=pre, post_layout=post, iterations=iteration,
-                area_um2=box.area / 1e6, log=log)
+                area_um2=box.area / 1e6, log=log,
+                telemetry=engine.report() if engine is not None else None)
         # Closing the loop: scale the synthesis target by the observed
         # shortfall (model error + layout degradation) plus margin, then
         # resynthesize.

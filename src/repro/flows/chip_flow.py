@@ -31,6 +31,8 @@ from repro.msystem.noise_constraints import (
     map_budget_to_segments,
 )
 from repro.msystem.powergrid import RailResult, RailSpec, synthesize_rail
+from repro.engine.core import EvaluationEngine
+from repro.engine.jobs import JobGraph
 from repro.opt.anneal import AnnealSchedule
 
 # Assumed ground capacitance per mm of chip-level wire for SNR budgeting.
@@ -50,6 +52,7 @@ class ChipPlan:
     power: RailResult
     channels: DetailedChannelReport | None = None
     log: list[str] = field(default_factory=list)
+    telemetry: dict | None = None  # engine report, when a flow engine ran
 
     def report(self) -> str:
         lines = [
@@ -81,23 +84,15 @@ class ChipPlan:
         return "\n".join(lines)
 
 
-def assemble_chip(blocks: list[Block], nets: list[SignalNet],
-                  rail_spec: RailSpec | None = None,
-                  seed: int = 1,
-                  floorplan_schedule: AnnealSchedule | None = None,
-                  noise_aware: bool = True) -> ChipPlan:
-    """Run the full system-assembly flow."""
-    log: list[str] = []
+def _floorplan_stage(blocks, nets, noise_aware, seed, schedule):
     floorplanner = WrightFloorplanner(
         blocks, nets,
         noise_weight=1.0 if noise_aware else 0.0,
         seed=seed)
-    schedule = floorplan_schedule or AnnealSchedule(
-        moves_per_temperature=120, cooling=0.88, max_evaluations=10000)
-    floorplan = floorplanner.run(schedule)
-    log.append(f"floorplan: area {floorplan.area / 1e12:.2f} mm^2, "
-               f"noise {floorplan.noise:.3f}")
+    return floorplanner.run(schedule)
 
+
+def _route_stage(floorplan, nets, noise_aware):
     # Tight floorplans can defeat a given tile resolution: retry with
     # finer grids before giving up.
     routing = None
@@ -109,9 +104,10 @@ def assemble_chip(blocks: list[Block], nets: list[SignalNet],
             break
     if routing is None or routing.failed:
         raise ChipFlowError(f"unroutable chip nets: {routing.failed}")
-    log.append(f"routing: {routing.total_length / 1e6:.1f} mm, exposure "
-               f"{routing.total_exposure / 1e6:.2f} mm")
+    return routing
 
+
+def _snr_stage(routing, nets):
     snr_budgets: dict[str, SnrBudget] = {}
     segment_budgets: dict[str, list[SegmentBudget]] = {}
     for net in nets:
@@ -125,17 +121,61 @@ def assemble_chip(blocks: list[Block], nets: list[SignalNet],
         snr_budgets[net.name] = budget
         segment_budgets[net.name] = map_budget_to_segments(
             budget, route.segments(routing.tile_nm))
-    log.append(f"SNR budgets mapped for {len(snr_budgets)} nets")
+    return snr_budgets, segment_budgets
 
+
+def assemble_chip(blocks: list[Block], nets: list[SignalNet],
+                  rail_spec: RailSpec | None = None,
+                  seed: int = 1,
+                  floorplan_schedule: AnnealSchedule | None = None,
+                  noise_aware: bool = True,
+                  engine: EvaluationEngine | None = None) -> ChipPlan:
+    """Run the full system-assembly flow.
+
+    The stages (floorplan → route → SNR mapping → channels → power) are
+    declared as a :class:`repro.engine.JobGraph`; pass an ``engine`` to
+    get per-stage wall times and counters in the plan's ``telemetry``.
+    """
+    log: list[str] = []
+    schedule = floorplan_schedule or AnnealSchedule(
+        moves_per_temperature=120, cooling=0.88, max_evaluations=10000)
+
+    graph = JobGraph()
+    graph.add("floorplan",
+              lambda r: _floorplan_stage(blocks, nets, noise_aware, seed,
+                                         schedule))
+    graph.add("route", lambda r: _route_stage(r["floorplan"], nets,
+                                              noise_aware),
+              deps=("floorplan",))
+    graph.add("snr", lambda r: _snr_stage(r["route"], nets),
+              deps=("route",))
     # Detailed channel routing: corridors between facing blocks, with
     # shields between incompatible neighbours.
-    problems = assign_nets_to_channels(define_channels(floorplan),
-                                       routing, nets)
-    channels = route_all_channels(problems, insert_shields=True)
+    graph.add("channels",
+              lambda r: route_all_channels(
+                  assign_nets_to_channels(define_channels(r["floorplan"]),
+                                          r["route"], nets),
+                  insert_shields=True),
+              deps=("floorplan", "route"))
+    graph.add("power",
+              lambda r: synthesize_rail(r["floorplan"], rail_spec,
+                                        seed=seed),
+              deps=("floorplan",))
+    stages = graph.run(engine)
+
+    floorplan = stages["floorplan"]
+    log.append(f"floorplan: area {floorplan.area / 1e12:.2f} mm^2, "
+               f"noise {floorplan.noise:.3f}")
+    routing = stages["route"]
+    log.append(f"routing: {routing.total_length / 1e6:.1f} mm, exposure "
+               f"{routing.total_exposure / 1e6:.2f} mm")
+    snr_budgets, segment_budgets = stages["snr"]
+    log.append(f"SNR budgets mapped for {len(snr_budgets)} nets")
+    channels = stages["channels"]
     log.append(f"channels: {channels.total_tracks} tracks, "
                f"{channels.total_shields} shields")
-
-    power = synthesize_rail(floorplan, rail_spec, seed=seed)
+    power = stages["power"]
     log.append(f"power grid feasible: {power.feasible}")
     return ChipPlan(floorplan, routing, snr_budgets, segment_budgets,
-                    power, channels, log)
+                    power, channels, log,
+                    telemetry=engine.report() if engine is not None else None)

@@ -55,32 +55,61 @@ class Annealer(Generic[State]):
         shrink move ranges as the anneal cools, as KOAN does.
     copy_state:
         Deep-copy hook; defaults to identity for immutable states.
+    seed / rng:
+        Either a seed (a fresh ``numpy.random.Generator`` is created) or an
+        explicit generator threaded in by the caller; all stochastic
+        decisions draw from it, so runs are reproducible either way.
+    executor:
+        Optional batch-evaluation hook — anything with
+        ``map_evaluate(fn, states) -> list[float]``, e.g. a
+        :class:`repro.engine.SerialExecutor`/``ParallelExecutor`` or a
+        cache-aware :class:`repro.engine.KeyedEngine`.  All cost
+        evaluations route through it.
+    batch_size:
+        Moves proposed (and evaluated as one batch) per acceptance round.
+        1 reproduces the classic serial anneal exactly; larger values
+        trade some search fidelity for executor throughput: the whole
+        batch is proposed from the same state, then accepted sequentially.
+        Results are identical for any executor at fixed (seed, batch_size)
+        because proposals and acceptance draws stay in the caller.
     """
 
     def __init__(self, cost: Callable[[State], float],
                  propose: Callable[[State, np.random.Generator, float], State],
                  schedule: AnnealSchedule | None = None,
                  copy_state: Callable[[State], State] = lambda s: s,
-                 seed: int = 1):
+                 seed: int = 1,
+                 rng: np.random.Generator | None = None,
+                 executor=None,
+                 batch_size: int = 1):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.cost = cost
         self.propose = propose
         self.schedule = schedule or AnnealSchedule()
         self.copy_state = copy_state
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.executor = executor
+        self.batch_size = batch_size
+
+    def _map(self, states: list[State]) -> list[float]:
+        if self.executor is None:
+            return [self.cost(s) for s in states]
+        return list(self.executor.map_evaluate(self.cost, states))
 
     # ------------------------------------------------------------------
     def initial_temperature(self, state: State, samples: int = 40) -> float:
         """Temperature at which ``initial_acceptance`` of uphill moves pass."""
-        base = self.cost(state)
-        uphill: list[float] = []
+        # The probe chain's proposals never look at costs, so the whole
+        # chain can be proposed first and evaluated as one batch.
+        chain: list[State] = []
         current = state
-        current_cost = base
         for _ in range(samples):
-            trial = self.propose(self.copy_state(current), self.rng, 1.0)
-            c = self.cost(trial)
-            if c > current_cost:
-                uphill.append(c - current_cost)
-            current, current_cost = trial, c
+            current = self.propose(self.copy_state(current), self.rng, 1.0)
+            chain.append(current)
+        costs = self._map([state] + chain)
+        base = costs[0]
+        uphill = [b - a for a, b in zip(costs, costs[1:]) if b > a]
         if not uphill:
             return max(abs(base), 1.0) * 0.1
         mean_uphill = float(np.mean(uphill))
@@ -92,7 +121,7 @@ class Annealer(Generic[State]):
             temperature: float | None = None) -> AnnealResult[State]:
         sched = self.schedule
         current = self.copy_state(initial)
-        current_cost = self.cost(current)
+        current_cost = self._map([current])[0]
         best = self.copy_state(current)
         best_cost = current_cost
         evaluations = 1
@@ -109,20 +138,26 @@ class Annealer(Generic[State]):
             improved = False
             frac = (math.log(max(t, t_floor)) - math.log(t_floor)) / (
                 math.log(t0) - math.log(t_floor) + 1e-12)
-            for _ in range(sched.moves_per_temperature):
-                trial = self.propose(self.copy_state(current), self.rng, frac)
-                trial_cost = self.cost(trial)
-                evaluations += 1
-                delta = trial_cost - current_cost
-                if delta <= 0 or self.rng.random() < math.exp(
-                        -delta / max(t, 1e-300)):
-                    current, current_cost = trial, trial_cost
-                    if current_cost < best_cost:
-                        best = self.copy_state(current)
-                        best_cost = current_cost
-                        improved = True
-                if evaluations >= sched.max_evaluations:
-                    break
+            moves = 0
+            while (moves < sched.moves_per_temperature
+                   and evaluations < sched.max_evaluations):
+                k = min(self.batch_size,
+                        sched.moves_per_temperature - moves,
+                        sched.max_evaluations - evaluations)
+                trials = [self.propose(self.copy_state(current),
+                                       self.rng, frac)
+                          for _ in range(k)]
+                for trial, trial_cost in zip(trials, self._map(trials)):
+                    evaluations += 1
+                    moves += 1
+                    delta = trial_cost - current_cost
+                    if delta <= 0 or self.rng.random() < math.exp(
+                            -delta / max(t, 1e-300)):
+                        current, current_cost = trial, trial_cost
+                        if current_cost < best_cost:
+                            best = self.copy_state(current)
+                            best_cost = current_cost
+                            improved = True
             history.append(best_cost)
             stale = 0 if improved else stale + 1
             t *= sched.cooling
@@ -192,20 +227,49 @@ class ContinuousSpace:
         return dict(zip(self.names, x))
 
 
+class _DictCost:
+    """Vector-state adapter for a dict-based cost.
+
+    A class (not a closure) so the annealer's cost function stays
+    picklable whenever the user's cost is — which is what lets a
+    ``ParallelExecutor`` ship it to worker processes.
+    """
+
+    def __init__(self, cost: Callable[[dict[str, float]], float],
+                 space: ContinuousSpace):
+        self.cost = cost
+        self.space = space
+
+    def __call__(self, x: np.ndarray) -> float:
+        return self.cost(self.space.to_dict(x))
+
+
 def anneal_continuous(cost: Callable[[dict[str, float]], float],
                       space: ContinuousSpace,
                       schedule: AnnealSchedule | None = None,
                       seed: int = 1,
-                      x0: np.ndarray | None = None) -> AnnealResult[np.ndarray]:
-    """Anneal a scalar cost over a named continuous box."""
-    rng = np.random.default_rng(seed)
-    start = space.clip(x0) if x0 is not None else space.random_point(rng)
+                      x0: np.ndarray | None = None,
+                      rng: np.random.Generator | None = None,
+                      executor=None,
+                      batch_size: int = 1) -> AnnealResult[np.ndarray]:
+    """Anneal a scalar cost over a named continuous box.
+
+    Pass ``rng`` to thread one explicit generator through both the start
+    point and the anneal itself; otherwise two generators are derived from
+    ``seed`` (the historical behaviour).  ``executor``/``batch_size`` are
+    forwarded to :class:`Annealer` for batched cost evaluation.
+    """
+    start_rng = rng if rng is not None else np.random.default_rng(seed)
+    start = space.clip(x0) if x0 is not None else space.random_point(start_rng)
 
     annealer = Annealer(
-        cost=lambda x: cost(space.to_dict(x)),
+        cost=_DictCost(cost, space),
         propose=lambda x, r, f: space.perturb(x, r, f),
         schedule=schedule,
         copy_state=lambda x: x.copy(),
         seed=seed,
+        rng=rng,
+        executor=executor,
+        batch_size=batch_size,
     )
     return annealer.run(start)

@@ -73,7 +73,17 @@ class GaResult:
 
 
 class GeneticOptimizer:
-    """Minimizing GA over a fixed gene list."""
+    """Minimizing GA over a fixed gene list.
+
+    ``rng`` threads an explicit ``numpy.random.Generator`` through every
+    stochastic decision (otherwise one is derived from ``seed``), and
+    ``executor`` is the batch-evaluation hook — anything with
+    ``map_evaluate(fn, genomes) -> list[float]`` (e.g. a
+    :class:`repro.engine.ParallelExecutor` or cache-aware
+    :class:`repro.engine.KeyedEngine`).  Each generation's population is
+    scored through it in one batch, in deterministic order, so serial and
+    parallel runs of the same seed are identical.
+    """
 
     def __init__(self, genes: Sequence[Gene],
                  fitness: Callable[[Genome], float],
@@ -82,7 +92,9 @@ class GeneticOptimizer:
                  mutation_rate: float = 0.15,
                  elite: int = 2,
                  tournament: int = 3,
-                 seed: int = 1):
+                 seed: int = 1,
+                 rng: np.random.Generator | None = None,
+                 executor=None):
         if population < 4:
             raise ValueError("population must be at least 4")
         self.genes = list(genes)
@@ -95,7 +107,16 @@ class GeneticOptimizer:
         self.mutation_rate = mutation_rate
         self.elite = elite
         self.tournament = tournament
-        self.rng = np.random.default_rng(seed)
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
+        self.executor = executor
+
+    def _score(self, pop: list[Genome]) -> list[tuple[float, Genome]]:
+        """Evaluate a population (batched through the executor hook)."""
+        if self.executor is None:
+            fits = [self.fitness(g) for g in pop]
+        else:
+            fits = list(self.executor.map_evaluate(self.fitness, pop))
+        return sorted(zip(fits, pop), key=lambda t: t[0])
 
     def _random_genome(self) -> Genome:
         return {g.name: g.random(self.rng) for g in self.genes}
@@ -119,8 +140,7 @@ class GeneticOptimizer:
     def run(self, generations: int = 50,
             target: float | None = None) -> GaResult:
         pop = [self._random_genome() for _ in range(self.population)]
-        scored = sorted(((self.fitness(g), g) for g in pop),
-                        key=lambda t: t[0])
+        scored = self._score(pop)
         evaluations = len(pop)
         history = [scored[0][0]]
         gen = 0
@@ -133,8 +153,7 @@ class GeneticOptimizer:
                 else:
                     child = dict(self._select(scored))
                 next_pop.append(self._mutate(child))
-            scored = sorted(((self.fitness(g), g) for g in next_pop),
-                            key=lambda t: t[0])
+            scored = self._score(next_pop)
             evaluations += len(next_pop)
             history.append(scored[0][0])
             if target is not None and scored[0][0] <= target:

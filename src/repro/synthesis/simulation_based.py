@@ -6,6 +6,14 @@ transistor netlist.  Introducing a new schematic costs nothing beyond a
 circuit builder function — the openness the tutorial credits to this
 approach — at the price of long run times, which the Fig. 1 benchmark
 quantifies against plans and equation-based sizing.
+
+That run-time price is exactly what :mod:`repro.engine` attacks: hand
+:class:`SimulationBasedSizer` an :class:`repro.engine.EvaluationEngine`
+and every annealing batch is evaluated through the engine's executor
+(serial or process pool) with results memoized in its content-addressed
+cache, keyed on the serialized testbench netlist plus analysis
+parameters.  A :class:`SimulationEvaluator` can also carry its own cache
+for direct, non-engine use.
 """
 
 from __future__ import annotations
@@ -22,6 +30,9 @@ from repro.analysis.mna import SingularCircuitError
 from repro.analysis.noise import noise_analysis
 from repro.circuits.netlist import Circuit
 from repro.core.specs import SpecSet
+from repro.engine.cache import EvalCache, canonical_key
+from repro.engine.core import EvaluationEngine
+from repro.engine.telemetry import Telemetry
 from repro.opt.anneal import AnnealSchedule, anneal_continuous
 from repro.synthesis.equation_based import DesignSpace, SizingResult
 
@@ -36,6 +47,15 @@ class SimulationEvaluator:
     ``inn``; the evaluator adds the testbench sources (AC drive on
     ``inp``), finds the operating point, and extracts gain/GBW/PM, power,
     and optionally input noise.
+
+    With a ``cache`` attached, calls are memoized on
+    :meth:`cache_key` — a content hash of the built testbench netlist
+    (device sizes included) and the analysis parameters — so re-evaluating
+    an already-simulated sizing point costs one netlist serialization
+    instead of a simulation.  ``telemetry`` (optional) counts actual
+    simulator runs under ``simulator.calls``.  Neither travels through
+    pickling: worker processes always simulate raw and the parent owns the
+    cache.
     """
 
     builder: CircuitBuilder
@@ -47,6 +67,14 @@ class SimulationEvaluator:
     points_per_decade: int = 4
     with_noise: bool = False
     saturation_devices: tuple[str, ...] = ()
+    cache: EvalCache | None = None
+    telemetry: Telemetry | None = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["cache"] = None
+        state["telemetry"] = None
+        return state
 
     def build_testbench(self, sizes: dict[str, float]) -> Circuit:
         circuit = self.builder(sizes)
@@ -54,7 +82,40 @@ class SimulationEvaluator:
         circuit.vsource("tb_vin", "inn", "0", dc=self.input_bias)
         return circuit
 
+    def analysis_descriptor(self) -> dict:
+        """Everything, besides the netlist, that determines the result."""
+        analyses = "dcop+ac" + ("+noise" if self.with_noise else "")
+        return {
+            "analysis": analyses,
+            "output": self.output,
+            "supply": self.supply,
+            "f_start": self.f_start,
+            "f_stop": self.f_stop,
+            "points_per_decade": self.points_per_decade,
+            "saturation_devices": list(self.saturation_devices),
+        }
+
+    def cache_key(self, sizes: dict[str, float]) -> str:
+        """Content-addressed key: (testbench netlist, analysis params)."""
+        try:
+            circuit = self.build_testbench(sizes)
+        except (ValueError, KeyError):
+            # Unbuildable point: key on the raw sizes so the failure
+            # result ({}) is still memoized.
+            return canonical_key("unbuildable", sizes,
+                                 self.analysis_descriptor())
+        return canonical_key(circuit, self.analysis_descriptor())
+
     def __call__(self, sizes: dict[str, float]) -> dict[str, float]:
+        if self.cache is None:
+            return self.simulate(sizes)
+        return self.cache.get_or_compute(
+            self.cache_key(sizes), lambda: self.simulate(sizes))
+
+    def simulate(self, sizes: dict[str, float]) -> dict[str, float]:
+        """Run the analyses unconditionally (the cache-miss path)."""
+        if self.telemetry is not None:
+            self.telemetry.count("simulator.calls")
         try:
             circuit = self.build_testbench(sizes)
             op = dc_operating_point(circuit)
@@ -83,12 +144,52 @@ class SimulationEvaluator:
         return performance
 
 
+@dataclass
+class _EngineBatch:
+    """Batch-evaluation hook routing annealer states through the engine.
+
+    The annealer hands over raw parameter vectors together with its
+    scalarized cost function; this adapter re-derives the evaluation so
+    the engine's cache stores *simulator output* keyed on netlist content
+    — spec-independent and reusable across runs — and applies the spec
+    cost in the parent process.  Only ``evaluator.simulate`` (a pure
+    sizes → performance mapping) is ever dispatched to workers.
+    """
+
+    engine: EvaluationEngine
+    evaluator: SimulationEvaluator
+    space: DesignSpace
+    names: list[str]
+    specs: SpecSet
+
+    def _sizes(self, x) -> dict[str, float]:
+        point = {n: float(v) for n, v in zip(self.names, x)}
+        return self.space.complete(point)
+
+    def map_evaluate(self, _fn, states) -> list[float]:
+        points = [self._sizes(x) for x in states]
+        perfs = self.engine.map_evaluate(self.evaluator.simulate, points,
+                                         key_fn=self.evaluator.cache_key)
+        return [self.specs.cost(p) for p in perfs]
+
+
 class SimulationBasedSizer:
-    """FRIDGE: full simulation inside the annealing loop."""
+    """FRIDGE: full simulation inside the annealing loop.
+
+    With an ``engine``, annealing moves are proposed in batches of
+    ``batch_size`` and evaluated through
+    :meth:`repro.engine.EvaluationEngine.map_evaluate` — cached, counted,
+    and (with a :class:`repro.engine.ParallelExecutor`) fanned out over
+    worker processes.  The sizing result is identical for serial and
+    parallel executors at a fixed seed, because all randomness stays in
+    the parent process.
+    """
 
     def __init__(self, evaluator: Callable[[dict[str, float]], dict[str, float]],
                  space: DesignSpace, specs: SpecSet,
-                 schedule: AnnealSchedule | None = None, seed: int = 1):
+                 schedule: AnnealSchedule | None = None, seed: int = 1,
+                 engine: EvaluationEngine | None = None,
+                 batch_size: int = 1):
         self.evaluator = evaluator
         self.space = space
         self.specs = specs
@@ -96,6 +197,8 @@ class SimulationBasedSizer:
         self.schedule = schedule or AnnealSchedule(
             moves_per_temperature=30, cooling=0.8, max_evaluations=2000)
         self.seed = seed
+        self.engine = engine
+        self.batch_size = batch_size
         self.evaluations = 0
 
     def cost(self, point: dict[str, float]) -> float:
@@ -106,14 +209,32 @@ class SimulationBasedSizer:
         self.evaluations = 0
         cont = self.space.to_continuous()
         start = np.array([x0[n] for n in cont.names]) if x0 else None
+        executor = None
+        if self.engine is not None:
+            if not isinstance(self.evaluator, SimulationEvaluator):
+                raise TypeError(
+                    "engine-backed sizing needs a SimulationEvaluator "
+                    "(it provides simulate() and cache_key())")
+            executor = _EngineBatch(self.engine, self.evaluator,
+                                    self.space, cont.names, self.specs)
         t0 = time.perf_counter()
         result = anneal_continuous(self.cost, cont, schedule=self.schedule,
-                                   seed=self.seed, x0=start)
+                                   seed=self.seed, x0=start,
+                                   executor=executor,
+                                   batch_size=self.batch_size)
         runtime = time.perf_counter() - t0
         best = cont.to_dict(result.best_state)
-        performance = self.evaluator(self.space.complete(best))
+        if executor is not None:
+            sizes = executor._sizes(result.best_state)
+            performance = self.engine.evaluate(
+                self.evaluator.simulate, sizes,
+                key=self.evaluator.cache_key(sizes))
+            self.evaluations = result.evaluations
+        else:
+            sizes = self.space.complete(best)
+            performance = self.evaluator(sizes)
         return SizingResult(
-            sizes=self.space.complete(best),
+            sizes=sizes,
             performance=performance,
             cost=result.best_cost,
             feasible=self.specs.all_satisfied(performance),
