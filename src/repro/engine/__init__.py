@@ -11,21 +11,39 @@ runner for the flow pipelines.
 from repro.engine.cache import CacheStats, EvalCache, canonical_key
 from repro.engine.core import EvaluationEngine, KeyedEngine
 from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.engine.faults import (
+    EvalFailure,
+    EvalTimeoutError,
+    FaultInjector,
+    InjectedFunction,
+    RetryPolicy,
+    WorkerCrashError,
+    is_failure,
+    point_token,
+)
 from repro.engine.jobs import Job, JobGraph, JobGraphError
 from repro.engine.telemetry import Telemetry, TimerStat
 
 __all__ = [
     "CacheStats",
     "EvalCache",
+    "EvalFailure",
+    "EvalTimeoutError",
     "EvaluationEngine",
     "Executor",
+    "FaultInjector",
+    "InjectedFunction",
     "Job",
     "JobGraph",
     "JobGraphError",
     "KeyedEngine",
     "ParallelExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "Telemetry",
     "TimerStat",
+    "WorkerCrashError",
     "canonical_key",
+    "is_failure",
+    "point_token",
 ]

@@ -27,6 +27,12 @@ from typing import Any, Callable
 _MISS = object()
 
 
+def _is_failure(value: Any) -> bool:
+    # Late import: faults.py imports canonical_key from this module.
+    from repro.engine.faults import is_failure
+    return is_failure(value)
+
+
 def _canonical_bytes(part: Any) -> bytes:
     """Stable byte encoding of one key part.
 
@@ -39,7 +45,10 @@ def _canonical_bytes(part: Any) -> bytes:
 
     if isinstance(part, Circuit):
         from repro.circuits.writer import write_netlist
-        return write_netlist(part, title=part.name).encode()
+        # Fixed title: the key must cover the electrical content only.
+        # (A netlist re-parsed from the writer loses its original name —
+        # the title line is a comment — and must still hit the cache.)
+        return write_netlist(part, title="*").encode()
     if isinstance(part, bytes):
         return part
     if isinstance(part, str):
@@ -78,6 +87,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     disk_hits: int = 0
+    failure_rejects: int = 0  # EvalFailure values refused by put()
 
     @property
     def lookups(self) -> int:
@@ -90,6 +100,7 @@ class CacheStats:
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
                 "evictions": self.evictions, "disk_hits": self.disk_hits,
+                "failure_rejects": self.failure_rejects,
                 "hit_rate": self.hit_rate}
 
 
@@ -122,6 +133,11 @@ class EvalCache:
             return value
         value = self._disk_get(key)
         if value is not _MISS:
+            if _is_failure(value):
+                # A failure record in a stale disk layer is never served:
+                # failed evaluations must always be recomputed.
+                self.stats.misses += 1
+                return default
             self.stats.hits += 1
             self.stats.disk_hits += 1
             self._insert(key, value, write_disk=False)
@@ -134,6 +150,13 @@ class EvalCache:
             self._disk_path(key).exists()
 
     def put(self, key: str, value: Any) -> None:
+        """Store a result.  :class:`EvalFailure` records are refused:
+        caching a failure would make a transient error permanent for
+        every future lookup of that netlist, so failures always
+        re-evaluate."""
+        if _is_failure(value):
+            self.stats.failure_rejects += 1
+            return
         self._insert(key, value, write_disk=True)
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:

@@ -25,6 +25,7 @@ from typing import Any, Callable, Sequence
 
 from repro.engine.cache import EvalCache
 from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.faults import FaultInjector, RetryPolicy, is_failure
 from repro.engine.telemetry import Telemetry
 
 
@@ -37,17 +38,31 @@ class EvaluationEngine:
         Where misses run; defaults to :class:`SerialExecutor`.
     cache:
         Optional :class:`EvalCache`.  Without it the engine still batches
-        and counts, it just never skips work.
+        and counts, it just never skips work.  Failed evaluations
+        (:class:`~repro.engine.faults.EvalFailure` results) are never
+        cached — a transient error must not become permanent.
     telemetry:
         Optional shared :class:`Telemetry`; one is created if omitted.
+    retry_policy / fault_injector:
+        When given, installed on the executor: failing evaluations are
+        retried per the policy and whatever still fails comes back as a
+        structured ``EvalFailure`` (counted under ``failures.*`` and
+        listed in :meth:`report`) instead of raising or being silently
+        replaced by a sentinel value.
     """
 
     def __init__(self, executor: Executor | None = None,
                  cache: EvalCache | None = None,
-                 telemetry: Telemetry | None = None):
+                 telemetry: Telemetry | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_injector: FaultInjector | None = None):
         self.executor = executor or SerialExecutor()
         self.cache = cache
         self.telemetry = telemetry or Telemetry()
+        if retry_policy is not None:
+            self.executor.retry_policy = retry_policy
+        if fault_injector is not None:
+            self.executor.fault_injector = fault_injector
 
     # -- evaluation ----------------------------------------------------
     def map_evaluate(self, fn: Callable[[Any], Any], points: Sequence[Any],
@@ -66,7 +81,8 @@ class EvaluationEngine:
         with tele.timer("engine.map_evaluate"):
             if self.cache is None or key_fn is None:
                 tele.count("engine.evaluations", len(points))
-                return self.executor.map_evaluate(fn, points)
+                return self._note_failures(
+                    self.executor.map_evaluate(fn, points))
             results: list[Any] = [None] * len(points)
             miss_keys: list[str] = []
             miss_points: list[Any] = []
@@ -92,9 +108,15 @@ class EvaluationEngine:
             tele.count("engine.cache_misses", len(miss_keys))
             tele.count("engine.evaluations", len(miss_keys))
             if miss_keys:
-                computed = self.executor.map_evaluate(fn, miss_points)
+                computed = self._note_failures(
+                    self.executor.map_evaluate(fn, miss_points))
                 for key, value in zip(miss_keys, computed):
-                    self.cache.put(key, value)
+                    if not is_failure(value):
+                        # Failures are never cached: the next request for
+                        # this key re-evaluates (EvalCache.put would
+                        # refuse the record anyway — this keeps the
+                        # reject out of the cache stats for normal runs).
+                        self.cache.put(key, value)
                 for i, slot in placements:
                     results[i] = computed[slot]
             return results
@@ -114,7 +136,34 @@ class EvaluationEngine:
         """
         return KeyedEngine(self, key_fn)
 
+    def _note_failures(self, values: list) -> list:
+        for value in values:
+            if is_failure(value):
+                self.telemetry.record_failure(value)
+        return values
+
     # -- reporting / lifecycle ----------------------------------------
+    def failure_count(self) -> int:
+        return self.telemetry.failure_count()
+
+    def failure_rate(self) -> float:
+        """Fraction of executed evaluations that ultimately failed."""
+        evals = self.telemetry.get("engine.evaluations")
+        return self.failure_count() / evals if evals else 0.0
+
+    def failure_summary(self) -> str | None:
+        """One-line human summary of this engine's failures, or None."""
+        total = self.failure_count()
+        if not total:
+            return None
+        by_type = self.telemetry.failures_by_type()
+        kinds = ", ".join(f"{name}x{n}"
+                          for name, n in sorted(by_type.items()))
+        retries = self.executor.retries
+        return (f"WARNING: {total} evaluation(s) failed "
+                f"({kinds}; {retries} retries; "
+                f"failure rate {self.failure_rate():.1%})")
+
     def report(self) -> dict:
         out = self.telemetry.report()
         out["executor"] = self.executor.describe()

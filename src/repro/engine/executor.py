@@ -10,10 +10,22 @@ Both guarantee the same contract:
 * the evaluation function is treated as pure, so serial and parallel runs
   of the same seeded loop produce identical results.
 
+Both executors also carry the resilience layer (:mod:`repro.engine.faults`):
+install a :class:`~repro.engine.faults.RetryPolicy` and failed evaluations
+are retried with backoff, hung jobs are timed out, and whatever still
+fails after its attempt budget comes back as a structured
+:class:`~repro.engine.faults.EvalFailure` in result position — never a
+silently swallowed exception, never a poisoned batch.  An installed
+:class:`~repro.engine.faults.FaultInjector` fires deterministic faults in
+front of the evaluation function, identically under either executor.
+
 ``ParallelExecutor`` degrades gracefully: if the evaluation function (or a
 point) cannot be pickled, or the worker pool breaks, the batch falls back
 to in-process execution and the event is counted in :meth:`describe` —
-correctness never depends on the pool.
+correctness never depends on the pool.  Under a retry policy, a crashed
+or hung worker additionally condemns its pool: the pool is torn down, the
+unfinished jobs are requeued on a fresh pool in the next attempt round,
+and the restart is counted.
 """
 
 from __future__ import annotations
@@ -21,24 +33,119 @@ from __future__ import annotations
 import abc
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ThreadPoolExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Sequence, TypeVar
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, TypeVar
+
+from repro.engine.faults import (
+    EvalFailure,
+    EvalTimeoutError,
+    FaultInjector,
+    RetryPolicy,
+    WorkerCrashError,
+    point_token,
+)
 
 Point = TypeVar("Point")
 Result = TypeVar("Result")
 
+_OK = "ok"
+_ERR = "err"
+
+
+@dataclass(frozen=True)
+class _Guarded:
+    """Evaluation wrapper that converts exceptions into tagged tuples.
+
+    Raising inside ``pool.map`` aborts the whole batch, so per-point
+    errors must travel back as *values*.  The wrapper returns either
+    ``("ok", result, dt)`` or ``("err", type_name, message, retryable,
+    dt)`` — strings and floats only, so the reply pickles no matter what
+    the original exception carried.  Classification happens here (the
+    policy rides along, pickled by reference) so serial and parallel
+    paths produce byte-identical failure records.
+
+    ``KeyboardInterrupt``/``SystemExit`` are deliberately not caught.
+    """
+
+    fn: Callable[[Any], Any]
+    policy: RetryPolicy
+
+    def __call__(self, point: Any) -> tuple:
+        t0 = time.perf_counter()
+        try:
+            value = self.fn(point)
+        except Exception as exc:
+            return (_ERR, type(exc).__name__, str(exc),
+                    self.policy.is_retryable(exc),
+                    time.perf_counter() - t0)
+        return (_OK, value, time.perf_counter() - t0)
+
+
+def _timeout_entry(policy: RetryPolicy) -> tuple:
+    timeout_exc = EvalTimeoutError("")
+    return (_ERR, "EvalTimeoutError",
+            f"evaluation exceeded timeout_s={policy.timeout_s}",
+            policy.is_retryable(timeout_exc), float(policy.timeout_s))
+
+
+def _crash_entry(policy: RetryPolicy, detail: str) -> tuple:
+    return (_ERR, "WorkerCrashError", detail,
+            policy.is_retryable(WorkerCrashError(detail)), 0.0)
+
 
 class Executor(abc.ABC):
-    """Evaluates a pure function over a batch of points, order preserved."""
+    """Evaluates a pure function over a batch of points, order preserved.
+
+    ``retry_policy`` / ``fault_injector`` / ``token_fn`` form the
+    resilience layer; all default to off, in which case ``map_evaluate``
+    behaves exactly as the raw executor (exceptions propagate).  They are
+    plain attributes so an :class:`~repro.engine.core.EvaluationEngine`
+    (or a test) can install them on an existing executor.
+    """
+
+    def __init__(self, retry_policy: RetryPolicy | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 token_fn: Callable[[Any], str] | None = None):
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
+        self.token_fn = token_fn
+        self.retries = 0
+        self.failures = 0
+
+    # -- subclass primitives ------------------------------------------
+    @abc.abstractmethod
+    def _map_raw(self, fn: Callable[[Point], Result],
+                 points: list) -> list:
+        """Plain ``[fn(p) for p in points]`` semantics; may raise."""
 
     @abc.abstractmethod
+    def _map_guarded(self, guarded: _Guarded, batch: list,
+                     policy: RetryPolicy) -> list[tuple]:
+        """Run a guarded batch, returning tagged tuples; must not raise."""
+
+    # -- public API ----------------------------------------------------
     def map_evaluate(self, fn: Callable[[Point], Result],
-                     points: Sequence[Point]) -> list[Result]:
-        """Return ``[fn(p) for p in points]``, possibly computed elsewhere."""
+                     points: Sequence[Point]) -> list:
+        """Return ``[fn(p) for p in points]``, possibly computed elsewhere.
+
+        With a retry policy or fault injector installed, points whose
+        evaluation ultimately fails yield :class:`EvalFailure` records in
+        their result slots instead of raising.
+        """
+        points = list(points)
+        if not points:
+            return []
+        if self.retry_policy is None and self.fault_injector is None:
+            return self._map_raw(fn, points)
+        return self._map_resilient(fn, points)
 
     def describe(self) -> dict:
-        return {"kind": type(self).__name__}
+        return {"kind": type(self).__name__, "retries": self.retries,
+                "failures": self.failures}
 
     def close(self) -> None:
         """Release any held resources; the executor stays usable."""
@@ -49,13 +156,79 @@ class Executor(abc.ABC):
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- the retry loop (shared by both executors) --------------------
+    def _map_resilient(self, fn: Callable, points: list) -> list:
+        policy = self.retry_policy or RetryPolicy(max_attempts=1)
+        results: list[Any] = [None] * len(points)
+        elapsed = [0.0] * len(points)
+        pending = list(range(len(points)))
+        for attempt in range(1, policy.max_attempts + 1):
+            if not pending:
+                break
+            if attempt > 1:
+                delay = policy.delay(attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
+            call = fn
+            if self.fault_injector is not None:
+                call = self.fault_injector.wrap(fn, self.token_fn,
+                                                attempt=attempt)
+            guarded = _Guarded(call, policy)
+            batch = [points[i] for i in pending]
+            outs = self._map_guarded(guarded, batch, policy)
+            still_pending: list[int] = []
+            for i, out in zip(pending, outs):
+                if out[0] == _OK:
+                    results[i] = out[1]
+                    elapsed[i] += out[2]
+                    continue
+                _, type_name, message, retryable, dt = out
+                elapsed[i] += dt
+                if retryable and attempt < policy.max_attempts:
+                    still_pending.append(i)
+                    continue
+                self.failures += 1
+                results[i] = EvalFailure(
+                    exception_type=type_name, message=message,
+                    attempts=attempt, token=self._token(points[i]),
+                    retryable=retryable, elapsed_s=elapsed[i])
+            self.retries += len(still_pending)
+            pending = still_pending
+        return results
+
+    def _token(self, point: Any) -> str:
+        return self.token_fn(point) if self.token_fn is not None \
+            else point_token(point)
+
 
 class SerialExecutor(Executor):
-    """In-process evaluation — the reference semantics."""
+    """In-process evaluation — the reference semantics.
 
-    def map_evaluate(self, fn: Callable[[Point], Result],
-                     points: Sequence[Point]) -> list[Result]:
+    With a ``timeout_s`` policy each guarded call runs in a throwaway
+    worker thread; a call over budget is recorded as an
+    :class:`EvalTimeoutError` and abandoned (Python cannot kill a thread,
+    so a truly unbounded evaluation will still hold its thread — the
+    process-parallel executor is the right tool for hostile workloads).
+    """
+
+    def _map_raw(self, fn: Callable, points: list) -> list:
         return [fn(p) for p in points]
+
+    def _map_guarded(self, guarded: _Guarded, batch: list,
+                     policy: RetryPolicy) -> list[tuple]:
+        if policy.timeout_s is None:
+            return [guarded(p) for p in batch]
+        outs: list[tuple] = []
+        for point in batch:
+            pool = ThreadPoolExecutor(max_workers=1)
+            future = pool.submit(guarded, point)
+            try:
+                outs.append(future.result(timeout=policy.timeout_s))
+            except FutureTimeoutError:
+                outs.append(_timeout_entry(policy))
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+        return outs
 
 
 class ParallelExecutor(Executor):
@@ -70,14 +243,25 @@ class ParallelExecutor(Executor):
         ``ceil(len(points) / (4 * workers))`` per batch, which amortizes
         IPC for cheap evaluations without starving the pool on small
         batches.
+    retry_policy / fault_injector / token_fn:
+        The resilience layer (see :class:`Executor`).  A per-job
+        ``timeout_s`` switches the batch from chunked ``pool.map`` to
+        one future per point so each job can be timed out individually;
+        a timed-out or crashed worker condemns the whole pool, which is
+        torn down and rebuilt before the requeued jobs run again.
     """
 
     def __init__(self, workers: int | None = None,
-                 chunksize: int | None = None):
+                 chunksize: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 token_fn: Callable[[Any], str] | None = None):
+        super().__init__(retry_policy, fault_injector, token_fn)
         self.workers = max(1, workers if workers is not None
                            else (os.cpu_count() or 1))
         self.chunksize = chunksize
         self.serial_fallbacks = 0
+        self.pool_restarts = 0
         self._pool: ProcessPoolExecutor | None = None
 
     # -- pool management ----------------------------------------------
@@ -91,6 +275,13 @@ class ParallelExecutor(Executor):
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def _condemn_pool(self) -> None:
+        """Tear down a pool believed to hold crashed or hung workers."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self.pool_restarts += 1
+
     # -- evaluation ----------------------------------------------------
     def _batch_chunksize(self, n_points: int) -> int:
         if self.chunksize is not None:
@@ -102,14 +293,12 @@ class ParallelExecutor(Executor):
         try:
             pickle.dumps(obj)
             return True
-        except Exception:
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Only pickling-shaped errors mean "keep it in-process";
+            # anything else is a real bug and must propagate.
             return False
 
-    def map_evaluate(self, fn: Callable[[Point], Result],
-                     points: Sequence[Point]) -> list[Result]:
-        points = list(points)
-        if not points:
-            return []
+    def _map_raw(self, fn: Callable, points: list) -> list:
         if len(points) == 1 or not self._picklable(fn):
             # One point (or a closure we cannot ship): IPC buys nothing.
             self.serial_fallbacks += 1
@@ -124,7 +313,63 @@ class ParallelExecutor(Executor):
             self.serial_fallbacks += 1
             return [fn(p) for p in points]
 
+    def _map_guarded(self, guarded: _Guarded, batch: list,
+                     policy: RetryPolicy) -> list[tuple]:
+        if not self._picklable(guarded):
+            # In-process is the only option left; a timeout_s policy
+            # cannot be honoured here (nothing to tear down).
+            self.serial_fallbacks += 1
+            return [guarded(p) for p in batch]
+        if policy.timeout_s is None:
+            if len(batch) == 1:
+                # One point and no timeout to enforce: IPC buys nothing.
+                self.serial_fallbacks += 1
+                return [guarded(p) for p in batch]
+            try:
+                pool = self._ensure_pool()
+                return list(pool.map(
+                    guarded, batch,
+                    chunksize=self._batch_chunksize(len(batch))))
+            except BrokenProcessPool:
+                # A worker died mid-batch; per-point attribution is lost,
+                # so the whole round is requeued on a fresh pool.
+                self._condemn_pool()
+                return [_crash_entry(policy, "worker pool broke mid-batch")
+                        for _ in batch]
+            except pickle.PicklingError:
+                self.close()
+                self.serial_fallbacks += 1
+                return [guarded(p) for p in batch]
+        # Per-job timeout: one future per point so each can be timed out.
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(guarded, p) for p in batch]
+        except BrokenProcessPool:
+            self._condemn_pool()
+            return [_crash_entry(policy, "worker pool broke on submit")
+                    for _ in batch]
+        outs: list[tuple] = []
+        condemned = False
+        for future in futures:
+            try:
+                outs.append(future.result(timeout=policy.timeout_s))
+            except FutureTimeoutError:
+                outs.append(_timeout_entry(policy))
+                condemned = True  # the worker is presumed hung
+            except BrokenProcessPool:
+                outs.append(_crash_entry(policy, "worker process died"))
+                condemned = True
+            except Exception as exc:
+                # Transport-level failure (e.g. unpicklable result):
+                # surface as a fatal EvalFailure, never a lost batch.
+                outs.append((_ERR, type(exc).__name__, str(exc), False, 0.0))
+        if condemned:
+            self._condemn_pool()
+        return outs
+
     def describe(self) -> dict:
-        return {"kind": type(self).__name__, "workers": self.workers,
-                "chunksize": self.chunksize,
-                "serial_fallbacks": self.serial_fallbacks}
+        out = super().describe()
+        out.update({"workers": self.workers, "chunksize": self.chunksize,
+                    "serial_fallbacks": self.serial_fallbacks,
+                    "pool_restarts": self.pool_restarts})
+        return out

@@ -1,0 +1,308 @@
+"""Fault injection, retry policies and structured evaluation failures.
+
+At production scale the evaluation engine's workload *will* fail:
+Newton refuses to converge on an electrically absurd intermediate sizing,
+the MNA matrix of a degenerate netlist is singular, a pool worker crashes
+or hangs.  The ML-era AMS synthesis frameworks treat simulator-failure
+handling as a first-class part of the optimization loop rather than an
+abort condition, and this module is where that happens for us:
+
+* :class:`FaultInjector` — a deterministic, seedable fault source that can
+  be installed on any executor (or wrapped around any evaluation function)
+  to inject convergence failures, singular matrices, worker crashes and
+  artificial delays at a configurable rate.  Decisions are a pure function
+  of ``(seed, point token, attempt)``, never of call order, so the same
+  fault schedule fires under serial and parallel executors alike — which
+  is what makes differential testing of the resilience layer possible.
+* :class:`RetryPolicy` — how many attempts an evaluation gets, which
+  exception classes are worth retrying (transient: non-convergence,
+  crashed workers, timeouts) versus fatal (a ``TypeError`` will not go
+  away on attempt two), and how long to back off between rounds.
+* :class:`EvalFailure` — the structured record an evaluation that
+  exhausted its attempts turns into.  Failures are *values*, not silently
+  swallowed exceptions: they flow back through ``map_evaluate`` in result
+  position, are counted by :class:`~repro.engine.telemetry.Telemetry`,
+  surface in ``engine.report()``, and are never stored by
+  :class:`~repro.engine.cache.EvalCache`.
+
+Equality of :class:`EvalFailure` ignores the elapsed-time field, so two
+runs that fail identically compare equal even though their wall-clock
+differs — the property the serial-vs-parallel differential tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died (or was injected to have died) mid-evaluation."""
+
+
+class EvalTimeoutError(RuntimeError):
+    """An evaluation exceeded its :attr:`RetryPolicy.timeout_s` budget."""
+
+
+def _transient_types() -> tuple[type, ...]:
+    """The domain exception classes that are transient by default.
+
+    Late import: the engine package stays importable even if the analysis
+    stack is absent (the executors are generic infrastructure).
+    """
+    types: list[type] = [WorkerCrashError, EvalTimeoutError]
+    try:
+        from repro.analysis.dcop import ConvergenceError
+        from repro.analysis.mna import SingularCircuitError
+        types += [ConvergenceError, SingularCircuitError]
+    except ImportError:  # analysis stack not installed: engine-only use
+        pass
+    return tuple(types)
+
+
+# ----------------------------------------------------------------------
+# Structured failures
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EvalFailure:
+    """What a failed evaluation returns in place of its result.
+
+    ``elapsed_s`` is excluded from equality/hash so that identically
+    failing runs compare equal regardless of wall-clock.
+    """
+
+    exception_type: str
+    message: str
+    attempts: int = 1
+    token: str | None = None
+    retryable: bool = False
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    def as_dict(self) -> dict:
+        return {
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "token": self.token,
+            "retryable": self.retryable,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def __str__(self) -> str:  # readable in logs and warning summaries
+        return (f"EvalFailure({self.exception_type}: {self.message}; "
+                f"attempts={self.attempts})")
+
+
+def is_failure(value: Any) -> bool:
+    """True when an evaluation result is an :class:`EvalFailure` record."""
+    return isinstance(value, EvalFailure)
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempts, backoff and retryable/fatal classification.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per point (1 = no retry).
+    backoff_s / backoff_factor:
+        Sleep before retry round ``k`` is ``backoff_s * factor**(k-1)``.
+        The default 0 keeps tests instant; real deployments set it.
+    timeout_s:
+        Per-job wall-clock budget.  A job over budget raises
+        :class:`EvalTimeoutError` (retryable by default) and, under the
+        parallel executor, condemns its worker pool: the pool is torn
+        down and the remaining jobs requeued on a fresh one.
+    retryable:
+        Exception classes worth another attempt.  ``None`` selects the
+        transient default set: ``ConvergenceError``,
+        ``SingularCircuitError``, :class:`WorkerCrashError`,
+        :class:`EvalTimeoutError`.
+    fatal:
+        Classes that must never be retried even if they match
+        ``retryable`` (fatal wins).  Anything neither retryable nor
+        explicitly fatal fails immediately — an unexpected ``TypeError``
+        becomes an :class:`EvalFailure` on its first attempt instead of
+        being silently swallowed or retried pointlessly.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    timeout_s: float | None = None
+    retryable: tuple[type, ...] | None = None
+    fatal: tuple[type, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def retryable_types(self) -> tuple[type, ...]:
+        return self.retryable if self.retryable is not None \
+            else _transient_types()
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        if isinstance(exc, self.fatal):
+            return False
+        return isinstance(exc, self.retryable_types())
+
+    def delay(self, completed_attempts: int) -> float:
+        """Backoff before the attempt after ``completed_attempts``."""
+        if self.backoff_s <= 0:
+            return 0.0
+        return self.backoff_s * self.backoff_factor ** (completed_attempts - 1)
+
+
+# ----------------------------------------------------------------------
+# Point tokens: stable content identity for fault decisions and records
+# ----------------------------------------------------------------------
+
+def point_token(point: Any) -> str:
+    """Stable content hash of an arbitrary evaluation point.
+
+    Uses the cache's canonical encoding where possible (dicts sort, numpy
+    collapses, circuits serialize); falls back to ``repr`` for types the
+    canonical encoder rejects.  Deterministic across processes — no
+    dependence on ``id()`` or hash randomization.
+    """
+    from repro.engine.cache import canonical_key
+    try:
+        return canonical_key(point)
+    except TypeError:
+        return hashlib.sha256(repr(point).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Fault injection
+# ----------------------------------------------------------------------
+
+FAULT_KINDS = ("convergence", "singular", "crash", "delay")
+
+
+def _make_fault(kind: str, token: str) -> Exception:
+    tag = token[:12]
+    if kind == "convergence":
+        try:
+            from repro.analysis.dcop import ConvergenceError
+        except ImportError:
+            return WorkerCrashError(f"injected convergence fault [{tag}]")
+        return ConvergenceError(f"injected Newton non-convergence [{tag}]")
+    if kind == "singular":
+        try:
+            from repro.analysis.mna import SingularCircuitError
+        except ImportError:
+            return WorkerCrashError(f"injected singular fault [{tag}]")
+        return SingularCircuitError(f"injected singular MNA matrix [{tag}]")
+    if kind == "crash":
+        return WorkerCrashError(f"injected worker crash [{tag}]")
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic, seedable fault source.
+
+    Whether (and how) a given evaluation faults is a pure function of
+    ``(seed, point token, attempt)`` — a SHA-256 draw, not an RNG stream —
+    so the schedule is independent of evaluation order, executor kind and
+    process boundaries.  Retries see a fresh draw (the attempt number is
+    part of the hash), which is what lets an injected transient fault
+    actually clear on a later attempt.
+
+    ``kinds`` weights are uniform; ``"delay"`` sleeps ``delay_s`` and then
+    evaluates normally (use it with a ``timeout_s`` policy to exercise the
+    hung-worker path), while the other kinds raise their exception.
+    """
+
+    rate: float
+    seed: int = 0
+    kinds: tuple[str, ...] = ("convergence", "singular", "crash")
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("fault rate must be in [0, 1]")
+        unknown = set(self.kinds) - set(FAULT_KINDS)
+        if unknown or not self.kinds:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+
+    # -- deterministic draws ------------------------------------------
+    def _draw(self, token: str, attempt: int, salt: str) -> float:
+        msg = f"{self.seed}|{attempt}|{salt}|{token}".encode()
+        digest = hashlib.sha256(msg).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+    def schedule(self, token: str, attempt: int = 1) -> str | None:
+        """The fault kind this (token, attempt) draws, or None."""
+        if self.rate <= 0.0:
+            return None
+        if self._draw(token, attempt, "fire") >= self.rate:
+            return None
+        pick = int(self._draw(token, attempt, "kind") * len(self.kinds))
+        return self.kinds[min(pick, len(self.kinds) - 1)]
+
+    # -- installation -------------------------------------------------
+    def wrap(self, fn: Callable[[Any], Any],
+             token_fn: Callable[[Any], str] | None = None,
+             attempt: int = 1) -> "InjectedFunction":
+        """Wrap an evaluation function so faults fire before it runs."""
+        return InjectedFunction(fn, self, token_fn, attempt)
+
+    @classmethod
+    def from_env(cls, var: str = "REPRO_FAULT_RATE", seed: int = 0,
+                 **kwargs) -> "FaultInjector | None":
+        """Build an injector from an environment rate, or None if unset.
+
+        This is the hook the CI fault-injection job uses:
+        ``REPRO_FAULT_RATE=0.1 pytest tests/test_faults.py``.
+        """
+        raw = os.environ.get(var, "").strip()
+        if not raw:
+            return None
+        rate = float(raw)
+        if rate <= 0.0:
+            return None
+        return cls(rate=rate, seed=seed, **kwargs)
+
+
+@dataclass(frozen=True)
+class InjectedFunction:
+    """A picklable evaluation function with a fault injector in front.
+
+    Frozen and built from picklable parts, so the parallel executor ships
+    it to worker processes unchanged; the fault schedule is content-based,
+    so workers reach the same decisions the serial path would.
+    ``with_attempt`` rebinds the attempt number for retry rounds.
+    """
+
+    fn: Callable[[Any], Any]
+    injector: FaultInjector
+    token_fn: Callable[[Any], str] | None = None
+    attempt: int = 1
+
+    def token_of(self, point: Any) -> str:
+        return self.token_fn(point) if self.token_fn is not None \
+            else point_token(point)
+
+    def with_attempt(self, attempt: int) -> "InjectedFunction":
+        return replace(self, attempt=attempt)
+
+    def __call__(self, point: Any) -> Any:
+        token = self.token_of(point)
+        kind = self.injector.schedule(token, self.attempt)
+        if kind == "delay":
+            time.sleep(self.injector.delay_s)
+        elif kind is not None:
+            raise _make_fault(kind, token)
+        return self.fn(point)

@@ -15,8 +15,11 @@ the evaluations inside them.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
+
+from repro.engine.faults import RetryPolicy
 
 JobFn = Callable[[dict[str, Any]], Any]
 
@@ -69,7 +72,8 @@ class JobGraph:
         return ordered
 
     def run(self, engine=None,
-            results: dict[str, Any] | None = None) -> dict[str, Any]:
+            results: dict[str, Any] | None = None,
+            retry_policy: RetryPolicy | None = None) -> dict[str, Any]:
         """Execute all jobs; returns ``{job name: result}``.
 
         ``engine`` is an optional :class:`repro.engine.EvaluationEngine`
@@ -77,14 +81,43 @@ class JobGraph:
         ``jobs.completed`` counter per job.  Pre-seeded ``results`` entries
         are visible to job functions (useful for feeding external inputs
         in without a synthetic job).
+
+        ``retry_policy`` grants each stage ``max_attempts`` tries: a stage
+        raising a retryable exception (per the policy) is re-run after the
+        policy's backoff, counted under ``jobs.retries``.  A fatal
+        exception — or a retryable one out of attempts — propagates as
+        before, after a ``jobs.failed`` count.
         """
         results = results if results is not None else {}
         for name in self.order():
             job = self.jobs[name]
             if engine is not None:
                 with engine.telemetry.timer(f"stage.{name}"):
-                    results[name] = job.fn(results)
+                    results[name] = self._run_job(job, results, engine,
+                                                  retry_policy)
                 engine.telemetry.count("jobs.completed")
             else:
-                results[name] = job.fn(results)
+                results[name] = self._run_job(job, results, engine,
+                                              retry_policy)
         return results
+
+    @staticmethod
+    def _run_job(job: Job, results: dict[str, Any], engine,
+                 policy: RetryPolicy | None) -> Any:
+        attempts = policy.max_attempts if policy is not None else 1
+        for attempt in range(1, attempts + 1):
+            try:
+                return job.fn(results)
+            except Exception as exc:
+                retryable = policy is not None and policy.is_retryable(exc)
+                if retryable and attempt < attempts:
+                    if engine is not None:
+                        engine.telemetry.count("jobs.retries")
+                    delay = policy.delay(attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if engine is not None:
+                    engine.telemetry.count("jobs.failed")
+                    engine.telemetry.count(f"jobs.failed.{job.name}")
+                raise

@@ -44,6 +44,8 @@ class Telemetry:
 
     counters: dict[str, int] = field(default_factory=dict)
     timers: dict[str, TimerStat] = field(default_factory=dict)
+    failure_records: list = field(default_factory=list)
+    max_failure_records: int = 200
 
     # -- counters ------------------------------------------------------
     def count(self, name: str, n: int = 1) -> int:
@@ -70,6 +72,28 @@ class Telemetry:
         stat.calls += 1
         stat.total_s += seconds
 
+    # -- failures ------------------------------------------------------
+    def record_failure(self, failure) -> None:
+        """Count one :class:`~repro.engine.faults.EvalFailure`.
+
+        Bumps ``failures.total`` plus a per-exception-class counter, and
+        keeps the first ``max_failure_records`` structured records for
+        ``report()`` — enough to debug a bad run without letting a
+        pathological one grow the report without bound.
+        """
+        self.count("failures.total")
+        self.count(f"failures.{failure.exception_type}")
+        if len(self.failure_records) < self.max_failure_records:
+            self.failure_records.append(failure)
+
+    def failure_count(self) -> int:
+        return self.get("failures.total")
+
+    def failures_by_type(self) -> dict[str, int]:
+        prefix = "failures."
+        return {name[len(prefix):]: n for name, n in self.counters.items()
+                if name.startswith(prefix) and name != "failures.total"}
+
     # -- aggregation ---------------------------------------------------
     def merge(self, other: "Telemetry") -> None:
         for name, n in other.counters.items():
@@ -78,10 +102,14 @@ class Telemetry:
             mine = self.timers.setdefault(name, TimerStat())
             mine.calls += stat.calls
             mine.total_s += stat.total_s
+        room = self.max_failure_records - len(self.failure_records)
+        if room > 0:
+            self.failure_records.extend(other.failure_records[:room])
 
     def reset(self) -> None:
         self.counters.clear()
         self.timers.clear()
+        self.failure_records.clear()
 
     def report(self) -> dict:
         return {
@@ -90,5 +118,10 @@ class Telemetry:
                 name: {"calls": stat.calls, "total_s": stat.total_s,
                        "mean_s": stat.mean_s}
                 for name, stat in self.timers.items()
+            },
+            "failures": {
+                "total": self.failure_count(),
+                "by_type": self.failures_by_type(),
+                "records": [f.as_dict() for f in self.failure_records],
             },
         }

@@ -35,6 +35,7 @@ from repro.layout.router import (
     routed_cell,
 )
 from repro.engine.core import EvaluationEngine
+from repro.engine.faults import RetryPolicy
 from repro.engine.jobs import JobGraph
 from repro.opt.anneal import AnnealSchedule
 from repro.synthesis.plan_library import default_plan_library
@@ -153,14 +154,20 @@ def _iteration_graph(plan, targets: dict, seed: int) -> JobGraph:
 
 def design_ota_cell(specs: SpecSet, seed: int = 1,
                     max_iterations: int = 3,
-                    engine: EvaluationEngine | None = None) -> CellDesign:
+                    engine: EvaluationEngine | None = None,
+                    retry_policy: RetryPolicy | None = None) -> CellDesign:
     """The full closed loop for the 5-transistor OTA.
 
     Sizing uses the design plan (fast, deterministic); re-iterations
     tighten the GBW target by the layout-induced degradation.  Each
     iteration runs as a :class:`repro.engine.JobGraph` (size → layout →
     extract → verify); pass an ``engine`` to collect per-stage wall times
-    and counters in the returned design's ``telemetry``.
+    and counters in the returned design's ``telemetry``.  A
+    ``retry_policy`` grants each stage extra attempts when it fails with
+    a transient (retryable) error — a non-converging verify does not
+    abort the whole loop until its attempt budget is spent — and any
+    evaluation failures the engine recorded are summarized in the
+    design's log.
     """
     plan = default_plan_library().get("five_transistor_ota")
     gbw_spec = _required(specs, "gbw")
@@ -181,7 +188,7 @@ def design_ota_cell(specs: SpecSet, seed: int = 1,
             "vdd": 3.3,
         }, seed)
         try:
-            stages = graph.run(engine)
+            stages = graph.run(engine, retry_policy=retry_policy)
         except PlanError as exc:
             raise CellFlowError(f"sizing infeasible: {exc}") from exc
         sizes = stages["size"].sizes
@@ -195,6 +202,10 @@ def design_ota_cell(specs: SpecSet, seed: int = 1,
         log.append(f"iter {iteration}: post-layout gbw={post['gbw']:.4g}")
         if specs.all_satisfied(post):
             box = cell.bbox()
+            if engine is not None:
+                summary = engine.failure_summary()
+                if summary:
+                    log.append(summary)
             return CellDesign(
                 topology="five_transistor_ota", sizes=sizes,
                 schematic=circuit, placement=placement, routing=routing,

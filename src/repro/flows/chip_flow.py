@@ -32,6 +32,7 @@ from repro.msystem.noise_constraints import (
 )
 from repro.msystem.powergrid import RailResult, RailSpec, synthesize_rail
 from repro.engine.core import EvaluationEngine
+from repro.engine.faults import RetryPolicy
 from repro.engine.jobs import JobGraph
 from repro.opt.anneal import AnnealSchedule
 
@@ -129,12 +130,16 @@ def assemble_chip(blocks: list[Block], nets: list[SignalNet],
                   seed: int = 1,
                   floorplan_schedule: AnnealSchedule | None = None,
                   noise_aware: bool = True,
-                  engine: EvaluationEngine | None = None) -> ChipPlan:
+                  engine: EvaluationEngine | None = None,
+                  retry_policy: RetryPolicy | None = None) -> ChipPlan:
     """Run the full system-assembly flow.
 
     The stages (floorplan → route → SNR mapping → channels → power) are
     declared as a :class:`repro.engine.JobGraph`; pass an ``engine`` to
     get per-stage wall times and counters in the plan's ``telemetry``.
+    A ``retry_policy`` grants each stage extra attempts on transient
+    (retryable) errors before the flow gives up, and any evaluation
+    failures the engine recorded are summarized in the plan's log.
     """
     log: list[str] = []
     schedule = floorplan_schedule or AnnealSchedule(
@@ -161,7 +166,7 @@ def assemble_chip(blocks: list[Block], nets: list[SignalNet],
               lambda r: synthesize_rail(r["floorplan"], rail_spec,
                                         seed=seed),
               deps=("floorplan",))
-    stages = graph.run(engine)
+    stages = graph.run(engine, retry_policy=retry_policy)
 
     floorplan = stages["floorplan"]
     log.append(f"floorplan: area {floorplan.area / 1e12:.2f} mm^2, "
@@ -176,6 +181,10 @@ def assemble_chip(blocks: list[Block], nets: list[SignalNet],
                f"{channels.total_shields} shields")
     power = stages["power"]
     log.append(f"power grid feasible: {power.feasible}")
+    if engine is not None:
+        summary = engine.failure_summary()
+        if summary:
+            log.append(summary)
     return ChipPlan(floorplan, routing, snr_budgets, segment_budgets,
                     power, channels, log,
                     telemetry=engine.report() if engine is not None else None)

@@ -40,6 +40,7 @@ class AnnealResult(Generic[State]):
     evaluations: int
     temperatures: int
     history: list[float] = field(default_factory=list)  # best cost per temp
+    failures: int = 0  # evaluations that came back as EvalFailure
 
 
 class Annealer(Generic[State]):
@@ -72,6 +73,14 @@ class Annealer(Generic[State]):
         batch is proposed from the same state, then accepted sequentially.
         Results are identical for any executor at fixed (seed, batch_size)
         because proposals and acceptance draws stay in the caller.
+    failure_cost:
+        Cost assigned to an evaluation that comes back as an
+        :class:`repro.engine.EvalFailure` (a resilient executor's
+        out-of-retries result).  The default ``inf`` means a failed
+        candidate is never accepted but the anneal keeps running — one
+        bad point no longer kills the whole synthesis run.  The penalty
+        is deterministic, so seeded serial and parallel runs under the
+        same fault schedule stay bit-identical.
     """
 
     def __init__(self, cost: Callable[[State], float],
@@ -81,7 +90,8 @@ class Annealer(Generic[State]):
                  seed: int = 1,
                  rng: np.random.Generator | None = None,
                  executor=None,
-                 batch_size: int = 1):
+                 batch_size: int = 1,
+                 failure_cost: float = float("inf")):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.cost = cost
@@ -91,11 +101,23 @@ class Annealer(Generic[State]):
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.executor = executor
         self.batch_size = batch_size
+        self.failure_cost = failure_cost
+        self.failures = 0
 
     def _map(self, states: list[State]) -> list[float]:
+        from repro.engine.faults import is_failure
         if self.executor is None:
-            return [self.cost(s) for s in states]
-        return list(self.executor.map_evaluate(self.cost, states))
+            raw = [self.cost(s) for s in states]
+        else:
+            raw = list(self.executor.map_evaluate(self.cost, states))
+        costs: list[float] = []
+        for c in raw:
+            if is_failure(c):
+                self.failures += 1
+                costs.append(self.failure_cost)
+            else:
+                costs.append(c)
+        return costs
 
     # ------------------------------------------------------------------
     def initial_temperature(self, state: State, samples: int = 40) -> float:
@@ -109,9 +131,13 @@ class Annealer(Generic[State]):
             chain.append(current)
         costs = self._map([state] + chain)
         base = costs[0]
-        uphill = [b - a for a, b in zip(costs, costs[1:]) if b > a]
+        # Failed (infinite-cost) probes carry no temperature information;
+        # only finite uphill deltas enter the mean.
+        uphill = [b - a for a, b in zip(costs, costs[1:])
+                  if b > a and math.isfinite(b - a)]
         if not uphill:
-            return max(abs(base), 1.0) * 0.1
+            base_scale = abs(base) if math.isfinite(base) else 1.0
+            return max(base_scale, 1.0) * 0.1
         mean_uphill = float(np.mean(uphill))
         p = min(max(self.schedule.initial_acceptance, 1e-3), 0.999)
         return mean_uphill / (-math.log(p))
@@ -120,6 +146,7 @@ class Annealer(Generic[State]):
     def run(self, initial: State,
             temperature: float | None = None) -> AnnealResult[State]:
         sched = self.schedule
+        self.failures = 0
         current = self.copy_state(initial)
         current_cost = self._map([current])[0]
         best = self.copy_state(current)
@@ -150,7 +177,12 @@ class Annealer(Generic[State]):
                 for trial, trial_cost in zip(trials, self._map(trials)):
                     evaluations += 1
                     moves += 1
+                    # inf - inf is nan; treat a failed trial against a
+                    # failed current state as a plain uphill rejection so
+                    # the acceptance draw is still consumed (determinism).
                     delta = trial_cost - current_cost
+                    if math.isnan(delta):
+                        delta = float("inf")
                     if delta <= 0 or self.rng.random() < math.exp(
                             -delta / max(t, 1e-300)):
                         current, current_cost = trial, trial_cost
@@ -162,7 +194,8 @@ class Annealer(Generic[State]):
             stale = 0 if improved else stale + 1
             t *= sched.cooling
             temps += 1
-        return AnnealResult(best, best_cost, evaluations, temps, history)
+        return AnnealResult(best, best_cost, evaluations, temps, history,
+                            failures=self.failures)
 
 
 # ----------------------------------------------------------------------
@@ -251,13 +284,16 @@ def anneal_continuous(cost: Callable[[dict[str, float]], float],
                       x0: np.ndarray | None = None,
                       rng: np.random.Generator | None = None,
                       executor=None,
-                      batch_size: int = 1) -> AnnealResult[np.ndarray]:
+                      batch_size: int = 1,
+                      failure_cost: float = float("inf")
+                      ) -> AnnealResult[np.ndarray]:
     """Anneal a scalar cost over a named continuous box.
 
     Pass ``rng`` to thread one explicit generator through both the start
     point and the anneal itself; otherwise two generators are derived from
-    ``seed`` (the historical behaviour).  ``executor``/``batch_size`` are
-    forwarded to :class:`Annealer` for batched cost evaluation.
+    ``seed`` (the historical behaviour).  ``executor``/``batch_size``/
+    ``failure_cost`` are forwarded to :class:`Annealer` for batched,
+    failure-tolerant cost evaluation.
     """
     start_rng = rng if rng is not None else np.random.default_rng(seed)
     start = space.clip(x0) if x0 is not None else space.random_point(start_rng)
@@ -271,5 +307,6 @@ def anneal_continuous(cost: Callable[[dict[str, float]], float],
         rng=rng,
         executor=executor,
         batch_size=batch_size,
+        failure_cost=failure_cost,
     )
     return annealer.run(start)

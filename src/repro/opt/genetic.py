@@ -70,6 +70,7 @@ class GaResult:
     generations: int
     evaluations: int
     history: list[float] = field(default_factory=list)
+    failures: int = 0  # evaluations that came back as EvalFailure
 
 
 class GeneticOptimizer:
@@ -94,7 +95,8 @@ class GeneticOptimizer:
                  tournament: int = 3,
                  seed: int = 1,
                  rng: np.random.Generator | None = None,
-                 executor=None):
+                 executor=None,
+                 failure_fitness: float = float("inf")):
         if population < 4:
             raise ValueError("population must be at least 4")
         self.genes = list(genes)
@@ -109,13 +111,26 @@ class GeneticOptimizer:
         self.tournament = tournament
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.executor = executor
+        # A genome whose evaluation fails (an EvalFailure from a resilient
+        # executor) scores failure_fitness: worst-in-population, so it is
+        # selected against but never crashes the generation.
+        self.failure_fitness = failure_fitness
+        self.failures = 0
 
     def _score(self, pop: list[Genome]) -> list[tuple[float, Genome]]:
         """Evaluate a population (batched through the executor hook)."""
+        from repro.engine.faults import is_failure
         if self.executor is None:
-            fits = [self.fitness(g) for g in pop]
+            raw = [self.fitness(g) for g in pop]
         else:
-            fits = list(self.executor.map_evaluate(self.fitness, pop))
+            raw = list(self.executor.map_evaluate(self.fitness, pop))
+        fits: list[float] = []
+        for f in raw:
+            if is_failure(f):
+                self.failures += 1
+                fits.append(self.failure_fitness)
+            else:
+                fits.append(f)
         return sorted(zip(fits, pop), key=lambda t: t[0])
 
     def _random_genome(self) -> Genome:
@@ -139,6 +154,7 @@ class GeneticOptimizer:
 
     def run(self, generations: int = 50,
             target: float | None = None) -> GaResult:
+        self.failures = 0
         pop = [self._random_genome() for _ in range(self.population)]
         scored = self._score(pop)
         evaluations = len(pop)
@@ -159,4 +175,5 @@ class GeneticOptimizer:
             if target is not None and scored[0][0] <= target:
                 break
         best_fit, best = scored[0]
-        return GaResult(best, best_fit, gen, evaluations, history)
+        return GaResult(best, best_fit, gen, evaluations, history,
+                        failures=self.failures)

@@ -32,6 +32,7 @@ from repro.circuits.netlist import Circuit
 from repro.core.specs import SpecSet
 from repro.engine.cache import EvalCache, canonical_key
 from repro.engine.core import EvaluationEngine
+from repro.engine.faults import is_failure
 from repro.engine.telemetry import Telemetry
 from repro.opt.anneal import AnnealSchedule, anneal_continuous
 from repro.synthesis.equation_based import DesignSpace, SizingResult
@@ -69,6 +70,11 @@ class SimulationEvaluator:
     saturation_devices: tuple[str, ...] = ()
     cache: EvalCache | None = None
     telemetry: Telemetry | None = None
+    # True routes simulator failures to the caller as exceptions, the
+    # contract the engine's resilience layer expects (retry/penalty/record
+    # instead of a silent {}).  False keeps the legacy empty-dict return
+    # for direct, engine-less use.
+    raise_failures: bool = False
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
@@ -113,7 +119,14 @@ class SimulationEvaluator:
             self.cache_key(sizes), lambda: self.simulate(sizes))
 
     def simulate(self, sizes: dict[str, float]) -> dict[str, float]:
-        """Run the analyses unconditionally (the cache-miss path)."""
+        """Run the analyses unconditionally (the cache-miss path).
+
+        Simulator failures (non-convergence, singular MNA, unbuildable
+        point) either re-raise (``raise_failures=True``, the engine
+        resilience path) or collapse to ``{}`` (the legacy direct path —
+        :meth:`repro.core.specs.SpecSet.cost` turns a missing metric into
+        a fixed penalty).
+        """
         if self.telemetry is not None:
             self.telemetry.count("simulator.calls")
         try:
@@ -124,6 +137,10 @@ class SimulationEvaluator:
             ac = ac_analysis(circuit, freqs, op=op)
             metrics = bode_metrics(ac, self.output)
         except (ConvergenceError, SingularCircuitError, ValueError, KeyError):
+            if self.telemetry is not None:
+                self.telemetry.count("simulator.failures")
+            if self.raise_failures:
+                raise
             return {}
         performance = {
             "gain": metrics.dc_gain,
@@ -170,7 +187,12 @@ class _EngineBatch:
         points = [self._sizes(x) for x in states]
         perfs = self.engine.map_evaluate(self.evaluator.simulate, points,
                                          key_fn=self.evaluator.cache_key)
-        return [self.specs.cost(p) for p in perfs]
+        # A failed candidate gets the same deterministic penalty an empty
+        # performance dict would (every spec at its fixed miss penalty),
+        # so injected-fault runs stay bit-identical across executors.
+        failure_cost = self.specs.cost({})
+        return [failure_cost if is_failure(p) else self.specs.cost(p)
+                for p in perfs]
 
 
 class SimulationBasedSizer:
@@ -189,7 +211,8 @@ class SimulationBasedSizer:
                  space: DesignSpace, specs: SpecSet,
                  schedule: AnnealSchedule | None = None, seed: int = 1,
                  engine: EvaluationEngine | None = None,
-                 batch_size: int = 1):
+                 batch_size: int = 1,
+                 max_failure_fraction: float = 0.5):
         self.evaluator = evaluator
         self.space = space
         self.specs = specs
@@ -200,6 +223,10 @@ class SimulationBasedSizer:
         self.engine = engine
         self.batch_size = batch_size
         self.evaluations = 0
+        # Tolerated fraction of failed evaluations before the run itself
+        # is declared failed; below it the run completes with a warning
+        # summary in the result instead of raising.
+        self.max_failure_fraction = max_failure_fraction
 
     def cost(self, point: dict[str, float]) -> float:
         self.evaluations += 1
@@ -210,6 +237,7 @@ class SimulationBasedSizer:
         cont = self.space.to_continuous()
         start = np.array([x0[n] for n in cont.names]) if x0 else None
         executor = None
+        failures_before = 0
         if self.engine is not None:
             if not isinstance(self.evaluator, SimulationEvaluator):
                 raise TypeError(
@@ -217,6 +245,7 @@ class SimulationBasedSizer:
                     "(it provides simulate() and cache_key())")
             executor = _EngineBatch(self.engine, self.evaluator,
                                     self.space, cont.names, self.specs)
+            failures_before = self.engine.failure_count()
         t0 = time.perf_counter()
         result = anneal_continuous(self.cost, cont, schedule=self.schedule,
                                    seed=self.seed, x0=start,
@@ -224,12 +253,31 @@ class SimulationBasedSizer:
                                    batch_size=self.batch_size)
         runtime = time.perf_counter() - t0
         best = cont.to_dict(result.best_state)
+        warnings: list[str] = []
+        failures = 0
         if executor is not None:
             sizes = executor._sizes(result.best_state)
             performance = self.engine.evaluate(
                 self.evaluator.simulate, sizes,
                 key=self.evaluator.cache_key(sizes))
+            if is_failure(performance):
+                warnings.append(f"best-point re-evaluation failed: "
+                                f"{performance}")
+                performance = {}
             self.evaluations = result.evaluations
+            failures = self.engine.failure_count() - failures_before
+            if result.evaluations:
+                fraction = failures / result.evaluations
+                if fraction > self.max_failure_fraction:
+                    raise RuntimeError(
+                        f"sizing lost {fraction:.0%} of {result.evaluations} "
+                        f"evaluations to failures (budget "
+                        f"{self.max_failure_fraction:.0%}); see "
+                        f"engine.report() for the failure records")
+            if failures:
+                summary = self.engine.failure_summary()
+                if summary:
+                    warnings.append(summary)
         else:
             sizes = self.space.complete(best)
             performance = self.evaluator(sizes)
@@ -241,4 +289,6 @@ class SimulationBasedSizer:
             evaluations=self.evaluations,
             runtime_s=runtime,
             history=result.history,
+            failures=failures,
+            warnings=warnings,
         )

@@ -227,3 +227,101 @@ class TestPlacerInvariants:
                                            cooling=0.7,
                                            max_evaluations=800))
         assert not has_overlaps(result.placement)
+
+
+# -- solver invariants: KCL at every converged operating point -------------
+
+def _kcl_residual(ckt):
+    """max |G x + f_nl(x) - b_dc| at the converged DC operating point."""
+    from repro.analysis.mna import MnaSystem
+    system = MnaSystem(ckt)
+    G, _C, b_dc, _b_ac = system.linear_stamps()
+    op = dc_operating_point(ckt)
+    return float(np.max(np.abs(G @ op.x + system.nonlinear_currents(op.x)
+                               - b_dc)))
+
+
+class TestKclResidual:
+    """Every converged DC solution must satisfy Kirchhoff's current law:
+    the MNA residual at the operating point is zero to solver tolerance.
+    This is the ground-truth check that convergence means *solved*, not
+    merely *stopped*."""
+
+    # Linear networks solve in one step; residual is machine epsilon.
+    KCL_TOL = 1e-9
+
+    @given(rc_ladders())
+    @settings(max_examples=25, deadline=None)
+    def test_ladder_kcl(self, ladder):
+        ckt, _n = ladder
+        assert _kcl_residual(ckt) <= self.KCL_TOL
+
+    @given(rc_meshes())
+    @settings(max_examples=20, deadline=None)
+    def test_mesh_kcl(self, mesh):
+        ckt, _n = mesh
+        assert _kcl_residual(ckt) <= self.KCL_TOL
+
+    @given(st.floats(min_value=10e-6, max_value=200e-6),
+           st.floats(min_value=5e-6, max_value=100e-6),
+           st.floats(min_value=5e-6, max_value=100e-6),
+           st.floats(min_value=2e-6, max_value=500e-6))
+    @settings(max_examples=15, deadline=None)
+    def test_nonlinear_ota_kcl(self, w_in, w_load, w_tail, i_bias):
+        """Newton's converged answer on the full transistor OTA obeys KCL
+        — for every sizing hypothesis finds, not just the library default."""
+        from hypothesis import assume
+        from repro.analysis.dcop import ConvergenceError
+        from repro.circuits.library import five_transistor_ota
+        ckt = five_transistor_ota({
+            "w_in": w_in, "w_load": w_load, "w_tail": w_tail,
+            "i_bias": i_bias,
+            "l_in": 2e-6, "l_load": 2e-6, "l_tail": 2e-6,
+            "c_load": 2e-12, "vdd": 3.3})
+        ckt.vsource("tb_vip", "inp", "0", dc=1.5, ac=1.0)
+        ckt.vsource("tb_vin", "inn", "0", dc=1.5)
+        try:
+            residual = _kcl_residual(ckt)
+        except ConvergenceError:
+            assume(False)  # a non-converged point asserts nothing
+            return
+        assert residual <= self.KCL_TOL
+
+
+# -- cache-key stability ---------------------------------------------------
+
+class TestCacheKeyStability:
+    """The engine's content-addressed cache keys on the serialized
+    netlist; a round trip through the SPICE writer/parser must therefore
+    be key-invariant, or re-parsed netlists would silently miss the
+    cache."""
+
+    @given(rc_meshes())
+    @settings(max_examples=25, deadline=None)
+    def test_key_survives_reserialization(self, mesh):
+        from repro.engine.cache import canonical_key
+        ckt, _n = mesh
+        roundtrip = parse_netlist(write_netlist(ckt))
+        assert canonical_key(ckt) == canonical_key(roundtrip)
+        # And twice through changes nothing further.
+        again = parse_netlist(write_netlist(roundtrip))
+        assert canonical_key(roundtrip) == canonical_key(again)
+
+    @given(st.floats(min_value=1e-6, max_value=100e-6),
+           st.floats(min_value=0.5e-6, max_value=5e-6))
+    @settings(max_examples=25, deadline=None)
+    def test_mos_key_survives_reserialization(self, w, l):
+        from repro.circuits.devices import NMOS_DEFAULT
+        from repro.engine.cache import canonical_key
+        ckt = Circuit("m")
+        ckt.vsource("vdd_src", "vdd", "0", dc=3.3)
+        ckt.vsource("vg", "g", "0", dc=1.2)
+        ckt.resistor("rl", "vdd", "d", 10e3)
+        ckt.mosfet("m1", "d", "g", "0", "0", NMOS_DEFAULT, w, l)
+        assert canonical_key(ckt) == \
+            canonical_key(parse_netlist(write_netlist(ckt)))
+
+    def test_key_is_order_insensitive_for_dicts(self):
+        from repro.engine.cache import canonical_key
+        assert canonical_key({"a": 1, "b": 2}) == \
+            canonical_key({"b": 2, "a": 1})
