@@ -18,7 +18,8 @@ from conftest import report
 
 from repro.circuits.library import five_transistor_ota
 from repro.core.specs import Spec, SpecSet
-from repro.engine import EvalCache, EvaluationEngine, SerialExecutor
+from repro.engine import EngineConfig, EvalCache, EvaluationEngine, \
+    SerialExecutor
 from repro.opt.anneal import AnnealSchedule
 from repro.synthesis import (
     DesignSpace,
@@ -82,3 +83,42 @@ def test_cache_hit_speedup():
     # machines clear 2x comfortably (locally this is >10x).
     assert cold_s / max(warm_s, 1e-9) >= 2.0
     assert hit_rate >= 0.4  # one full run of hits over two runs of lookups
+
+
+def test_tracing_overhead_on_warm_cache_path():
+    """Tracing must cost < 5% on the warm (all-cache-hits) path.
+
+    The hot loop only touches the tracer for per-batch events and
+    counter bookkeeping, so the overhead bound is tight.  Timed as
+    min-of-N with alternated traced/untraced runs (fresh engine per run,
+    one shared pre-warmed cache) so scheduler noise hits both sides
+    equally; a small absolute slack absorbs timer granularity on runs
+    this short.
+    """
+    cache = EvalCache()
+    _run(EvaluationEngine(SerialExecutor(), cache))  # warm the cache once
+
+    untraced_s, traced_s = [], []
+    for _ in range(3):
+        engine = EvaluationEngine(SerialExecutor(), cache)
+        result_u, dt = _run(engine)
+        untraced_s.append(dt)
+        assert engine.report()["spans"] == []
+
+        engine = EvaluationEngine.from_config(
+            EngineConfig(cache=cache, trace=True))
+        with engine.tracer.span("bench"):
+            result_t, dt = _run(engine)
+        traced_s.append(dt)
+        span = engine.report()["spans"][0]
+        assert span["counters"].get("engine.evaluations", 0) == 0  # warm
+        assert span["counters"]["engine.cache_hits"] > 0
+        assert result_t.sizes == result_u.sizes
+
+    overhead = min(traced_s) / max(min(untraced_s), 1e-9) - 1.0
+    report("tracing overhead: warm-cache sizing run", [
+        ("untraced warm run (min of 3)", "--", f"{min(untraced_s):.3f} s"),
+        ("traced warm run (min of 3)", "--", f"{min(traced_s):.3f} s"),
+        ("overhead", "< 5%", f"{overhead * 100:+.1f}%"),
+    ])
+    assert min(traced_s) <= min(untraced_s) * 1.05 + 0.1

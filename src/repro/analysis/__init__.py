@@ -55,9 +55,23 @@ from repro.analysis.sensitivity import (
     normalized,
 )
 from repro.analysis.transient import TransientResult, transient
+from repro.analysis import api
+from repro.analysis.api import (
+    AcSpec,
+    AnalysisSpec,
+    DcSpec,
+    NoiseSpec,
+    TranSpec,
+)
 
 __all__ = [
     "AcResult",
+    "AcSpec",
+    "AnalysisSpec",
+    "DcSpec",
+    "NoiseSpec",
+    "TranSpec",
+    "api",
     "StepResponse",
     "MismatchSigma",
     "OffsetStatistics",

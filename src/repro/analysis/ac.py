@@ -155,7 +155,17 @@ class AcResult:
 def ac_analysis(circuit: Circuit, freqs: np.ndarray,
                 op: OperatingPoint | None = None,
                 ss: SmallSignalSystem | None = None) -> AcResult:
-    """Sweep ``(G + jωC)x = b_ac`` over ``freqs`` (Hz)."""
+    """Sweep ``(G + jωC)x = b_ac`` over ``freqs`` (Hz).
+
+    Thin wrapper over :func:`repro.analysis.api.run` with an ``AcSpec``.
+    """
+    from repro.analysis import api
+    return api.run(circuit, api.AcSpec(freqs=freqs, op=op, ss=ss))
+
+
+def _ac_analysis_impl(circuit: Circuit, freqs: np.ndarray,
+                      op: OperatingPoint | None = None,
+                      ss: SmallSignalSystem | None = None) -> AcResult:
     freqs = np.asarray(freqs, dtype=float)
     if ss is None:
         ss = small_signal_system(circuit, op)

@@ -89,7 +89,18 @@ def dc_operating_point(circuit: Circuit,
 
     Raises :class:`ConvergenceError` when Newton, gmin stepping and source
     stepping all fail.
+
+    Thin wrapper over :func:`repro.analysis.api.run` with a ``DcSpec`` —
+    same behaviour, but dispatches through the typed analysis API so the
+    call is traced.
     """
+    from repro.analysis import api
+    return api.run(circuit, api.DcSpec(x0=x0, gmin=gmin))
+
+
+def _dc_operating_point_impl(circuit: Circuit,
+                             x0: np.ndarray | None = None,
+                             gmin: float = 1e-12) -> OperatingPoint:
     system = MnaSystem(circuit, gmin=gmin)
     G, _, b_dc, _ = system.linear_stamps()
     x = np.zeros(system.size) if x0 is None else np.asarray(x0, dtype=float)

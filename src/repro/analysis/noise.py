@@ -73,7 +73,17 @@ class NoiseResult:
 def noise_analysis(circuit: Circuit, out: str, freqs: np.ndarray,
                    op: OperatingPoint | None = None,
                    ss: SmallSignalSystem | None = None) -> NoiseResult:
-    """Compute the output noise spectrum at net ``out`` over ``freqs``."""
+    """Compute the output noise spectrum at net ``out`` over ``freqs``.
+
+    Thin wrapper over :func:`repro.analysis.api.run` with a ``NoiseSpec``.
+    """
+    from repro.analysis import api
+    return api.run(circuit, api.NoiseSpec(out=out, freqs=freqs, op=op, ss=ss))
+
+
+def _noise_analysis_impl(circuit: Circuit, out: str, freqs: np.ndarray,
+                         op: OperatingPoint | None = None,
+                         ss: SmallSignalSystem | None = None) -> NoiseResult:
     freqs = np.asarray(freqs, dtype=float)
     if ss is None:
         ss = small_signal_system(circuit, op)

@@ -4,13 +4,21 @@ The frontends the paper surveys are evaluation-bound: simulation-in-the-
 loop sizing, plan execution, and closed-loop resynthesis all spend their
 time re-running the circuit simulator.  This package centralizes that
 work behind one engine — pluggable executors (serial / process pool), a
-content-addressed result cache, per-stage telemetry, and a task-graph
-runner for the flow pipelines.
+content-addressed result cache, per-stage telemetry, a task-graph runner
+for the flow pipelines, and a structured tracing layer (hierarchical
+spans, JSONL event logs, per-run manifests) with versioned report and
+manifest schemas.
 """
 
 from repro.engine.cache import CacheStats, EvalCache, canonical_key
+from repro.engine.config import EngineConfig
 from repro.engine.core import EvaluationEngine, KeyedEngine
-from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.engine.executor import (
+    BatchStats,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+)
 from repro.engine.faults import (
     EvalFailure,
     EvalTimeoutError,
@@ -22,10 +30,30 @@ from repro.engine.faults import (
     point_token,
 )
 from repro.engine.jobs import Job, JobGraph, JobGraphError
+from repro.engine.schema import (
+    MANIFEST_SCHEMA_VERSION,
+    REPORT_SCHEMA_VERSION,
+    SchemaError,
+    check_report,
+    validate_manifest,
+)
 from repro.engine.telemetry import Telemetry, TimerStat
+from repro.engine.trace import (
+    Span,
+    Tracer,
+    build_manifest,
+    current_tracer,
+    finish_run,
+    manifest_digest,
+    span_if,
+    strip_volatile,
+    write_manifest,
+)
 
 __all__ = [
+    "BatchStats",
     "CacheStats",
+    "EngineConfig",
     "EvalCache",
     "EvalFailure",
     "EvalTimeoutError",
@@ -37,13 +65,27 @@ __all__ = [
     "JobGraph",
     "JobGraphError",
     "KeyedEngine",
+    "MANIFEST_SCHEMA_VERSION",
     "ParallelExecutor",
+    "REPORT_SCHEMA_VERSION",
     "RetryPolicy",
+    "SchemaError",
     "SerialExecutor",
+    "Span",
     "Telemetry",
     "TimerStat",
+    "Tracer",
     "WorkerCrashError",
+    "build_manifest",
     "canonical_key",
+    "check_report",
+    "current_tracer",
+    "finish_run",
     "is_failure",
+    "manifest_digest",
     "point_token",
+    "span_if",
+    "strip_volatile",
+    "validate_manifest",
+    "write_manifest",
 ]

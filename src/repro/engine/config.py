@@ -1,0 +1,150 @@
+"""One typed configuration object for the evaluation engine.
+
+The engine grew its collaborators one PR at a time — executor, cache,
+telemetry, retry policy, fault injector, and now a tracer — and every
+flow and sizer signature grew a matching kwarg.  :class:`EngineConfig`
+consolidates them: build one config, hand it to
+:meth:`repro.engine.EvaluationEngine.from_config`,
+:func:`repro.flows.design_ota_cell`, :func:`repro.flows.assemble_chip`,
+:class:`repro.synthesis.SimulationBasedSizer` or
+:func:`repro.synthesis.pulse_detector.pulse_detector_flow`.  The legacy
+scattered kwargs keep working but raise ``DeprecationWarning``.
+
+``describe()`` renders the config as a JSON-safe dict, which is what the
+run manifest records — a manifest always says exactly how its run was
+configured.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.cache import EvalCache
+from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.engine.faults import FaultInjector, RetryPolicy
+from repro.engine.telemetry import Telemetry
+from repro.engine.trace import Tracer
+
+
+@dataclass
+class EngineConfig:
+    """Everything an :class:`~repro.engine.core.EvaluationEngine` needs.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"parallel"``, or an explicit
+        :class:`Executor` instance.  ``workers`` / ``chunksize`` apply to
+        the ``"parallel"`` shorthand only.
+    cache:
+        ``True`` builds a fresh :class:`EvalCache` (``cache_entries``,
+        ``disk_cache_dir``); an instance is used as-is; ``False`` runs
+        uncached.
+    retry_policy / fault_injector / telemetry:
+        Installed on the engine exactly as the legacy kwargs were.
+    trace:
+        ``True`` builds a :class:`~repro.engine.trace.Tracer`; an explicit
+        ``tracer`` instance wins.  ``trace_dir`` implies ``trace`` and
+        additionally makes traced flows write ``manifest.json`` +
+        ``trace.jsonl`` there at the end of the run.
+    """
+
+    executor: Executor | str = "serial"
+    workers: int | None = None
+    chunksize: int | None = None
+    cache: EvalCache | bool = False
+    cache_entries: int = 65536
+    disk_cache_dir: str | Path | None = None
+    telemetry: Telemetry | None = None
+    retry_policy: RetryPolicy | None = None
+    fault_injector: FaultInjector | None = None
+    trace: bool = False
+    tracer: Tracer | None = field(default=None, repr=False)
+    trace_dir: str | Path | None = None
+
+    # -- part builders -------------------------------------------------
+    def build_executor(self) -> Executor:
+        if isinstance(self.executor, Executor):
+            return self.executor
+        if self.executor == "serial":
+            return SerialExecutor()
+        if self.executor == "parallel":
+            return ParallelExecutor(workers=self.workers,
+                                    chunksize=self.chunksize)
+        raise ValueError(
+            f"executor must be 'serial', 'parallel' or an Executor "
+            f"instance, got {self.executor!r}")
+
+    def build_cache(self) -> EvalCache | None:
+        if isinstance(self.cache, EvalCache):
+            return self.cache
+        if self.cache:
+            return EvalCache(max_entries=self.cache_entries,
+                             disk_dir=self.disk_cache_dir)
+        return None
+
+    def build_tracer(self, telemetry: Telemetry | None = None) -> Tracer | None:
+        if self.tracer is not None:
+            return self.tracer
+        if self.trace or self.trace_dir is not None:
+            return Tracer(telemetry)
+        return None
+
+    # -- manifest rendering --------------------------------------------
+    def describe(self) -> dict:
+        """JSON-safe summary of this config, recorded in run manifests."""
+        executor = self.executor if isinstance(self.executor, str) \
+            else type(self.executor).__name__
+        policy = self.retry_policy
+        injector = self.fault_injector
+        return {
+            "executor": executor,
+            "workers": self.workers,
+            "chunksize": self.chunksize,
+            "cache": bool(self.cache),
+            "cache_entries": self.cache_entries
+            if self.cache is not False else None,
+            "disk_cache_dir": str(self.disk_cache_dir)
+            if self.disk_cache_dir is not None else None,
+            "retry_policy": None if policy is None else {
+                "max_attempts": policy.max_attempts,
+                "backoff_s": policy.backoff_s,
+                "backoff_factor": policy.backoff_factor,
+                "timeout_s": policy.timeout_s,
+            },
+            "fault_injector": None if injector is None else {
+                "rate": injector.rate,
+                "seed": injector.seed,
+                "kinds": list(injector.kinds),
+            },
+            "trace": bool(self.trace or self.tracer is not None
+                          or self.trace_dir is not None),
+            "trace_dir": str(self.trace_dir)
+            if self.trace_dir is not None else None,
+        }
+
+
+def resolve_flow_engine(engine, retry_policy, config: EngineConfig | None,
+                        caller: str):
+    """Shared kwarg-migration shim for flows and sizers.
+
+    Returns ``(engine, retry_policy, owned)``: with a ``config`` the
+    engine is built fresh (``owned=True`` — the caller must close it);
+    legacy ``engine=`` / ``retry_policy=`` kwargs pass through unchanged
+    behind a ``DeprecationWarning``.
+    """
+    if config is not None:
+        if engine is not None or retry_policy is not None:
+            raise ValueError(
+                f"{caller}: pass either config= or the legacy "
+                f"engine=/retry_policy= kwargs, not both")
+        from repro.engine.core import EvaluationEngine
+        return EvaluationEngine.from_config(config), config.retry_policy, True
+    if engine is not None or retry_policy is not None:
+        warnings.warn(
+            f"{caller}: the engine=/retry_policy= kwargs are deprecated; "
+            f"pass config=EngineConfig(...) instead",
+            DeprecationWarning, stacklevel=3)
+    return engine, retry_policy, False

@@ -20,17 +20,27 @@ and assert the ``engine.evaluations`` delta is zero.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.engine import trace as _trace
 from repro.engine.cache import EvalCache
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.faults import FaultInjector, RetryPolicy, is_failure
+from repro.engine.schema import REPORT_SCHEMA_VERSION
 from repro.engine.telemetry import Telemetry
+from repro.engine.trace import Tracer
 
 
 class EvaluationEngine:
     """Cache-aware, executor-backed batch evaluation.
+
+    The canonical construction path is
+    ``EvaluationEngine.from_config(EngineConfig(...))``; the individual
+    kwargs below predate :class:`~repro.engine.config.EngineConfig` and
+    the resilience-layer ones (``retry_policy`` / ``fault_injector``) are
+    deprecated as direct arguments.
 
     Parameters
     ----------
@@ -44,25 +54,70 @@ class EvaluationEngine:
     telemetry:
         Optional shared :class:`Telemetry`; one is created if omitted.
     retry_policy / fault_injector:
-        When given, installed on the executor: failing evaluations are
-        retried per the policy and whatever still fails comes back as a
-        structured ``EvalFailure`` (counted under ``failures.*`` and
-        listed in :meth:`report`) instead of raising or being silently
-        replaced by a sentinel value.
+        Deprecated — configure through ``EngineConfig``.  When given,
+        installed on the executor: failing evaluations are retried per
+        the policy and whatever still fails comes back as a structured
+        ``EvalFailure`` (counted under ``failures.*`` and listed in
+        :meth:`report`) instead of raising or being silently replaced by
+        a sentinel value.
+    tracer:
+        Optional :class:`~repro.engine.trace.Tracer`.  The tracer is
+        rebound to this engine's telemetry (one counter store per run) and
+        receives a ``batch`` event per executor dispatch, ``failure`` /
+        ``retry`` events from the resilience layer, and the span tree the
+        flows build around stages.
     """
 
     def __init__(self, executor: Executor | None = None,
                  cache: EvalCache | None = None,
                  telemetry: Telemetry | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 fault_injector: FaultInjector | None = None):
+                 fault_injector: FaultInjector | None = None,
+                 tracer: Tracer | None = None):
+        if retry_policy is not None or fault_injector is not None:
+            warnings.warn(
+                "passing retry_policy=/fault_injector= to EvaluationEngine "
+                "directly is deprecated; use "
+                "EvaluationEngine.from_config(EngineConfig(...))",
+                DeprecationWarning, stacklevel=2)
+        self._init(executor, cache, telemetry, retry_policy, fault_injector,
+                   tracer)
+
+    def _init(self, executor, cache, telemetry, retry_policy, fault_injector,
+              tracer) -> None:
         self.executor = executor or SerialExecutor()
         self.cache = cache
-        self.telemetry = telemetry or Telemetry()
+        if telemetry is None:
+            telemetry = tracer.telemetry if tracer is not None else Telemetry()
+        self.telemetry = telemetry
+        self.tracer = tracer
+        if tracer is not None:
+            # One counter store per engine: span deltas must observe the
+            # same counters the engine bumps.
+            tracer.telemetry = self.telemetry
+        self.config = None
         if retry_policy is not None:
             self.executor.retry_policy = retry_policy
         if fault_injector is not None:
             self.executor.fault_injector = fault_injector
+
+    @classmethod
+    def from_config(cls, config=None) -> "EvaluationEngine":
+        """Build an engine from an :class:`~repro.engine.config.EngineConfig`.
+
+        The one construction path that wires every collaborator —
+        executor, cache, telemetry, resilience layer, tracer — without
+        deprecation warnings.
+        """
+        from repro.engine.config import EngineConfig
+        config = config if config is not None else EngineConfig()
+        engine = cls.__new__(cls)
+        tracer = config.build_tracer(config.telemetry)
+        engine._init(config.build_executor(), config.build_cache(),
+                     config.telemetry, config.retry_policy,
+                     config.fault_injector, tracer)
+        engine.config = config
+        return engine
 
     # -- evaluation ----------------------------------------------------
     def map_evaluate(self, fn: Callable[[Any], Any], points: Sequence[Any],
@@ -81,8 +136,7 @@ class EvaluationEngine:
         with tele.timer("engine.map_evaluate"):
             if self.cache is None or key_fn is None:
                 tele.count("engine.evaluations", len(points))
-                return self._note_failures(
-                    self.executor.map_evaluate(fn, points))
+                return self._dispatch(fn, points, hits=0)
             results: list[Any] = [None] * len(points)
             miss_keys: list[str] = []
             miss_points: list[Any] = []
@@ -104,12 +158,12 @@ class EvaluationEngine:
                     miss_keys.append(key)
                     miss_points.append(point)
                 placements.append((i, slot))
-            tele.count("engine.cache_hits", len(points) - len(miss_keys))
+            hits = len(points) - len(miss_keys)
+            tele.count("engine.cache_hits", hits)
             tele.count("engine.cache_misses", len(miss_keys))
             tele.count("engine.evaluations", len(miss_keys))
             if miss_keys:
-                computed = self._note_failures(
-                    self.executor.map_evaluate(fn, miss_points))
+                computed = self._dispatch(fn, miss_points, hits=hits)
                 for key, value in zip(miss_keys, computed):
                     if not is_failure(value):
                         # Failures are never cached: the next request for
@@ -119,7 +173,43 @@ class EvaluationEngine:
                         self.cache.put(key, value)
                 for i, slot in placements:
                     results[i] = computed[slot]
+            elif self.tracer is not None and points:
+                self.tracer.event("batch", points=len(points), hits=hits,
+                                  evaluations=0, failures=0, retries=0)
             return results
+
+    def _dispatch(self, fn: Callable[[Any], Any], points: list,
+                  hits: int = 0) -> list:
+        """Run one executor batch, folding worker metrics into the trace.
+
+        The active tracer is suspended for the duration of the dispatch:
+        under a SerialExecutor the evaluation runs in-process and would
+        otherwise bump ``analysis.*`` counters that a ParallelExecutor's
+        workers (separate processes, no tracer) never could.  Masking the
+        tracer here keeps span counter attribution identical across
+        executors; the worker-side cost still arrives through
+        ``BatchStats`` and is folded in as the ``engine.worker_eval``
+        timer and a ``batch`` event.
+        """
+        tele = self.telemetry
+        failures0 = tele.failure_count()
+        retries0 = self.executor.retries
+        with _trace.suspended():
+            values = self._note_failures(self.executor.map_evaluate(fn, points))
+        batch = self.executor.last_batch
+        if batch.points:
+            tele.record_time("engine.worker_eval", batch.worker_s)
+        tracer = self.tracer
+        if tracer is not None and points:
+            failures = tele.failure_count() - failures0
+            retries = self.executor.retries - retries0
+            tracer.event("batch", points=len(points), hits=hits,
+                         evaluations=len(points), failures=failures,
+                         retries=retries, worker_s=batch.worker_s,
+                         wall_s=batch.wall_s)
+            if retries:
+                tracer.event("retry", count=retries)
+        return values
 
     def evaluate(self, fn: Callable[[Any], Any], point: Any,
                  key: str | None = None) -> Any:
@@ -140,6 +230,11 @@ class EvaluationEngine:
         for value in values:
             if is_failure(value):
                 self.telemetry.record_failure(value)
+                if self.tracer is not None:
+                    self.tracer.event("failure",
+                                      exception_type=value.exception_type,
+                                      token=value.token,
+                                      attempts=value.attempts)
         return values
 
     # -- reporting / lifecycle ----------------------------------------
@@ -165,9 +260,19 @@ class EvaluationEngine:
                 f"failure rate {self.failure_rate():.1%})")
 
     def report(self) -> dict:
+        """Versioned run report (see :mod:`repro.engine.schema`).
+
+        Schema v2: ``schema_version`` + ``counters`` / ``timers`` /
+        ``failures`` (from telemetry) + ``executor`` / ``cache``
+        descriptions + ``spans`` (the tracer's span tree, ``[]`` when the
+        engine runs untraced).
+        """
         out = self.telemetry.report()
+        out["schema_version"] = REPORT_SCHEMA_VERSION
         out["executor"] = self.executor.describe()
         out["cache"] = self.cache.report() if self.cache is not None else None
+        out["spans"] = (self.tracer.span_tree()
+                        if self.tracer is not None else [])
         return out
 
     def close(self) -> None:

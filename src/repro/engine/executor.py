@@ -57,6 +57,39 @@ _ERR = "err"
 
 
 @dataclass(frozen=True)
+class BatchStats:
+    """What one ``map_evaluate`` batch cost, shipped back by the executor.
+
+    ``worker_s`` is the *worker-side* evaluation time summed over points
+    (measured inside the worker, next to the evaluation, so IPC and pool
+    scheduling are excluded); ``wall_s`` is the parent-side dispatch wall
+    time.  Their ratio is the executor's effective parallel speedup.
+    """
+
+    points: int = 0
+    worker_s: float = 0.0
+    wall_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class _Timed:
+    """Evaluation wrapper returning ``(value, worker_seconds)``.
+
+    The no-policy twin of :class:`_Guarded`: exceptions propagate
+    unchanged, but every result carries its worker-side evaluation time
+    so the engine can attribute simulator cost per batch even when no
+    resilience layer is installed.  Picklable whenever ``fn`` is.
+    """
+
+    fn: Callable[[Any], Any]
+
+    def __call__(self, point: Any) -> tuple:
+        t0 = time.perf_counter()
+        value = self.fn(point)
+        return (value, time.perf_counter() - t0)
+
+
+@dataclass(frozen=True)
 class _Guarded:
     """Evaluation wrapper that converts exceptions into tagged tuples.
 
@@ -115,6 +148,8 @@ class Executor(abc.ABC):
         self.token_fn = token_fn
         self.retries = 0
         self.failures = 0
+        self.worker_s = 0.0
+        self.last_batch = BatchStats()
 
     # -- subclass primitives ------------------------------------------
     @abc.abstractmethod
@@ -138,14 +173,23 @@ class Executor(abc.ABC):
         """
         points = list(points)
         if not points:
+            self.last_batch = BatchStats()
             return []
+        t0 = time.perf_counter()
         if self.retry_policy is None and self.fault_injector is None:
-            return self._map_raw(fn, points)
-        return self._map_resilient(fn, points)
+            outs = self._map_raw(_Timed(fn), points)
+            values = [value for value, _dt in outs]
+            worker_s = sum(dt for _value, dt in outs)
+        else:
+            values, worker_s = self._map_resilient(fn, points)
+        self.last_batch = BatchStats(len(points), worker_s,
+                                     time.perf_counter() - t0)
+        self.worker_s += worker_s
+        return values
 
     def describe(self) -> dict:
         return {"kind": type(self).__name__, "retries": self.retries,
-                "failures": self.failures}
+                "failures": self.failures, "worker_s": self.worker_s}
 
     def close(self) -> None:
         """Release any held resources; the executor stays usable."""
@@ -157,7 +201,8 @@ class Executor(abc.ABC):
         self.close()
 
     # -- the retry loop (shared by both executors) --------------------
-    def _map_resilient(self, fn: Callable, points: list) -> list:
+    def _map_resilient(self, fn: Callable, points: list) -> tuple[list, float]:
+        """Resilient batch evaluation; returns (results, worker seconds)."""
         policy = self.retry_policy or RetryPolicy(max_attempts=1)
         results: list[Any] = [None] * len(points)
         elapsed = [0.0] * len(points)
@@ -194,7 +239,7 @@ class Executor(abc.ABC):
                     retryable=retryable, elapsed_s=elapsed[i])
             self.retries += len(still_pending)
             pending = still_pending
-        return results
+        return results, sum(elapsed)
 
     def _token(self, point: Any) -> str:
         return self.token_fn(point) if self.token_fn is not None \

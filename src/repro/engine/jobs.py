@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.engine.faults import RetryPolicy
+from repro.engine.trace import span_if
 
 JobFn = Callable[[dict[str, Any]], Any]
 
@@ -87,12 +88,20 @@ class JobGraph:
         policy's backoff, counted under ``jobs.retries``.  A fatal
         exception — or a retryable one out of attempts — propagates as
         before, after a ``jobs.failed`` count.
+
+        When the engine carries a :class:`~repro.engine.trace.Tracer`,
+        every stage additionally runs inside a span named after the job,
+        so per-stage wall time and simulator-call counts land in the run
+        manifest.
         """
         results = results if results is not None else {}
+        tracer = getattr(engine, "tracer", None) if engine is not None \
+            else None
         for name in self.order():
             job = self.jobs[name]
             if engine is not None:
-                with engine.telemetry.timer(f"stage.{name}"):
+                with span_if(tracer, name), \
+                        engine.telemetry.timer(f"stage.{name}"):
                     results[name] = self._run_job(job, results, engine,
                                                   retry_policy)
                 engine.telemetry.count("jobs.completed")
@@ -110,9 +119,15 @@ class JobGraph:
                 return job.fn(results)
             except Exception as exc:
                 retryable = policy is not None and policy.is_retryable(exc)
+                tracer = getattr(engine, "tracer", None) \
+                    if engine is not None else None
                 if retryable and attempt < attempts:
                     if engine is not None:
                         engine.telemetry.count("jobs.retries")
+                    if tracer is not None:
+                        tracer.event("stage_retry", stage=job.name,
+                                     attempt=attempt,
+                                     exception_type=type(exc).__name__)
                     delay = policy.delay(attempt)
                     if delay > 0:
                         time.sleep(delay)
@@ -120,4 +135,7 @@ class JobGraph:
                 if engine is not None:
                     engine.telemetry.count("jobs.failed")
                     engine.telemetry.count(f"jobs.failed.{job.name}")
+                if tracer is not None:
+                    tracer.event("stage_failed", stage=job.name,
+                                 exception_type=type(exc).__name__)
                 raise

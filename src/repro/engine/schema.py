@@ -1,0 +1,149 @@
+"""Versioned schemas for ``engine.report()`` and the run manifest.
+
+The report and the manifest are machine-read surfaces: CI gates on them,
+benchmarks harvest them, and future BENCH_*.json tooling will parse them.
+Both therefore carry an explicit ``schema_version`` and this module is the
+single place the contract lives:
+
+* :data:`REPORT_SCHEMA_VERSION` / :data:`REQUIRED_REPORT_KEYS` — the shape
+  of :meth:`repro.engine.EvaluationEngine.report`;
+* :data:`MANIFEST_SCHEMA_VERSION` and ``run_manifest_schema.json`` (checked
+  in next to this module) — the shape of the per-run manifest;
+* :func:`validate` — a dependency-free validator for the JSON-Schema subset
+  the checked-in schema uses (no third-party ``jsonschema`` in the image).
+
+Bumping either version is a deliberate, reviewed act: change the constant,
+the schema file and the consumers in one commit, or CI's drift gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: Version of the dict returned by ``EvaluationEngine.report()``.
+#: v1 was the implicit pre-versioning shape (counters/timers/failures/
+#: executor/cache); v2 adds ``schema_version`` and ``spans``.
+REPORT_SCHEMA_VERSION = 2
+
+#: Version of the per-run manifest written by traced flows.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Keys every ``report()`` dict must contain, at any version >= 2.
+REQUIRED_REPORT_KEYS = (
+    "schema_version",
+    "counters",
+    "timers",
+    "failures",
+    "executor",
+    "cache",
+    "spans",
+)
+
+_SCHEMA_PATH = Path(__file__).with_name("run_manifest_schema.json")
+
+
+class SchemaError(ValueError):
+    """An instance does not match its declared schema."""
+
+
+def check_report(report: dict) -> None:
+    """Gate an ``engine.report()`` dict against the current contract.
+
+    Raises :class:`SchemaError` on version or required-key drift — the
+    check CI runs on the pulse-detector manifest so that a report-shape
+    change can never land silently.
+    """
+    if not isinstance(report, dict):
+        raise SchemaError(f"report must be a dict, got {type(report).__name__}")
+    missing = [k for k in REQUIRED_REPORT_KEYS if k not in report]
+    if missing:
+        raise SchemaError(f"report is missing required keys: {missing}")
+    version = report["schema_version"]
+    if version != REPORT_SCHEMA_VERSION:
+        raise SchemaError(
+            f"report schema_version {version!r} != expected "
+            f"{REPORT_SCHEMA_VERSION!r} (bump REPORT_SCHEMA_VERSION and the "
+            f"consumers together if this change is intentional)")
+    failures = report["failures"]
+    for key in ("total", "by_type", "records"):
+        if key not in failures:
+            raise SchemaError(f"report['failures'] missing {key!r}")
+
+
+def manifest_schema() -> dict:
+    """The checked-in JSON Schema for the run manifest."""
+    with open(_SCHEMA_PATH) as fh:
+        return json.load(fh)
+
+
+def validate_manifest(manifest: dict) -> None:
+    """Validate a run manifest against the checked-in JSON Schema."""
+    validate(manifest, manifest_schema())
+    check_report(manifest["report"])
+
+
+# ----------------------------------------------------------------------
+# Minimal JSON-Schema validator
+# ----------------------------------------------------------------------
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    expected = _TYPES[name]
+    if name in ("integer", "number") and isinstance(value, bool):
+        return False  # bool is an int subclass; schemas mean real numbers
+    return isinstance(value, expected)
+
+
+def validate(instance: Any, schema: dict, root: dict | None = None,
+             path: str = "$") -> None:
+    """Validate ``instance`` against the JSON-Schema subset we use.
+
+    Supported keywords: ``type`` (string or list), ``properties``,
+    ``required``, ``items``, ``enum``, ``const`` and ``$ref`` into
+    ``#/$defs/...``.  Raises :class:`SchemaError` naming the offending
+    path.  Deliberately not a general validator — it covers exactly what
+    ``run_manifest_schema.json`` needs, with zero dependencies.
+    """
+    root = root if root is not None else schema
+    ref = schema.get("$ref")
+    if ref is not None:
+        target: Any = root
+        for part in ref.lstrip("#/").split("/"):
+            target = target[part]
+        validate(instance, target, root, path)
+        return
+    if "const" in schema and instance != schema["const"]:
+        raise SchemaError(
+            f"{path}: expected const {schema['const']!r}, got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(
+            f"{path}: {instance!r} not in enum {schema['enum']!r}")
+    type_spec = schema.get("type")
+    if type_spec is not None:
+        names = [type_spec] if isinstance(type_spec, str) else list(type_spec)
+        if not any(_type_ok(instance, n) for n in names):
+            raise SchemaError(
+                f"{path}: expected type {'|'.join(names)}, got "
+                f"{type(instance).__name__}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in instance:
+                validate(instance[key], sub, root, f"{path}.{key}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate(item, schema["items"], root, f"{path}[{i}]")

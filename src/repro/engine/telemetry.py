@@ -95,16 +95,30 @@ class Telemetry:
                 if name.startswith(prefix) and name != "failures.total"}
 
     # -- aggregation ---------------------------------------------------
+    @staticmethod
+    def _failure_sort_key(failure) -> tuple:
+        return (failure.exception_type, failure.token or "",
+                failure.message, failure.attempts)
+
     def merge(self, other: "Telemetry") -> None:
+        """Fold another instance in, deterministically.
+
+        Counters and timers are commutative sums.  Failure records are
+        re-sorted by ``(exception_type, token, message, attempts)`` before
+        the bound is applied, so the merged record list — and therefore
+        any manifest built from it — is byte-stable no matter in which
+        order per-worker telemetries arrive (pool restarts reshuffle
+        arrival order, content does not change).
+        """
         for name, n in other.counters.items():
             self.count(name, n)
         for name, stat in other.timers.items():
             mine = self.timers.setdefault(name, TimerStat())
             mine.calls += stat.calls
             mine.total_s += stat.total_s
-        room = self.max_failure_records - len(self.failure_records)
-        if room > 0:
-            self.failure_records.extend(other.failure_records[:room])
+        combined = self.failure_records + list(other.failure_records)
+        combined.sort(key=self._failure_sort_key)
+        self.failure_records = combined[:self.max_failure_records]
 
     def reset(self) -> None:
         self.counters.clear()

@@ -34,9 +34,11 @@ from repro.layout.router import (
     route_placement,
     routed_cell,
 )
+from repro.engine.config import EngineConfig, resolve_flow_engine
 from repro.engine.core import EvaluationEngine
 from repro.engine.faults import RetryPolicy
 from repro.engine.jobs import JobGraph
+from repro.engine.trace import finish_run, span_if
 from repro.opt.anneal import AnnealSchedule
 from repro.synthesis.plan_library import default_plan_library
 
@@ -65,6 +67,7 @@ class CellDesign:
     area_um2: float
     log: list[str] = field(default_factory=list)
     telemetry: dict | None = None  # engine report, when a flow engine ran
+    manifest: dict | None = None   # run manifest, when the engine is traced
 
 
 def _measure(circuit: Circuit, output: str = "out") -> dict:
@@ -155,20 +158,51 @@ def _iteration_graph(plan, targets: dict, seed: int) -> JobGraph:
 def design_ota_cell(specs: SpecSet, seed: int = 1,
                     max_iterations: int = 3,
                     engine: EvaluationEngine | None = None,
-                    retry_policy: RetryPolicy | None = None) -> CellDesign:
+                    retry_policy: RetryPolicy | None = None,
+                    config: EngineConfig | None = None) -> CellDesign:
     """The full closed loop for the 5-transistor OTA.
 
     Sizing uses the design plan (fast, deterministic); re-iterations
     tighten the GBW target by the layout-induced degradation.  Each
     iteration runs as a :class:`repro.engine.JobGraph` (size → layout →
-    extract → verify); pass an ``engine`` to collect per-stage wall times
-    and counters in the returned design's ``telemetry``.  A
-    ``retry_policy`` grants each stage extra attempts when it fails with
-    a transient (retryable) error — a non-converging verify does not
-    abort the whole loop until its attempt budget is spent — and any
-    evaluation failures the engine recorded are summarized in the
-    design's log.
+    extract → verify).
+
+    Pass ``config=EngineConfig(...)`` to run through a freshly built
+    engine — with ``trace=True`` the whole flow runs under a ``cell_flow``
+    span (one ``iteration_<n>`` child per resynthesis pass, one
+    grandchild per stage) and the returned design carries the run
+    ``manifest``; with ``trace_dir`` set, ``manifest.json`` +
+    ``trace.jsonl`` are written there.  The legacy ``engine=`` /
+    ``retry_policy=`` kwargs still work (deprecated): per-stage wall
+    times and counters land in the design's ``telemetry``, and a retry
+    policy grants each stage extra attempts on transient failures.
     """
+    engine, retry_policy, owned = resolve_flow_engine(
+        engine, retry_policy, config, "design_ota_cell")
+    tracer = getattr(engine, "tracer", None) if engine is not None else None
+    status = "ok"
+    try:
+        with span_if(tracer, "cell_flow"):
+            design = _run_cell_loop(specs, seed, max_iterations, engine,
+                                    retry_policy, tracer)
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        if engine is not None:
+            manifest = finish_run("cell_flow", engine, seed=seed,
+                                  config=config, status=status)
+            if status == "ok":
+                design.manifest = manifest
+                design.telemetry = engine.report()
+            if owned:
+                engine.close()
+    return design
+
+
+def _run_cell_loop(specs: SpecSet, seed: int, max_iterations: int,
+                   engine: EvaluationEngine | None,
+                   retry_policy: RetryPolicy | None, tracer) -> CellDesign:
     plan = default_plan_library().get("five_transistor_ota")
     gbw_spec = _required(specs, "gbw")
     gain_spec = _required(specs, "gain", default=50.0)
@@ -188,7 +222,8 @@ def design_ota_cell(specs: SpecSet, seed: int = 1,
             "vdd": 3.3,
         }, seed)
         try:
-            stages = graph.run(engine, retry_policy=retry_policy)
+            with span_if(tracer, f"iteration_{iteration}"):
+                stages = graph.run(engine, retry_policy=retry_policy)
         except PlanError as exc:
             raise CellFlowError(f"sizing infeasible: {exc}") from exc
         sizes = stages["size"].sizes
@@ -211,8 +246,7 @@ def design_ota_cell(specs: SpecSet, seed: int = 1,
                 schematic=circuit, placement=placement, routing=routing,
                 layout_cell=cell, extracted_circuit=extracted,
                 pre_layout=pre, post_layout=post, iterations=iteration,
-                area_um2=box.area / 1e6, log=log,
-                telemetry=engine.report() if engine is not None else None)
+                area_um2=box.area / 1e6, log=log)
         # Closing the loop: scale the synthesis target by the observed
         # shortfall (model error + layout degradation) plus margin, then
         # resynthesize.

@@ -31,9 +31,11 @@ from repro.msystem.noise_constraints import (
     map_budget_to_segments,
 )
 from repro.msystem.powergrid import RailResult, RailSpec, synthesize_rail
+from repro.engine.config import EngineConfig, resolve_flow_engine
 from repro.engine.core import EvaluationEngine
 from repro.engine.faults import RetryPolicy
 from repro.engine.jobs import JobGraph
+from repro.engine.trace import finish_run, span_if
 from repro.opt.anneal import AnnealSchedule
 
 # Assumed ground capacitance per mm of chip-level wire for SNR budgeting.
@@ -54,6 +56,7 @@ class ChipPlan:
     channels: DetailedChannelReport | None = None
     log: list[str] = field(default_factory=list)
     telemetry: dict | None = None  # engine report, when a flow engine ran
+    manifest: dict | None = None   # run manifest, when the engine is traced
 
     def report(self) -> str:
         lines = [
@@ -131,16 +134,23 @@ def assemble_chip(blocks: list[Block], nets: list[SignalNet],
                   floorplan_schedule: AnnealSchedule | None = None,
                   noise_aware: bool = True,
                   engine: EvaluationEngine | None = None,
-                  retry_policy: RetryPolicy | None = None) -> ChipPlan:
+                  retry_policy: RetryPolicy | None = None,
+                  config: EngineConfig | None = None) -> ChipPlan:
     """Run the full system-assembly flow.
 
     The stages (floorplan → route → SNR mapping → channels → power) are
-    declared as a :class:`repro.engine.JobGraph`; pass an ``engine`` to
-    get per-stage wall times and counters in the plan's ``telemetry``.
-    A ``retry_policy`` grants each stage extra attempts on transient
-    (retryable) errors before the flow gives up, and any evaluation
-    failures the engine recorded are summarized in the plan's log.
+    declared as a :class:`repro.engine.JobGraph`.  Pass
+    ``config=EngineConfig(...)`` to run through a freshly built engine —
+    with ``trace=True`` the stages run under a ``chip_flow`` span and the
+    returned plan carries the run ``manifest`` (written to
+    ``config.trace_dir`` when set).  The legacy ``engine=`` /
+    ``retry_policy=`` kwargs still work (deprecated): per-stage wall
+    times and counters land in the plan's ``telemetry``, and a retry
+    policy grants each stage extra attempts on transient errors.
     """
+    engine, retry_policy, owned = resolve_flow_engine(
+        engine, retry_policy, config, "assemble_chip")
+    tracer = getattr(engine, "tracer", None) if engine is not None else None
     log: list[str] = []
     schedule = floorplan_schedule or AnnealSchedule(
         moves_per_temperature=120, cooling=0.88, max_evaluations=10000)
@@ -166,7 +176,20 @@ def assemble_chip(blocks: list[Block], nets: list[SignalNet],
               lambda r: synthesize_rail(r["floorplan"], rail_spec,
                                         seed=seed),
               deps=("floorplan",))
-    stages = graph.run(engine, retry_policy=retry_policy)
+    status = "ok"
+    try:
+        with span_if(tracer, "chip_flow"):
+            stages = graph.run(engine, retry_policy=retry_policy)
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        manifest = None
+        if engine is not None:
+            manifest = finish_run("chip_flow", engine, seed=seed,
+                                  config=config, status=status)
+            if owned and status != "ok":
+                engine.close()
 
     floorplan = stages["floorplan"]
     log.append(f"floorplan: area {floorplan.area / 1e12:.2f} mm^2, "
@@ -181,10 +204,14 @@ def assemble_chip(blocks: list[Block], nets: list[SignalNet],
                f"{channels.total_shields} shields")
     power = stages["power"]
     log.append(f"power grid feasible: {power.feasible}")
+    telemetry = None
     if engine is not None:
         summary = engine.failure_summary()
         if summary:
             log.append(summary)
+        telemetry = engine.report()
+        if owned:
+            engine.close()
     return ChipPlan(floorplan, routing, snr_budgets, segment_budgets,
                     power, channels, log,
-                    telemetry=engine.report() if engine is not None else None)
+                    telemetry=telemetry, manifest=manifest)

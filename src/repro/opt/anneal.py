@@ -145,6 +145,8 @@ class Annealer(Generic[State]):
     # ------------------------------------------------------------------
     def run(self, initial: State,
             temperature: float | None = None) -> AnnealResult[State]:
+        from repro.engine.trace import current_tracer
+        tracer = current_tracer()
         sched = self.schedule
         self.failures = 0
         current = self.copy_state(initial)
@@ -194,6 +196,14 @@ class Annealer(Generic[State]):
             stale = 0 if improved else stale + 1
             t *= sched.cooling
             temps += 1
+            if tracer is not None:
+                tracer.event("anneal_temperature", index=temps - 1,
+                             evaluations=evaluations, best_cost=best_cost,
+                             improved=improved, failures=self.failures)
+        if tracer is not None:
+            tracer.event("anneal_done", temperatures=temps,
+                         evaluations=evaluations, best_cost=best_cost,
+                         failures=self.failures)
         return AnnealResult(best, best_cost, evaluations, temps, history,
                             failures=self.failures)
 

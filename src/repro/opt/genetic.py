@@ -154,6 +154,8 @@ class GeneticOptimizer:
 
     def run(self, generations: int = 50,
             target: float | None = None) -> GaResult:
+        from repro.engine.trace import current_tracer
+        tracer = current_tracer()
         self.failures = 0
         pop = [self._random_genome() for _ in range(self.population)]
         scored = self._score(pop)
@@ -172,8 +174,16 @@ class GeneticOptimizer:
             scored = self._score(next_pop)
             evaluations += len(next_pop)
             history.append(scored[0][0])
+            if tracer is not None:
+                tracer.event("ga_generation", index=gen,
+                             evaluations=evaluations,
+                             best_fitness=scored[0][0],
+                             failures=self.failures)
             if target is not None and scored[0][0] <= target:
                 break
         best_fit, best = scored[0]
+        if tracer is not None:
+            tracer.event("ga_done", generations=gen, evaluations=evaluations,
+                         best_fitness=best_fit, failures=self.failures)
         return GaResult(best, best_fit, gen, evaluations, history,
                         failures=self.failures)

@@ -63,7 +63,9 @@ from repro.synthesis.plans import (
 from repro.synthesis.pulse_detector import (
     MANUAL_DESIGN,
     PulseDetectorDesign,
+    PulseDetectorRun,
     build_pulse_detector_circuit,
+    pulse_detector_flow,
     pulse_detector_performance,
     pulse_detector_space,
     pulse_detector_specs,
@@ -143,7 +145,9 @@ __all__ = [
     "TopologySelectionResult",
     "TwoStageDesign",
     "build_ota_plan",
+    "PulseDetectorRun",
     "build_pulse_detector_circuit",
+    "pulse_detector_flow",
     "build_two_stage_plan",
     "cascade_iip3_dbm",
     "cascade_noise_figure",

@@ -20,7 +20,10 @@ This module provides:
   (DONALD-ordered model inside simulated annealing);
 * :func:`build_pulse_detector_circuit` — a transistor/behavioural circuit
   of a sized design, used to *verify* peaking time and gain by transient
-  simulation of a detector charge impulse.
+  simulation of a detector charge impulse;
+* :func:`pulse_detector_flow` — the synthesize → verify → check pipeline
+  as a traced :class:`~repro.engine.jobs.JobGraph` run, producing the
+  per-run manifest CI archives for the Table 1 experiment.
 """
 
 from __future__ import annotations
@@ -284,6 +287,91 @@ def build_pulse_detector_circuit(design: PulseDetectorDesign,
                                     (0.0, q_injected / t_pulse, 0.2e-6,
                                      1e-10, 1e-10, t_pulse, 1.0)))
     return chain
+
+
+@dataclass
+class PulseDetectorRun:
+    """Outcome of :func:`pulse_detector_flow`."""
+
+    result: SizingResult
+    verification: dict[str, float]
+    check: dict[str, float]
+    manifest: dict | None
+    report: dict
+
+
+def pulse_detector_flow(seed: int = 1,
+                        schedule: AnnealSchedule | None = None,
+                        config=None,
+                        q_injected: float = 0.05e-15) -> PulseDetectorRun:
+    """Synthesize, simulate and check the Table 1 pulse detector, traced.
+
+    Three :class:`~repro.engine.jobs.JobGraph` stages under one flow span:
+
+    * ``synthesize`` — :func:`synthesize_pulse_detector` (annealing over
+      the analytic model);
+    * ``verify`` — transient simulation of the sized circuit
+      (:func:`verified_peaking_time`);
+    * ``check`` — model-vs-simulation agreement and spec satisfaction.
+
+    ``config`` is an :class:`~repro.engine.config.EngineConfig`; tracing
+    defaults on, and with ``config.trace_dir`` set the run writes
+    ``manifest.json`` + ``trace.jsonl`` there.
+    """
+    from repro.engine.config import EngineConfig
+    from repro.engine.core import EvaluationEngine
+    from repro.engine.jobs import JobGraph
+    from repro.engine.trace import finish_run, span_if
+
+    config = config if config is not None else EngineConfig(trace=True)
+    engine = EvaluationEngine.from_config(config)
+    specs = pulse_detector_specs()
+
+    def _synthesize(_results: dict) -> SizingResult:
+        return synthesize_pulse_detector(seed=seed, schedule=schedule)
+
+    def _verify(results: dict) -> dict[str, float]:
+        design = PulseDetectorDesign.from_sizes(results["synthesize"].sizes)
+        return verified_peaking_time(design, q_injected)
+
+    def _check(results: dict) -> dict[str, float]:
+        predicted = results["synthesize"].performance
+        measured = results["verify"]
+        rel_err = (abs(measured["peaking_time"] - predicted["peaking_time"])
+                   / predicted["peaking_time"])
+        return {
+            "peaking_time_rel_err": rel_err,
+            "feasible": float(results["synthesize"].feasible),
+            "specs_met": float(specs.all_satisfied(predicted)),
+        }
+
+    graph = JobGraph()
+    graph.add("synthesize", _synthesize)
+    graph.add("verify", _verify, deps=["synthesize"])
+    graph.add("check", _check, deps=["synthesize", "verify"])
+
+    status = "ok"
+    try:
+        with span_if(engine.tracer, "pulse_detector_flow"):
+            results = graph.run(engine=engine,
+                                retry_policy=config.retry_policy)
+    except Exception:
+        status = "error"
+        finish_run("pulse_detector_flow", engine, seed=seed, config=config,
+                   status=status)
+        engine.close()
+        raise
+    manifest = finish_run("pulse_detector_flow", engine, seed=seed,
+                          config=config, status=status)
+    report = engine.report()
+    engine.close()
+    return PulseDetectorRun(
+        result=results["synthesize"],
+        verification=results["verify"],
+        check=results["check"],
+        manifest=manifest,
+        report=report,
+    )
 
 
 def verified_peaking_time(design: PulseDetectorDesign,

@@ -31,9 +31,11 @@ from repro.analysis.noise import noise_analysis
 from repro.circuits.netlist import Circuit
 from repro.core.specs import SpecSet
 from repro.engine.cache import EvalCache, canonical_key
+from repro.engine.config import EngineConfig, resolve_flow_engine
 from repro.engine.core import EvaluationEngine
 from repro.engine.faults import is_failure
 from repro.engine.telemetry import Telemetry
+from repro.engine.trace import span_if
 from repro.opt.anneal import AnnealSchedule, anneal_continuous
 from repro.synthesis.equation_based import DesignSpace, SizingResult
 
@@ -212,7 +214,8 @@ class SimulationBasedSizer:
                  schedule: AnnealSchedule | None = None, seed: int = 1,
                  engine: EvaluationEngine | None = None,
                  batch_size: int = 1,
-                 max_failure_fraction: float = 0.5):
+                 max_failure_fraction: float = 0.5,
+                 config: EngineConfig | None = None):
         self.evaluator = evaluator
         self.space = space
         self.specs = specs
@@ -220,7 +223,10 @@ class SimulationBasedSizer:
         self.schedule = schedule or AnnealSchedule(
             moves_per_temperature=30, cooling=0.8, max_evaluations=2000)
         self.seed = seed
+        engine, _, self._owns_engine = resolve_flow_engine(
+            engine, None, config, "SimulationBasedSizer")
         self.engine = engine
+        self.config = config
         self.batch_size = batch_size
         self.evaluations = 0
         # Tolerated fraction of failed evaluations before the run itself
@@ -246,11 +252,14 @@ class SimulationBasedSizer:
             executor = _EngineBatch(self.engine, self.evaluator,
                                     self.space, cont.names, self.specs)
             failures_before = self.engine.failure_count()
+        tracer = getattr(self.engine, "tracer", None) \
+            if self.engine is not None else None
         t0 = time.perf_counter()
-        result = anneal_continuous(self.cost, cont, schedule=self.schedule,
-                                   seed=self.seed, x0=start,
-                                   executor=executor,
-                                   batch_size=self.batch_size)
+        with span_if(tracer, "sizing"):
+            result = anneal_continuous(self.cost, cont, schedule=self.schedule,
+                                       seed=self.seed, x0=start,
+                                       executor=executor,
+                                       batch_size=self.batch_size)
         runtime = time.perf_counter() - t0
         best = cont.to_dict(result.best_state)
         warnings: list[str] = []
@@ -281,6 +290,10 @@ class SimulationBasedSizer:
         else:
             sizes = self.space.complete(best)
             performance = self.evaluator(sizes)
+        if self._owns_engine:
+            # Config-built engines belong to the sizer: shut the executor
+            # down (report()/telemetry stay readable afterwards).
+            self.engine.close()
         return SizingResult(
             sizes=sizes,
             performance=performance,

@@ -1,0 +1,163 @@
+"""EngineConfig / EvaluationEngine.from_config and the kwarg migration.
+
+One typed config object replaces the scattered executor / cache /
+retry_policy / fault_injector / tracer kwargs.  The legacy spellings
+must keep working behind a ``DeprecationWarning``; mixing both in one
+call is an error.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    EngineConfig,
+    EvalCache,
+    EvaluationEngine,
+    FaultInjector,
+    ParallelExecutor,
+    RetryPolicy,
+    SerialExecutor,
+    Telemetry,
+    Tracer,
+)
+from repro.engine.config import resolve_flow_engine
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestBuildParts:
+    def test_default_is_serial_uncached_untraced(self):
+        engine = EvaluationEngine.from_config(EngineConfig())
+        assert isinstance(engine.executor, SerialExecutor)
+        assert engine.cache is None
+        assert engine.tracer is None
+        assert engine.config is not None
+
+    def test_parallel_shorthand(self):
+        config = EngineConfig(executor="parallel", workers=2, chunksize=3)
+        engine = EvaluationEngine.from_config(config)
+        try:
+            assert isinstance(engine.executor, ParallelExecutor)
+            assert engine.executor.workers == 2
+            assert engine.map_evaluate(_double, [1, 2, 3]) == [2, 4, 6]
+        finally:
+            engine.close()
+
+    def test_explicit_executor_instance_used_as_is(self):
+        executor = SerialExecutor()
+        engine = EvaluationEngine.from_config(EngineConfig(executor=executor))
+        assert engine.executor is executor
+
+    def test_unknown_executor_kind_rejected(self):
+        with pytest.raises(ValueError, match="serial"):
+            EngineConfig(executor="distributed").build_executor()
+
+    def test_cache_true_builds_fresh_cache(self):
+        config = EngineConfig(cache=True, cache_entries=7)
+        engine = EvaluationEngine.from_config(config)
+        assert isinstance(engine.cache, EvalCache)
+        assert engine.cache.max_entries == 7
+
+    def test_cache_instance_shared(self):
+        cache = EvalCache()
+        a = EvaluationEngine.from_config(EngineConfig(cache=cache))
+        b = EvaluationEngine.from_config(EngineConfig(cache=cache))
+        a.map_evaluate(_double, [5], key_fn=str)
+        b.map_evaluate(_double, [5], key_fn=str)
+        assert b.report()["counters"]["engine.cache_hits"] == 1
+
+    def test_retry_and_faults_installed_on_executor(self):
+        policy = RetryPolicy(max_attempts=3)
+        injector = FaultInjector(rate=0.0, seed=1)
+        engine = EvaluationEngine.from_config(
+            EngineConfig(retry_policy=policy, fault_injector=injector))
+        assert engine.executor.retry_policy is policy
+        assert engine.executor.fault_injector is injector
+
+
+class TestTracerWiring:
+    def test_trace_true_builds_tracer_sharing_telemetry(self):
+        engine = EvaluationEngine.from_config(EngineConfig(trace=True))
+        assert isinstance(engine.tracer, Tracer)
+        assert engine.tracer.telemetry is engine.telemetry
+
+    def test_explicit_tracer_wins(self):
+        tracer = Tracer()
+        engine = EvaluationEngine.from_config(EngineConfig(tracer=tracer))
+        assert engine.tracer is tracer
+        assert tracer.telemetry is engine.telemetry
+
+    def test_trace_dir_implies_trace(self, tmp_path):
+        config = EngineConfig(trace_dir=tmp_path)
+        engine = EvaluationEngine.from_config(config)
+        assert engine.tracer is not None
+        assert config.describe()["trace"] is True
+
+    def test_explicit_telemetry_respected(self):
+        telemetry = Telemetry()
+        engine = EvaluationEngine.from_config(
+            EngineConfig(telemetry=telemetry, trace=True))
+        assert engine.telemetry is telemetry
+        assert engine.tracer.telemetry is telemetry
+
+
+class TestDescribe:
+    def test_describe_is_json_safe(self, tmp_path):
+        config = EngineConfig(
+            executor="parallel", workers=4, cache=True,
+            disk_cache_dir=tmp_path / "cache",
+            retry_policy=RetryPolicy(max_attempts=2, timeout_s=1.5),
+            fault_injector=FaultInjector(rate=0.2, seed=9),
+            trace_dir=tmp_path / "runs")
+        desc = config.describe()
+        round_tripped = json.loads(json.dumps(desc, sort_keys=True))
+        assert round_tripped == desc
+        assert desc["executor"] == "parallel"
+        assert desc["retry_policy"]["max_attempts"] == 2
+        assert desc["fault_injector"]["rate"] == 0.2
+
+    def test_describe_names_executor_instances(self):
+        desc = EngineConfig(executor=SerialExecutor()).describe()
+        assert desc["executor"] == "SerialExecutor"
+
+
+class TestDeprecationShims:
+    def test_legacy_engine_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="from_config"):
+            engine = EvaluationEngine(retry_policy=RetryPolicy())
+        assert engine.executor.retry_policy is not None
+        with pytest.warns(DeprecationWarning, match="from_config"):
+            EvaluationEngine(fault_injector=FaultInjector(rate=0.0, seed=1))
+
+    def test_plain_constructor_does_not_warn(self):
+        import warnings as _w
+        with _w.catch_warnings():
+            _w.simplefilter("error", DeprecationWarning)
+            EvaluationEngine(cache=EvalCache())
+
+    def test_resolve_flow_engine_warns_on_legacy_kwargs(self):
+        engine = EvaluationEngine()
+        with pytest.warns(DeprecationWarning, match="my_flow"):
+            got, policy, owned = resolve_flow_engine(engine, None, None,
+                                                     "my_flow")
+        assert got is engine and owned is False
+
+    def test_resolve_flow_engine_builds_owned_engine_from_config(self):
+        policy = RetryPolicy(max_attempts=4)
+        engine, got_policy, owned = resolve_flow_engine(
+            None, None, EngineConfig(retry_policy=policy), "my_flow")
+        assert owned is True
+        assert got_policy is policy
+        assert engine.config is not None
+
+    def test_config_plus_legacy_kwargs_is_an_error(self):
+        with pytest.raises(ValueError, match="not both"):
+            resolve_flow_engine(EvaluationEngine(), None, EngineConfig(),
+                                "my_flow")
+
+    def test_no_engine_no_config_passes_through(self):
+        engine, policy, owned = resolve_flow_engine(None, None, None, "f")
+        assert engine is None and policy is None and owned is False
