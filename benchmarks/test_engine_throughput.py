@@ -12,11 +12,23 @@ Thresholds are deliberately tolerant for CI: the warm run must do zero
 new simulator evaluations and be at least 2× faster wall-clock.
 """
 
+import math
 import time
 
+import numpy as np
 from conftest import report
 
-from repro.circuits.library import five_transistor_ota
+from repro.analysis import noise_analysis, small_signal_system
+from repro.analysis.noise import _noise_injections
+from repro.circuits.library import five_transistor_ota, rc_ladder
+from repro.msystem.powergrid import (
+    DECAP_PER_AMP,
+    PACKAGE_L,
+    PACKAGE_R,
+    SWITCH_RISE_S,
+    GridSegment,
+    PowerGrid,
+)
 from repro.core.specs import Spec, SpecSet
 from repro.engine import EngineConfig, EvalCache, EvaluationEngine, \
     SerialExecutor
@@ -122,3 +134,160 @@ def test_tracing_overhead_on_warm_cache_path():
         ("overhead", "< 5%", f"{overhead * 100:+.1f}%"),
     ])
     assert min(traced_s) <= min(untraced_s) * 1.05 + 0.1
+
+
+# ----------------------------------------------------------------------
+# solver layer: factor-once/solve-many vs the seed dense path
+# ----------------------------------------------------------------------
+
+def _seed_ac_noise_sweep(ss, iout, freqs):
+    """The pre-solver-layer path, replicated verbatim: every solve pays
+    its own dense LU (``np.linalg.solve``) and rebuilds ``G + jωC`` —
+    one LU for the AC response, one for the noise adjoint, one for the
+    noise gain, per frequency."""
+    injections = _noise_injections(ss)
+    e = np.zeros(ss.system.size, dtype=complex)
+    e[iout] = 1.0
+    response = np.zeros(len(freqs), dtype=complex)
+    psd = np.zeros(len(freqs))
+    gain = np.zeros(len(freqs))
+    for k, f in enumerate(freqs):
+        s = 2j * math.pi * f
+        response[k] = np.linalg.solve(ss.G + s * ss.C, ss.b_ac)[iout]
+        A = ss.G + s * ss.C
+        z = np.linalg.solve(A.T.conj(), e)
+        total = 0.0
+        for a, b, psd_fn in injections.values():
+            za = z[a] if a >= 0 else 0.0
+            zb = z[b] if b >= 0 else 0.0
+            total += abs(np.conj(za - zb)) ** 2 * psd_fn(f)
+        psd[k] = total
+        gain[k] = abs(np.linalg.solve(ss.G + s * ss.C, ss.b_ac)[iout])
+    return response, psd, gain
+
+
+def test_noise_sweep_solver_speedup():
+    """AC response + noise sweep: one factorization per frequency (shared
+    through the SmallSignalSystem's cache) vs three seed dense LUs."""
+    ckt = rc_ladder(360)
+    out = "n360"
+    freqs = np.logspace(3, 9, 24)
+
+    ss_seed = small_signal_system(ckt)
+    iout = ss_seed.system.node(out)
+    t0 = time.perf_counter()
+    r_seed, psd_seed, gain_seed = _seed_ac_noise_sweep(ss_seed, iout, freqs)
+    seed_s = time.perf_counter() - t0
+
+    ss = small_signal_system(ckt)
+    t0 = time.perf_counter()
+    r_new = np.array([ss.solve_at(f)[iout] for f in freqs])
+    nres = noise_analysis(ckt, out, freqs, op=ss.op, ss=ss)
+    new_s = time.perf_counter() - t0
+
+    np.testing.assert_allclose(r_new, r_seed, rtol=1e-9)
+    np.testing.assert_allclose(nres.output_psd, psd_seed, rtol=1e-9)
+    np.testing.assert_allclose(nres.gain, gain_seed, rtol=1e-9)
+
+    speedup = seed_s / max(new_s, 1e-9)
+    report("solver layer: AC + noise sweep (rc_ladder(360), 24 freqs)", [
+        ("seed path (3 dense LUs per freq)", "--", f"{seed_s:.3f} s"),
+        ("solver path (1 LU + 3 solves per freq)", "--", f"{new_s:.3f} s"),
+        ("factorizations", str(len(freqs)), str(ss._factors.misses)),
+        ("speedup", ">= 3x", f"{speedup:.1f}x"),
+    ])
+    assert ss._factors.misses == len(freqs)
+    assert speedup >= 3.0
+
+
+def _mesh_grid(nx: int, ny: int, width_nm: int = 10_000) -> PowerGrid:
+    """Synthetic nx-by-ny mesh power grid: pads at corners, loads inside."""
+    def node(i, j):
+        return i * ny + j
+
+    segments = []
+    for i in range(nx):
+        for j in range(ny):
+            if i + 1 < nx:
+                segments.append(GridSegment(
+                    f"h_{i}_{j}", node(i, j), node(i + 1, j),
+                    50_000, width_nm))
+            if j + 1 < ny:
+                segments.append(GridSegment(
+                    f"v_{i}_{j}", node(i, j), node(i, j + 1),
+                    50_000, width_nm))
+    names = [f"n{i}_{j}" for i in range(nx) for j in range(ny)]
+    pads = [node(0, 0), node(0, ny - 1), node(nx - 1, 0),
+            node(nx - 1, ny - 1)]
+    loads = {node(i, j): 1e-3 * (1 + (i * ny + j) % 5)
+             for i in range(1, nx - 1) for j in range(1, ny - 1)}
+    peaks = {n: 5e-3 for n in list(loads)[::3]}
+    return PowerGrid(segments, names, pads, loads, peaks,
+                     analog_nodes=[node(nx // 2, ny // 2)])
+
+
+def _seed_grid_metrics(grid):
+    """The seed metric set, replicated verbatim: each metric re-assembles
+    the dense conductance matrix and pays its own ``np.linalg.solve``."""
+    def dc_solve():
+        n = grid.n_nodes
+        G = np.zeros((n, n))
+        for seg in grid.segments:
+            g = 1.0 / seg.resistance
+            a, b = seg.node_a, seg.node_b
+            G[a, a] += g
+            G[b, b] += g
+            G[a, b] -= g
+            G[b, a] -= g
+        for pad in grid.pad_nodes:
+            G[pad, pad] += 1.0 / PACKAGE_R
+        b = np.zeros(n)
+        for pad in grid.pad_nodes:
+            b[pad] += grid.vdd / PACKAGE_R
+        for node, current in grid.load_currents.items():
+            b[node] -= current
+        return np.linalg.solve(G, b)
+
+    v = dc_solve()
+    ir = max(grid.vdd - v[node] for node in grid.load_currents)
+    v = dc_solve()
+    em = [seg.name for seg in grid.segments
+          if abs(v[seg.node_a] - v[seg.node_b]) / seg.resistance
+          > seg.em_current_limit()]
+    v = dc_solve()
+    total_peak = sum(grid.peak_currents.values())
+    di_dt = total_peak / SWITCH_RISE_S
+    l_eff = PACKAGE_L / max(len(grid.pad_nodes), 1)
+    c_total = sum(DECAP_PER_AMP * p for p in grid.peak_currents.values())
+    sag = total_peak * SWITCH_RISE_S / max(c_total, 1e-15)
+    resistive = max(grid.vdd - v[node] for node in grid.load_currents)
+    bound = min(l_eff * di_dt, sag) + resistive
+    return ir, em, bound
+
+
+def test_power_grid_solver_speedup():
+    """40x40 mesh (1600 nodes): sparse factor-once + memoized dc_solve vs
+    three seed dense assemble-and-solve passes."""
+    grid = _mesh_grid(40, 40)
+    t0 = time.perf_counter()
+    ir_seed, em_seed, bound_seed = _seed_grid_metrics(grid)
+    seed_s = time.perf_counter() - t0
+
+    grid_new = _mesh_grid(40, 40)
+    t0 = time.perf_counter()
+    ir = grid_new.worst_ir_drop()
+    em = grid_new.em_violations()
+    bound = grid_new._droop_bound(grid_new.analog_nodes[0])
+    new_s = time.perf_counter() - t0
+
+    np.testing.assert_allclose(ir, ir_seed, rtol=1e-9)
+    assert em == em_seed
+    np.testing.assert_allclose(bound, bound_seed, rtol=1e-9)
+
+    speedup = seed_s / max(new_s, 1e-9)
+    report("solver layer: power-grid metric set (40x40 mesh, 1600 nodes)", [
+        ("seed path (3 dense assemble+solve)", "--", f"{seed_s:.3f} s"),
+        ("solver path (1 sparse LU, memoized)", "--", f"{new_s:.3f} s"),
+        ("speedup", ">= 5x", f"{speedup:.0f}x"),
+    ])
+    assert speedup >= 5.0

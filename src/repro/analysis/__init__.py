@@ -54,6 +54,13 @@ from repro.analysis.sensitivity import (
     finite_difference_sensitivities,
     normalized,
 )
+from repro.analysis import solver
+from repro.analysis.solver import (
+    FactorizationCache,
+    FactorizedOperator,
+    factorize,
+    solve_once,
+)
 from repro.analysis.transient import TransientResult, transient
 from repro.analysis import api
 from repro.analysis.api import (
@@ -91,6 +98,11 @@ __all__ = [
     "AcSensitivity",
     "BodeMetrics",
     "ConvergenceError",
+    "FactorizationCache",
+    "FactorizedOperator",
+    "factorize",
+    "solve_once",
+    "solver",
     "MnaSystem",
     "MosOperatingPoint",
     "NoiseResult",

@@ -9,7 +9,7 @@ matrices feed the AWE engine (:mod:`repro.awe`) and the noise analysis.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -18,44 +18,59 @@ from repro.analysis.mna import (
     MnaSystem,
     SingularCircuitError,
     mos_capacitances,
-    solve_dense,
 )
+from repro.analysis.solver import FactorizationCache, FactorizedOperator
 from repro.circuits.devices import THERMAL_VOLTAGE, Diode, Mosfet
 from repro.circuits.netlist import Circuit
 
 
 @dataclass
 class SmallSignalSystem:
-    """Linearized MNA matrices at one operating point."""
+    """Linearized MNA matrices at one operating point.
+
+    Holds a per-system :class:`~repro.analysis.solver.FactorizationCache`
+    keyed by frequency: the first solve at a frequency LU-factorizes
+    ``G + jωC`` once, and every later solve at that frequency — the AC
+    response, the noise adjoint, every injection transfer, the
+    sensitivity adjoint — reuses the same factorization.
+    """
 
     system: MnaSystem
     G: np.ndarray
     C: np.ndarray
     b_ac: np.ndarray
     op: OperatingPoint
+    _factors: FactorizationCache = field(
+        default_factory=FactorizationCache, repr=False, compare=False)
 
     def node(self, net: str) -> int:
         return self.system.node(net)
 
+    def factorized_at(self, freq_hz: float) -> FactorizedOperator:
+        """The (cached) LU factorization of ``G + jωC`` at one frequency."""
+        f = float(freq_hz)
+        return self._factors.get_or_factorize(
+            f, lambda: self.G + (2j * math.pi * f) * self.C)
+
     def solve_at(self, freq_hz: float) -> np.ndarray:
-        s = 2j * math.pi * freq_hz
-        return solve_dense(self.G + s * self.C, self.b_ac)
+        return self.factorized_at(freq_hz).solve(self.b_ac)
 
     def transfer_from_current(self, inject_plus: str, inject_minus: str,
                               out: str, freq_hz: float) -> complex:
         """V(out) per unit AC current injected between two nets.
 
-        Used by the noise analysis; solves the adjoint system so all
-        injection transfers at one frequency share a single factorization.
+        Used by the noise analysis; solves the adjoint system through
+        the per-frequency factorization cache, so all injection
+        transfers at one frequency genuinely share a single
+        factorization (the seed code claimed this but re-built and
+        re-factored ``G + sC`` on every call).
         """
-        s = 2j * math.pi * freq_hz
-        A = self.G + s * self.C
         e = np.zeros(self.system.size, dtype=complex)
         iout = self.node(out)
         if iout < 0:
             return 0.0 + 0.0j
         e[iout] = 1.0
-        z = solve_dense(A.T, e)
+        z = self.factorized_at(freq_hz).solve_transpose(e)
         ip, im = self.node(inject_plus), self.node(inject_minus)
         zp = z[ip] if ip >= 0 else 0.0
         zm = z[im] if im >= 0 else 0.0

@@ -23,8 +23,8 @@ from repro.analysis.mna import (
     MnaSystem,
     MosOperatingPoint,
     SingularCircuitError,
-    solve_dense,
 )
+from repro.analysis import solver as _solver
 from repro.circuits.devices import CurrentSource, Mosfet, VoltageSource
 from repro.circuits.netlist import Circuit
 
@@ -135,17 +135,34 @@ def _package(system: MnaSystem, x: np.ndarray, iterations: int) -> OperatingPoin
 def _newton(system: MnaSystem, G_lin: np.ndarray, b: np.ndarray,
             x0: np.ndarray, gmin_extra: float = 0.0,
             max_iter: int = MAX_NR_ITERATIONS):
-    """Damped NR iteration.  Returns (x, iterations, converged)."""
+    """Damped NR iteration.  Returns (x, iterations, converged).
+
+    Routes every solve through :mod:`repro.analysis.solver`.  For a
+    purely linear circuit the Jacobian never changes, so the LU
+    factorization is computed once and reused by every iteration;
+    nonlinear circuits re-stamp and re-factor per iteration as Newton
+    requires.
+    """
     x = x0.copy()
     n_nodes = len(system.node_names)
+    linear_only = not system.nonlinear
+    base_op = None
     for it in range(1, max_iter + 1):
-        A = G_lin.copy()
         rhs = b.copy()
-        if gmin_extra:
-            A[:n_nodes, :n_nodes] += np.eye(n_nodes) * gmin_extra
-        system.stamp_nonlinear(x, A, rhs)
         try:
-            x_new = solve_dense(A, rhs)
+            if linear_only:
+                if base_op is None:
+                    A = G_lin.copy()
+                    if gmin_extra:
+                        A[:n_nodes, :n_nodes] += np.eye(n_nodes) * gmin_extra
+                    base_op = _solver.factorize(A)
+                x_new = base_op.solve(rhs)
+            else:
+                A = G_lin.copy()
+                if gmin_extra:
+                    A[:n_nodes, :n_nodes] += np.eye(n_nodes) * gmin_extra
+                system.stamp_nonlinear(x, A, rhs)
+                x_new = _solver.solve_once(A, rhs)
         except SingularCircuitError:
             return x, it, False
         delta = x_new - x

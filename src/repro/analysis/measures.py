@@ -15,7 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.ac import ac_analysis, bode_metrics, logspace_frequencies
-from repro.analysis.dcop import dc_operating_point
+from repro.analysis.dcop import ConvergenceError, dc_operating_point
+from repro.analysis.mna import SingularCircuitError
 from repro.analysis.transient import transient
 from repro.circuits.devices import Waveform
 from repro.circuits.netlist import Circuit
@@ -95,7 +96,11 @@ def output_swing(circuit: Circuit, bias: float = 1.5,
         sweep_tb.update_device("tb_vip", dc=bias + off)
         try:
             outs.append(dc_operating_point(sweep_tb).v(output))
-        except Exception:
+        except (ConvergenceError, SingularCircuitError):
+            # Expected numerical failures at extreme sweep points: record
+            # a gap and keep sweeping.  Anything else (KeyError on a bad
+            # port name, TypeError, ...) is a programming error and must
+            # propagate instead of silently reading as "no swing here".
             outs.append(float("nan"))
     outs_arr = np.array(outs)
     gains = np.abs(np.gradient(outs_arr, offsets))

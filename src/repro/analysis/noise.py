@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.analysis.ac import SmallSignalSystem, small_signal_system
 from repro.analysis.dcop import OperatingPoint
-from repro.analysis.mna import solve_dense
 from repro.circuits.devices import BOLTZMANN, ROOM_TEMP_K, Mosfet, Resistor
 from repro.circuits.netlist import Circuit
 
@@ -100,16 +99,18 @@ def _noise_analysis_impl(circuit: Circuit, out: str, freqs: np.ndarray,
     e = np.zeros(system.size, dtype=complex)
     e[iout] = 1.0
     for k, f in enumerate(freqs):
-        s = 2j * math.pi * f
-        A = ss.G + s * ss.C
-        z = solve_dense(A.T.conj(), e)  # adjoint solution
+        # One factorization of G + jωC per frequency serves the adjoint
+        # solve (all injections at once) and the gain solve — and is
+        # shared with any AC sweep over the same SmallSignalSystem.
+        op = ss.factorized_at(f)
+        z = op.solve_adjoint(e)  # adjoint solution
         for key, (a, b, psd_fn) in injections.items():
             za = z[a] if a >= 0 else 0.0
             zb = z[b] if b >= 0 else 0.0
             h2 = abs(np.conj(za - zb)) ** 2
             psd_per[key][k] = h2 * psd_fn(f)
         if has_input:
-            x = solve_dense(A, ss.b_ac)
+            x = op.solve(ss.b_ac)
             gain[k] = abs(x[iout])
 
     contributions = [

@@ -21,7 +21,6 @@ from typing import Callable
 import numpy as np
 
 from repro.analysis.ac import SmallSignalSystem
-from repro.analysis.mna import solve_dense
 from repro.circuits.devices import Capacitor, Resistor
 from repro.circuits.netlist import Circuit
 
@@ -103,11 +102,13 @@ def ac_adjoint_sensitivities(ss: SmallSignalSystem, out: str,
     if iout < 0:
         raise ValueError("output cannot be ground")
     s = 2j * math.pi * freq_hz
-    A = ss.G + s * ss.C
-    x = solve_dense(A, ss.b_ac)
+    # One factorization (shared with AC/noise sweeps at this frequency)
+    # serves both the forward and the adjoint solve.
+    op = ss.factorized_at(freq_hz)
+    x = op.solve(ss.b_ac)
     e = np.zeros(system.size, dtype=complex)
     e[iout] = 1.0
-    z = solve_dense(A.T, e)
+    z = op.solve_transpose(e)
     v_out = x[iout]
     results: list[AcSensitivity] = []
     for dev in system.circuit.devices:

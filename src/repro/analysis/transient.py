@@ -19,8 +19,10 @@ from repro.analysis.dcop import (
     dc_operating_point,
 )
 from repro.analysis.mna import MnaSystem, SingularCircuitError, solve_dense
+from repro.analysis.solver import FactorizationCache
 from repro.circuits.devices import CurrentSource, VoltageSource
 from repro.circuits.netlist import Circuit
+from repro.engine.trace import current_tracer
 
 
 @dataclass
@@ -101,16 +103,21 @@ def _transient_impl(circuit: Circuit, t_stop: float, dt: float,
     t = 0.0
     step = dt
     first_step = True
+    # For circuits with an empty nonlinear stamp the theta-method matrix
+    # G + (theta/h)·C depends only on (h, scheme): factor it once and
+    # reuse it across every Newton iteration and timestep.  Nonlinear
+    # circuits fall back transparently to per-iteration factorization.
+    factors = FactorizationCache() if not system.nonlinear else None
     while t < t_stop - 1e-15 * t_stop:
         h = min(step, t_stop - t)
         ok, x_new = _step(system, G, C, sources, x, t, h,
-                          backward_euler=first_step)
+                          backward_euler=first_step, factors=factors)
         halvings = 0
         while not ok and halvings < max_halvings:
             h /= 2.0
             halvings += 1
             ok, x_new = _step(system, G, C, sources, x, t, h,
-                              backward_euler=True)
+                              backward_euler=True, factors=factors)
         if not ok:
             raise ConvergenceError(
                 f"transient step at t={t:.4g}s failed after "
@@ -155,10 +162,33 @@ def _rhs_at_time(system: MnaSystem, sources, t: float) -> np.ndarray:
     return b
 
 
+def _newton_nonconv(t: float, h: float) -> None:
+    """Count an exhausted Newton loop on the active tracer.
+
+    A step that burns through all 60 iterations used to return
+    ``(False, x)`` with no trace: the integrator either silently halved
+    the step or raised much later with no record of *where* Newton
+    struggled.  The counter (``analysis.newton_nonconv``) flows into
+    ``engine.report()`` and the run manifest like every other
+    ``analysis.*`` counter.
+    """
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.count("analysis.newton_nonconv")
+
+
 def _step(system: MnaSystem, G: np.ndarray, C: np.ndarray, sources,
           x0: np.ndarray, t: float, h: float,
-          backward_euler: bool) -> tuple[bool, np.ndarray]:
-    """One theta-method step; returns (converged, x_new)."""
+          backward_euler: bool,
+          factors: FactorizationCache | None = None
+          ) -> tuple[bool, np.ndarray]:
+    """One theta-method step; returns (converged, x_new).
+
+    ``factors`` (only passed for circuits with no nonlinear devices)
+    caches the LU factorization of ``G + (theta/h)·C`` keyed by
+    ``(h, scheme)`` so repeated timesteps — and repeated halvings to the
+    same ``h`` — skip straight to the triangular solves.
+    """
     b1 = _rhs_at_time(system, sources, t + h)
     if backward_euler:
         # (G + C/h + J) x1 = b1 + C/h·x0 + NR terms
@@ -171,12 +201,22 @@ def _step(system: MnaSystem, G: np.ndarray, C: np.ndarray, sources,
         mat_c = 2.0 * C / h
     x = x0.copy()
     n_nodes = len(system.node_names)
-    for _ in range(60):
-        A = G + mat_c
-        rhs = const.copy()
-        system.stamp_nonlinear(x, A, rhs)
+    base_op = None
+    if factors is not None:
         try:
-            x_new = solve_dense(A, rhs)
+            base_op = factors.get_or_factorize(
+                (h, backward_euler), lambda: G + mat_c)
+        except SingularCircuitError:
+            return False, x
+    for _ in range(60):
+        rhs = const.copy()
+        try:
+            if base_op is not None:
+                x_new = base_op.solve(rhs)
+            else:
+                A = G + mat_c
+                system.stamp_nonlinear(x, A, rhs)
+                x_new = solve_dense(A, rhs)
         except SingularCircuitError:
             return False, x
         delta = x_new - x
@@ -187,4 +227,5 @@ def _step(system: MnaSystem, G: np.ndarray, C: np.ndarray, sources,
         x = x + delta
         if _converged(delta, x, n_nodes):
             return True, x
+    _newton_nonconv(t, h)
     return False, x

@@ -13,21 +13,28 @@ evaluator [Pillage & Rohrer 1990].
 from __future__ import annotations
 
 import numpy as np
-import scipy.linalg as sla
+import scipy.sparse as sp
 
 from repro.analysis.mna import SingularCircuitError
+from repro.analysis.solver import factorize
 
 
 class MomentEngine:
-    """Factorizes G once and produces state moment vectors on demand."""
+    """Factorizes G once and produces state moment vectors on demand.
 
-    def __init__(self, G: np.ndarray, C: np.ndarray, b: np.ndarray):
-        self.G = np.asarray(G, dtype=float)
-        self.C = np.asarray(C, dtype=float)
+    The factorization goes through the shared solver layer
+    (:mod:`repro.analysis.solver`), which auto-selects dense LU for
+    cell-level MNA and sparse LU for the thousands-of-nodes power grids
+    RAIL evaluates; ``G`` and ``C`` may each be dense or scipy-sparse.
+    """
+
+    def __init__(self, G, C, b: np.ndarray):
+        self.G = G if sp.issparse(G) else np.asarray(G, dtype=float)
+        self.C = C if sp.issparse(C) else np.asarray(C, dtype=float)
         self.b = np.asarray(b, dtype=float)
         try:
-            self._lu = sla.lu_factor(self.G)
-        except (ValueError, sla.LinAlgError) as exc:
+            self._op = factorize(self.G)
+        except (ValueError, SingularCircuitError) as exc:
             raise SingularCircuitError("G matrix is singular") from exc
         self._states: list[np.ndarray] = []
 
@@ -35,9 +42,9 @@ class MomentEngine:
         """k-th moment state vector x_k (cached)."""
         while len(self._states) <= k:
             if not self._states:
-                nxt = sla.lu_solve(self._lu, self.b)
+                nxt = self._op.solve(self.b)
             else:
-                nxt = sla.lu_solve(self._lu, -self.C @ self._states[-1])
+                nxt = self._op.solve(-(self.C @ self._states[-1]))
             if not np.all(np.isfinite(nxt)):
                 raise SingularCircuitError("moment recursion diverged")
             self._states.append(nxt)

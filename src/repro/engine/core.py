@@ -28,7 +28,7 @@ from repro.engine import trace as _trace
 from repro.engine.cache import EvalCache
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.faults import FaultInjector, RetryPolicy, is_failure
-from repro.engine.schema import REPORT_SCHEMA_VERSION
+from repro.engine.schema import REPORT_SCHEMA_VERSION, solver_rollup
 from repro.engine.telemetry import Telemetry
 from repro.engine.trace import Tracer
 
@@ -265,7 +265,9 @@ class EvaluationEngine:
         Schema v2: ``schema_version`` + ``counters`` / ``timers`` /
         ``failures`` (from telemetry) + ``executor`` / ``cache``
         descriptions + ``spans`` (the tracer's span tree, ``[]`` when the
-        engine runs untraced).
+        engine runs untraced).  Schema v3 adds ``solver``: the rollup of
+        the ``solver.*`` counters emitted by the shared factor-once/
+        solve-many layer (:mod:`repro.analysis.solver`).
         """
         out = self.telemetry.report()
         out["schema_version"] = REPORT_SCHEMA_VERSION
@@ -273,6 +275,7 @@ class EvaluationEngine:
         out["cache"] = self.cache.report() if self.cache is not None else None
         out["spans"] = (self.tracer.span_tree()
                         if self.tracer is not None else [])
+        out["solver"] = solver_rollup(out["counters"])
         return out
 
     def close(self) -> None:

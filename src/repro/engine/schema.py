@@ -24,11 +24,13 @@ from typing import Any
 
 #: Version of the dict returned by ``EvaluationEngine.report()``.
 #: v1 was the implicit pre-versioning shape (counters/timers/failures/
-#: executor/cache); v2 adds ``schema_version`` and ``spans``.
-REPORT_SCHEMA_VERSION = 2
+#: executor/cache); v2 adds ``schema_version`` and ``spans``; v3 adds
+#: ``solver`` (rollup of the shared linear-solver layer's counters).
+REPORT_SCHEMA_VERSION = 3
 
 #: Version of the per-run manifest written by traced flows.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 adds the ``solver_*`` rollups sourced from report["solver"].
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Keys every ``report()`` dict must contain, at any version >= 2.
 REQUIRED_REPORT_KEYS = (
@@ -39,7 +41,40 @@ REQUIRED_REPORT_KEYS = (
     "executor",
     "cache",
     "spans",
+    "solver",
 )
+
+#: Keys of the ``report["solver"]`` section (schema v3).
+REQUIRED_SOLVER_KEYS = (
+    "factorizations",
+    "dense",
+    "sparse",
+    "solves",
+    "cache_hits",
+    "cache_misses",
+    "hit_rate",
+)
+
+
+def solver_rollup(counters: dict) -> dict:
+    """Fold the ``solver.*`` telemetry counters into the report section.
+
+    All-zero (with ``hit_rate`` None) when a run never touched the
+    linear-solver layer — the section is always present so consumers
+    never need an existence check.
+    """
+    hits = int(counters.get("solver.cache_hits", 0))
+    misses = int(counters.get("solver.cache_misses", 0))
+    looked_up = hits + misses
+    return {
+        "factorizations": int(counters.get("solver.factorizations", 0)),
+        "dense": int(counters.get("solver.factor_dense", 0)),
+        "sparse": int(counters.get("solver.factor_sparse", 0)),
+        "solves": int(counters.get("solver.solves", 0)),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": (hits / looked_up) if looked_up else None,
+    }
 
 _SCHEMA_PATH = Path(__file__).with_name("run_manifest_schema.json")
 
@@ -70,6 +105,11 @@ def check_report(report: dict) -> None:
     for key in ("total", "by_type", "records"):
         if key not in failures:
             raise SchemaError(f"report['failures'] missing {key!r}")
+    solver = report["solver"]
+    missing_solver = [k for k in REQUIRED_SOLVER_KEYS if k not in solver]
+    if missing_solver:
+        raise SchemaError(
+            f"report['solver'] missing keys: {missing_solver}")
 
 
 def manifest_schema() -> dict:

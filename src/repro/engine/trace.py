@@ -314,6 +314,9 @@ def build_manifest(flow: str, engine, seed: int | None = None,
             "retries": int(report["executor"].get("retries", 0)),
             "cache_hit_rate": (cache or {}).get("hit_rate")
             if cache is not None else None,
+            "solver_factorizations": report["solver"]["factorizations"],
+            "solver_solves": report["solver"]["solves"],
+            "solver_hit_rate": report["solver"]["hit_rate"],
         },
     }
 

@@ -27,7 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
+from repro.analysis import solver as _solver
 from repro.awe import MomentEngine, PadeError, pade_model
 from repro.msystem.blocks import BlockKind
 from repro.msystem.floorplan import FloorplanResult
@@ -73,6 +75,7 @@ class PowerGrid:
     analog_nodes: list[int]
     vdd: float = 3.3
     extra_decap: dict[int, float] = field(default_factory=dict)
+    _dc_cache: tuple | None = field(default=None, repr=False, compare=False)
 
     @property
     def n_nodes(self) -> int:
@@ -82,29 +85,50 @@ class PowerGrid:
         return sum(s.metal_area for s in self.segments)
 
     # ------------------------------------------------------------------
-    def _conductance_matrix(self) -> np.ndarray:
-        n = self.n_nodes
-        G = np.zeros((n, n))
+    def _segment_triplets(self, rows: list, cols: list, vals: list) -> None:
         for seg in self.segments:
             g = 1.0 / seg.resistance
             a, b = seg.node_a, seg.node_b
-            G[a, a] += g
-            G[b, b] += g
-            G[a, b] -= g
-            G[b, a] -= g
+            rows.extend((a, b, a, b))
+            cols.extend((a, b, b, a))
+            vals.extend((g, g, -g, -g))
+
+    def _conductance_matrix(self) -> sp.csc_matrix:
+        n = self.n_nodes
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        self._segment_triplets(rows, cols, vals)
         for pad in self.pad_nodes:
-            G[pad, pad] += 1.0 / PACKAGE_R
-        return G
+            rows.append(pad)
+            cols.append(pad)
+            vals.append(1.0 / PACKAGE_R)
+        return sp.csc_matrix(
+            sp.coo_matrix((vals, (rows, cols)), shape=(n, n)))
+
+    def _widths_key(self) -> tuple:
+        return tuple(seg.width_nm for seg in self.segments)
 
     def dc_solve(self) -> np.ndarray:
-        """Node voltages with average loads (pads at vdd through R_pkg)."""
+        """Node voltages with average loads (pads at vdd through R_pkg).
+
+        A sparse nodal solve (CSC + sparse LU through the shared solver
+        layer), memoized per segment sizing: the IR-drop, EM-current and
+        droop-bound metrics all reuse one factorization + solve instead
+        of each re-assembling and re-solving the grid from scratch.
+        """
+        key = self._widths_key()
+        if self._dc_cache is not None and self._dc_cache[0] == key:
+            return self._dc_cache[1]
         G = self._conductance_matrix()
         b = np.zeros(self.n_nodes)
         for pad in self.pad_nodes:
             b[pad] += self.vdd / PACKAGE_R
         for node, current in self.load_currents.items():
             b[node] -= current
-        return np.linalg.solve(G, b)
+        v = _solver.factorize(G, prefer_sparse=True).solve(b)
+        self._dc_cache = (key, v)
+        return v
 
     def ir_drops(self) -> dict[int, float]:
         v = self.dc_solve()
@@ -199,14 +223,12 @@ class PowerGrid:
 
     def _grid_only_conductance(self) -> np.ndarray:
         n = self.n_nodes
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        self._segment_triplets(rows, cols, vals)
         G = np.zeros((n, n))
-        for seg in self.segments:
-            g = 1.0 / seg.resistance
-            a, b = seg.node_a, seg.node_b
-            G[a, a] += g
-            G[b, b] += g
-            G[a, b] -= g
-            G[b, a] -= g
+        np.add.at(G, (rows, cols), vals)
         return G
 
     def _default_victim(self) -> int:
