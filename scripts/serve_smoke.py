@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Boot the serving layer and gate the zero-silent-drops contract for CI.
+
+Starts a :class:`repro.serve.Broker` over a thread-executor engine,
+exposes it through the stdlib HTTP facade, and drives a mixed-priority
+workload: an interactive client issuing small blocking requests over
+HTTP while a batch client saturates the queue in-process (plus a
+deliberately over-quota session and a cancelled request, so every
+rejection path fires at least once).  The gate then fails loudly unless:
+
+* ``GET /healthz`` answers ``ok`` while the load is running;
+* the engine report validates (``check_report``, report schema v4);
+* the serve accounting invariant holds exactly — zero silent drops::
+
+      requests == admitted + rejected
+      admitted == completed + expired + cancelled
+
+* every admitted-and-not-cancelled request produced a result;
+* a serial :func:`repro.serve.replay` of the recorded request stream
+  reproduces every completed result digest.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py --out run-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.engine import (
+    EngineConfig,
+    SchemaError,
+    ServeConfig,
+    check_report,
+)
+from repro.serve import (
+    Broker,
+    RejectedError,
+    Session,
+    Workload,
+    make_server,
+    replay,
+)
+
+
+def _fail(message: str) -> None:
+    print(f"SERVE SMOKE FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def _simulate(point: dict) -> dict:
+    # A stand-in simulator call: a few ms of blocking latency, then a
+    # deterministic result (what replay re-checks).
+    time.sleep(0.002)
+    x = float(point["x"])
+    return {"y": x * x, "stage": point.get("stage", 0)}
+
+
+def _http_json(url: str, body: dict | None = None,
+               timeout: float = 30.0) -> tuple[int, dict]:
+    if body is None:
+        req = urllib.request.Request(url)
+    else:
+        req = urllib.request.Request(
+            url, data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=None,
+                        help="optional directory for requests.jsonl")
+    parser.add_argument("--interactive-requests", type=int, default=12)
+    parser.add_argument("--batch-requests", type=int, default=64)
+    args = parser.parse_args(argv)
+
+    config = EngineConfig(
+        executor="thread", workers=16, cache=True, trace=True,
+        serve=ServeConfig(max_batch=16, max_wait_ms=5.0,
+                          max_queue_depth=512))
+    broker = Broker.from_config(config)
+    broker.register(Workload("simulate", _simulate,
+                             key_fn=lambda p: f"sim:{p['x']}:"
+                             f"{p.get('stage', 0)}"))
+
+    http_results: list[dict] = []
+    http_errors: list[str] = []
+
+    with broker, make_server(broker,
+                             synthesize_workload="simulate") as server:
+        def interactive_client() -> None:
+            for i in range(args.interactive_requests):
+                status, out = _http_json(
+                    server.url + "/evaluate",
+                    {"workload": "simulate", "point": {"x": i},
+                     "client": "designer", "priority": "interactive"})
+                if status != 200:
+                    http_errors.append(f"interactive #{i}: HTTP {status} "
+                                       f"{out}")
+                else:
+                    http_results.append(out["result"])
+
+        sweeper = Session(broker, "sweeper", priority="batch")
+        sweeper.map("simulate", [{"x": i % 16, "stage": i // 16}
+                                 for i in range(args.batch_requests)])
+
+        thread = threading.Thread(target=interactive_client)
+        thread.start()
+
+        status, health = _http_json(server.url + "/healthz")
+        if status != 200 or health.get("status") != "ok":
+            _fail(f"/healthz under load: HTTP {status} {health}")
+
+        # One of everything the accounting must absorb loudly:
+        over_quota = Session(broker, "greedy", quota=1)
+        over_quota.submit("simulate", {"x": 1})
+        try:
+            over_quota.submit("simulate", {"x": 2})
+            _fail("quota breach was not rejected")
+        except RejectedError:
+            pass
+        victim = broker.submit("simulate", {"x": 999}, client="fickle")
+        victim.cancel()
+
+        thread.join()
+        for handle in sweeper.results(timeout=60):
+            handle.result(timeout=60)
+        for handle in over_quota.handles:
+            handle.result(timeout=60)
+
+        status, metrics = _http_json(server.url + "/metrics")
+        if status != 200:
+            _fail(f"/metrics: HTTP {status}")
+
+    if http_errors:
+        _fail("; ".join(http_errors))
+    expected = [{"y": float(i * i), "stage": 0}
+                for i in range(args.interactive_requests)]
+    if http_results != expected:
+        _fail(f"interactive results wrong: {http_results[:3]}...")
+
+    report = broker.report()
+    try:
+        check_report(report)
+    except SchemaError as exc:
+        _fail(f"engine report drifted: {exc}")
+    serve = report["serve"]
+    if serve["requests"] != serve["admitted"] + serve["rejected"]:
+        _fail(f"silent drop at admission: {serve}")
+    settled = serve["completed"] + serve["expired"] + serve["cancelled"]
+    if serve["admitted"] != settled:
+        _fail(f"admitted request unaccounted for: {serve}")
+    if serve["rejected"] < 1 or serve["cancelled"] < 1:
+        _fail(f"smoke load failed to exercise rejection/cancellation: "
+              f"{serve}")
+    # ... + 1: the over-quota session's single admitted request (the
+    # cancelled victim settles under serve.cancelled, not completed).
+    want = (args.interactive_requests + args.batch_requests + 1)
+    if serve["completed"] != want:
+        _fail(f"completed {serve['completed']} != expected {want}")
+
+    rep = replay(broker.request_log, broker.workloads)
+    if not rep.ok:
+        _fail(f"replay diverged: {rep.as_dict()}")
+    if args.out is not None:
+        broker.write_request_trace(args.out / "requests.jsonl")
+
+    mbs = serve["mean_batch_size"]
+    print(f"healthz under load: ok ({server.url})")
+    print(f"serve: {json.dumps(serve, sort_keys=True)}")
+    print(f"accounting: requests={serve['requests']} = "
+          f"admitted {serve['admitted']} + rejected {serve['rejected']}; "
+          f"admitted = completed {serve['completed']} + expired "
+          f"{serve['expired']} + cancelled {serve['cancelled']}")
+    print(f"batching: {serve['batches']} batches, mean size {mbs:.1f}, "
+          f"p99 latency {serve['latency_p99_s'] * 1e3:.0f} ms")
+    print(f"replay: {rep.replayed} replayed, {rep.matched} matched")
+    print("SERVE SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,13 +11,14 @@ manifest schemas.
 """
 
 from repro.engine.cache import CacheStats, EvalCache, canonical_key
-from repro.engine.config import EngineConfig
+from repro.engine.config import EngineConfig, ServeConfig
 from repro.engine.core import EvaluationEngine, KeyedEngine
 from repro.engine.executor import (
     BatchStats,
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    ThreadExecutor,
 )
 from repro.engine.faults import (
     EvalFailure,
@@ -35,6 +36,8 @@ from repro.engine.schema import (
     REPORT_SCHEMA_VERSION,
     SchemaError,
     check_report,
+    serve_rollup,
+    solver_rollup,
     validate_manifest,
 )
 from repro.engine.telemetry import Telemetry, TimerStat
@@ -71,8 +74,10 @@ __all__ = [
     "RetryPolicy",
     "SchemaError",
     "SerialExecutor",
+    "ServeConfig",
     "Span",
     "Telemetry",
+    "ThreadExecutor",
     "TimerStat",
     "Tracer",
     "WorkerCrashError",
@@ -84,6 +89,8 @@ __all__ = [
     "is_failure",
     "manifest_digest",
     "point_token",
+    "serve_rollup",
+    "solver_rollup",
     "span_if",
     "strip_volatile",
     "validate_manifest",

@@ -22,10 +22,82 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.engine.cache import EvalCache
-from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.engine.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
 from repro.engine.faults import FaultInjector, RetryPolicy
 from repro.engine.telemetry import Telemetry
 from repro.engine.trace import Tracer
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Admission-control and batching knobs for the serving layer.
+
+    Lives here (pure data, no serve imports) so an
+    :class:`EngineConfig` can carry the full service shape and a run
+    manifest can record it; :class:`repro.serve.Broker` consumes it.
+
+    Parameters
+    ----------
+    max_batch / max_wait_ms:
+        Micro-batcher shape: coalesce up to ``max_batch`` compatible
+        requests, waiting at most ``max_wait_ms`` for stragglers after
+        the first request of a batch is dequeued.  ``max_wait_ms=0``
+        dispatches whatever is already queued without waiting.
+    max_queue_depth:
+        Bound on each priority class's queue.  A submit beyond it raises
+        :class:`repro.serve.RejectedError` — explicit backpressure,
+        never a silent drop.
+    rate / burst:
+        Per-client token-bucket admission: sustained ``rate`` requests/s
+        with ``burst`` tokens of headroom.  ``rate=None`` disables
+        rate limiting.
+    default_deadline_s:
+        Deadline applied to requests that do not carry their own;
+        ``None`` means no deadline.
+    interactive_burst:
+        Fairness knob: after this many consecutive ``interactive``
+        batches with ``batch``-class work waiting, one ``batch`` batch
+        is served — strict-priority latency for interactive traffic
+        without starving bulk clients.
+    """
+
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    max_queue_depth: int = 256
+    rate: float | None = None
+    burst: int = 32
+    default_deadline_s: float | None = None
+    interactive_burst: int = 4
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive (or None)")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.interactive_burst < 1:
+            raise ValueError("interactive_burst must be >= 1")
+
+    def describe(self) -> dict:
+        return {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "max_queue_depth": self.max_queue_depth,
+            "rate": self.rate,
+            "burst": self.burst,
+            "default_deadline_s": self.default_deadline_s,
+            "interactive_burst": self.interactive_burst,
+        }
 
 
 @dataclass
@@ -35,9 +107,10 @@ class EngineConfig:
     Parameters
     ----------
     executor:
-        ``"serial"`` (default), ``"parallel"``, or an explicit
-        :class:`Executor` instance.  ``workers`` / ``chunksize`` apply to
-        the ``"parallel"`` shorthand only.
+        ``"serial"`` (default), ``"parallel"``, ``"thread"``, or an
+        explicit :class:`Executor` instance.  ``workers`` applies to the
+        ``"parallel"`` and ``"thread"`` shorthands; ``chunksize`` to
+        ``"parallel"`` only.
     cache:
         ``True`` builds a fresh :class:`EvalCache` (``cache_entries``,
         ``disk_cache_dir``); an instance is used as-is; ``False`` runs
@@ -63,6 +136,7 @@ class EngineConfig:
     trace: bool = False
     tracer: Tracer | None = field(default=None, repr=False)
     trace_dir: str | Path | None = None
+    serve: ServeConfig | None = None
 
     # -- part builders -------------------------------------------------
     def build_executor(self) -> Executor:
@@ -73,9 +147,11 @@ class EngineConfig:
         if self.executor == "parallel":
             return ParallelExecutor(workers=self.workers,
                                     chunksize=self.chunksize)
+        if self.executor == "thread":
+            return ThreadExecutor(workers=self.workers)
         raise ValueError(
-            f"executor must be 'serial', 'parallel' or an Executor "
-            f"instance, got {self.executor!r}")
+            f"executor must be 'serial', 'parallel', 'thread' or an "
+            f"Executor instance, got {self.executor!r}")
 
     def build_cache(self) -> EvalCache | None:
         if isinstance(self.cache, EvalCache):
@@ -113,6 +189,8 @@ class EngineConfig:
                 "backoff_s": policy.backoff_s,
                 "backoff_factor": policy.backoff_factor,
                 "timeout_s": policy.timeout_s,
+                "jitter": policy.jitter,
+                "jitter_seed": policy.jitter_seed,
             },
             "fault_injector": None if injector is None else {
                 "rate": injector.rate,
@@ -123,6 +201,8 @@ class EngineConfig:
                           or self.trace_dir is not None),
             "trace_dir": str(self.trace_dir)
             if self.trace_dir is not None else None,
+            "serve": self.serve.describe() if self.serve is not None
+            else None,
         }
 
 

@@ -28,7 +28,11 @@ from repro.engine import trace as _trace
 from repro.engine.cache import EvalCache
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.faults import FaultInjector, RetryPolicy, is_failure
-from repro.engine.schema import REPORT_SCHEMA_VERSION, solver_rollup
+from repro.engine.schema import (
+    REPORT_SCHEMA_VERSION,
+    serve_rollup,
+    solver_rollup,
+)
 from repro.engine.telemetry import Telemetry
 from repro.engine.trace import Tracer
 
@@ -267,7 +271,9 @@ class EvaluationEngine:
         descriptions + ``spans`` (the tracer's span tree, ``[]`` when the
         engine runs untraced).  Schema v3 adds ``solver``: the rollup of
         the ``solver.*`` counters emitted by the shared factor-once/
-        solve-many layer (:mod:`repro.analysis.solver`).
+        solve-many layer (:mod:`repro.analysis.solver`).  Schema v4 adds
+        ``serve``: the rollup of the serving layer's ``serve.*`` counters
+        and per-request latency samples (:mod:`repro.serve`).
         """
         out = self.telemetry.report()
         out["schema_version"] = REPORT_SCHEMA_VERSION
@@ -276,6 +282,8 @@ class EvaluationEngine:
         out["spans"] = (self.tracer.span_tree()
                         if self.tracer is not None else [])
         out["solver"] = solver_rollup(out["counters"])
+        out["serve"] = serve_rollup(
+            out["counters"], self.telemetry.sample_values("serve.latency_s"))
         return out
 
     def close(self) -> None:

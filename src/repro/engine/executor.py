@@ -211,7 +211,12 @@ class Executor(abc.ABC):
             if not pending:
                 break
             if attempt > 1:
-                delay = policy.delay(attempt - 1)
+                # Jitter the backoff on the first still-pending point's
+                # token: concurrent retriers working different points
+                # sleep different amounts (no thundering herd), while the
+                # schedule stays a pure function of (policy seed, points).
+                delay = policy.delay(attempt - 1,
+                                     token=self._token(points[pending[0]]))
                 if delay > 0:
                     time.sleep(delay)
             call = fn
@@ -274,6 +279,67 @@ class SerialExecutor(Executor):
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
         return outs
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool evaluation for blocking or I/O-bound workloads.
+
+    In-process circuit evaluation is numpy/CPU-bound, where the GIL makes
+    threads pointless — that is :class:`ParallelExecutor`'s job.  The
+    serving layer's workloads are different: requests spend much of their
+    time *waiting* (external simulator processes, storage, downstream
+    services), and overlapping those waits is exactly what threads do
+    well.  Threads share memory, so there is no pickling constraint and
+    no pool-spawn cost — closures, circuits and caches all work directly.
+
+    With a ``timeout_s`` policy each call gets its own future and a call
+    over budget is recorded as an :class:`EvalTimeoutError`; as with
+    :class:`SerialExecutor`, Python cannot kill a thread, so a truly
+    unbounded evaluation still holds its thread until it returns.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 token_fn: Callable[[Any], str] | None = None):
+        super().__init__(retry_policy, fault_injector, token_fn)
+        self.workers = max(1, workers if workers is not None
+                           else min(32, 4 * (os.cpu_count() or 1)))
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _map_raw(self, fn: Callable, points: list) -> list:
+        if len(points) == 1:
+            return [fn(p) for p in points]
+        return list(self._ensure_pool().map(fn, points))
+
+    def _map_guarded(self, guarded: _Guarded, batch: list,
+                     policy: RetryPolicy) -> list[tuple]:
+        if policy.timeout_s is None:
+            return list(self._ensure_pool().map(guarded, batch))
+        pool = self._ensure_pool()
+        futures = [pool.submit(guarded, p) for p in batch]
+        outs: list[tuple] = []
+        for future in futures:
+            try:
+                outs.append(future.result(timeout=policy.timeout_s))
+            except FutureTimeoutError:
+                outs.append(_timeout_entry(policy))
+        return outs
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["workers"] = self.workers
+        return out
 
 
 class ParallelExecutor(Executor):

@@ -117,6 +117,16 @@ class RetryPolicy:
     backoff_s / backoff_factor:
         Sleep before retry round ``k`` is ``backoff_s * factor**(k-1)``.
         The default 0 keeps tests instant; real deployments set it.
+    jitter / jitter_seed:
+        Deterministic spread added to each backoff sleep: the base delay
+        is scaled by ``1 + jitter * u`` where ``u ∈ [0, 1)`` is a SHA-256
+        draw over ``(jitter_seed, attempt, token)`` — a pure function of
+        the seed and the retrying work's identity, never of call order or
+        an RNG stream.  Concurrent retriers (pool workers, parallel serve
+        clients) therefore de-synchronize instead of thundering back in
+        lockstep, while two runs of the same seeded schedule still sleep
+        identically.  ``jitter=0`` (or an empty token) reproduces the
+        exact pre-jitter schedule.
     timeout_s:
         Per-job wall-clock budget.  A job over budget raises
         :class:`EvalTimeoutError` (retryable by default) and, under the
@@ -141,12 +151,16 @@ class RetryPolicy:
     timeout_s: float | None = None
     retryable: tuple[type, ...] | None = None
     fatal: tuple[type, ...] = ()
+    jitter: float = 0.1
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
 
     def retryable_types(self) -> tuple[type, ...]:
         return self.retryable if self.retryable is not None \
@@ -157,11 +171,23 @@ class RetryPolicy:
             return False
         return isinstance(exc, self.retryable_types())
 
-    def delay(self, completed_attempts: int) -> float:
-        """Backoff before the attempt after ``completed_attempts``."""
+    def delay(self, completed_attempts: int, token: str = "") -> float:
+        """Backoff before the attempt after ``completed_attempts``.
+
+        ``token`` identifies the retrying work (a point token, a stage
+        name) and seeds the deterministic jitter draw; without one the
+        delay is the bare geometric schedule.
+        """
         if self.backoff_s <= 0:
             return 0.0
-        return self.backoff_s * self.backoff_factor ** (completed_attempts - 1)
+        base = self.backoff_s * self.backoff_factor \
+            ** (completed_attempts - 1)
+        if self.jitter <= 0.0 or not token:
+            return base
+        msg = f"{self.jitter_seed}|{completed_attempts}|{token}".encode()
+        draw = int.from_bytes(hashlib.sha256(msg).digest()[:8],
+                              "big") / 2.0 ** 64
+        return base * (1.0 + self.jitter * draw)
 
 
 # ----------------------------------------------------------------------

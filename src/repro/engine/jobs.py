@@ -128,7 +128,10 @@ class JobGraph:
                         tracer.event("stage_retry", stage=job.name,
                                      attempt=attempt,
                                      exception_type=type(exc).__name__)
-                    delay = policy.delay(attempt)
+                    # Stage name as jitter token: two flows retrying the
+                    # same stage concurrently still sleep identically run
+                    # to run, but different stages de-synchronize.
+                    delay = policy.delay(attempt, token=job.name)
                     if delay > 0:
                         time.sleep(delay)
                     continue

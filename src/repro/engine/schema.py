@@ -19,18 +19,22 @@ the schema file and the consumers in one commit, or CI's drift gate fails.
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
 
 #: Version of the dict returned by ``EvaluationEngine.report()``.
 #: v1 was the implicit pre-versioning shape (counters/timers/failures/
 #: executor/cache); v2 adds ``schema_version`` and ``spans``; v3 adds
-#: ``solver`` (rollup of the shared linear-solver layer's counters).
-REPORT_SCHEMA_VERSION = 3
+#: ``solver`` (rollup of the shared linear-solver layer's counters);
+#: v4 adds ``serve`` (rollup of the serving layer's ``serve.*`` counters
+#: and latency samples).
+REPORT_SCHEMA_VERSION = 4
 
 #: Version of the per-run manifest written by traced flows.
-#: v2 adds the ``solver_*`` rollups sourced from report["solver"].
-MANIFEST_SCHEMA_VERSION = 2
+#: v2 adds the ``solver_*`` rollups sourced from report["solver"];
+#: v3 adds the ``serve_*`` rollups sourced from report["serve"].
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Keys every ``report()`` dict must contain, at any version >= 2.
 REQUIRED_REPORT_KEYS = (
@@ -42,6 +46,7 @@ REQUIRED_REPORT_KEYS = (
     "cache",
     "spans",
     "solver",
+    "serve",
 )
 
 #: Keys of the ``report["solver"]`` section (schema v3).
@@ -75,6 +80,67 @@ def solver_rollup(counters: dict) -> dict:
         "cache_misses": misses,
         "hit_rate": (hits / looked_up) if looked_up else None,
     }
+
+#: Keys of the ``report["serve"]`` section (schema v4).
+REQUIRED_SERVE_KEYS = (
+    "requests",
+    "admitted",
+    "rejected",
+    "expired",
+    "cancelled",
+    "completed",
+    "batches",
+    "batched",
+    "mean_batch_size",
+    "batch_size_hist",
+    "latency_p50_s",
+    "latency_p95_s",
+    "latency_p99_s",
+)
+
+
+def _percentile(values: list, q: float) -> float | None:
+    """Nearest-rank percentile of raw samples (no numpy on this path)."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = math.ceil(q * len(ordered))  # nearest-rank definition
+    return ordered[min(max(rank, 1), len(ordered)) - 1]
+
+
+def serve_rollup(counters: dict, latency_samples: list | None = None) -> dict:
+    """Fold the ``serve.*`` counters (and latency samples) into the report.
+
+    All-zero (percentiles/mean None) when a run never went through the
+    serving layer — like ``solver``, the section is always present so
+    consumers never need an existence check.  The batch-size histogram
+    comes from the ``serve.batch_size.<n>`` counters the broker bumps
+    per dispatched batch; latency percentiles are nearest-rank over the
+    ``serve.latency_s`` telemetry samples (keys end in ``_s``: wall-clock
+    values are volatile and stripped from structural digests).
+    """
+    samples = list(latency_samples or [])
+    prefix = "serve.batch_size."
+    hist = {name[len(prefix):]: int(n) for name, n in sorted(counters.items())
+            if name.startswith(prefix)}
+    batches = int(counters.get("serve.batches", 0))
+    batched = int(counters.get("serve.batched", 0))
+    return {
+        "requests": int(counters.get("serve.requests", 0)),
+        "admitted": int(counters.get("serve.admitted", 0)),
+        "rejected": int(counters.get("serve.rejected", 0)),
+        "expired": int(counters.get("serve.expired", 0)),
+        "cancelled": int(counters.get("serve.cancelled", 0)),
+        "completed": int(counters.get("serve.completed", 0)),
+        "batches": batches,
+        "batched": batched,
+        "mean_batch_size": (batched / batches) if batches else None,
+        "batch_size_hist": hist,
+        "latency_p50_s": _percentile(samples, 0.50),
+        "latency_p95_s": _percentile(samples, 0.95),
+        "latency_p99_s": _percentile(samples, 0.99),
+    }
+
 
 _SCHEMA_PATH = Path(__file__).with_name("run_manifest_schema.json")
 
@@ -110,6 +176,11 @@ def check_report(report: dict) -> None:
     if missing_solver:
         raise SchemaError(
             f"report['solver'] missing keys: {missing_solver}")
+    serve = report["serve"]
+    missing_serve = [k for k in REQUIRED_SERVE_KEYS if k not in serve]
+    if missing_serve:
+        raise SchemaError(
+            f"report['serve'] missing keys: {missing_serve}")
 
 
 def manifest_schema() -> dict:

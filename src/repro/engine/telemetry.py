@@ -46,6 +46,8 @@ class Telemetry:
     timers: dict[str, TimerStat] = field(default_factory=dict)
     failure_records: list = field(default_factory=list)
     max_failure_records: int = 200
+    samples: dict[str, list] = field(default_factory=dict)
+    max_samples: int = 4096
 
     # -- counters ------------------------------------------------------
     def count(self, name: str, n: int = 1) -> int:
@@ -71,6 +73,24 @@ class Telemetry:
         stat = self.timers.setdefault(name, TimerStat())
         stat.calls += 1
         stat.total_s += seconds
+
+    # -- samples -------------------------------------------------------
+    def record_sample(self, name: str, value: float) -> None:
+        """Keep one raw observation for percentile rollups.
+
+        Unlike counters/timers, samples preserve the distribution — the
+        serving layer records per-request latencies here so
+        ``report()["serve"]`` can state p50/p95/p99.  Bounded at
+        ``max_samples`` per name (first observations win) so a hot
+        service cannot grow telemetry without bound; the counters still
+        see every occurrence.
+        """
+        values = self.samples.setdefault(name, [])
+        if len(values) < self.max_samples:
+            values.append(float(value))
+
+    def sample_values(self, name: str) -> list:
+        return self.samples.get(name, [])
 
     # -- failures ------------------------------------------------------
     def record_failure(self, failure) -> None:
@@ -116,6 +136,11 @@ class Telemetry:
             mine = self.timers.setdefault(name, TimerStat())
             mine.calls += stat.calls
             mine.total_s += stat.total_s
+        for name, values in other.samples.items():
+            mine_values = self.samples.setdefault(name, [])
+            room = self.max_samples - len(mine_values)
+            if room > 0:
+                mine_values.extend(values[:room])
         combined = self.failure_records + list(other.failure_records)
         combined.sort(key=self._failure_sort_key)
         self.failure_records = combined[:self.max_failure_records]
@@ -124,6 +149,7 @@ class Telemetry:
         self.counters.clear()
         self.timers.clear()
         self.failure_records.clear()
+        self.samples.clear()
 
     def report(self) -> dict:
         return {

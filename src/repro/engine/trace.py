@@ -317,6 +317,11 @@ def build_manifest(flow: str, engine, seed: int | None = None,
             "solver_factorizations": report["solver"]["factorizations"],
             "solver_solves": report["solver"]["solves"],
             "solver_hit_rate": report["solver"]["hit_rate"],
+            "serve_requests": report["serve"]["requests"],
+            "serve_rejected": report["serve"]["rejected"],
+            "serve_expired": report["serve"]["expired"],
+            "serve_batches": report["serve"]["batches"],
+            "serve_mean_batch_size": report["serve"]["mean_batch_size"],
         },
     }
 

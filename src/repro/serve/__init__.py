@@ -1,0 +1,52 @@
+"""Batched synthesis-as-a-service over the evaluation engine.
+
+The paper's frontends assume a designer (or a closed resynthesis loop)
+driving synthesis interactively while characterization sweeps run in
+bulk.  This package is the serving layer that makes one
+:class:`~repro.engine.EvaluationEngine` safely shareable across those
+tenants: a :class:`Broker` with priority queues and a dispatcher thread,
+dynamic micro-batching into ``map_evaluate``
+(:class:`~repro.serve.batching.MicroBatcher`), admission control with
+token buckets and bounded queues
+(:class:`~repro.serve.admission.AdmissionController`), per-request
+deadlines and cancellation, client :class:`Session` objects with quotas
+and streaming results, a stdlib HTTP facade
+(:mod:`repro.serve.http`), and deterministic :func:`replay` of recorded
+request streams.  Every outcome is counted into the engine's versioned
+report (``report()["serve"]``) — nothing is ever silently dropped.
+"""
+
+from repro.engine.config import ServeConfig
+from repro.serve.admission import (
+    AdmissionController,
+    DeadlineExpiredError,
+    RejectedError,
+    RequestCancelledError,
+    TokenBucket,
+)
+from repro.serve.batching import MicroBatcher
+from repro.serve.broker import PRIORITY_CLASSES, Broker, ResultHandle, Workload
+from repro.serve.http import ServeApp, ServeServer, make_server
+from repro.serve.replay import ReplayReport, replay, result_digest
+from repro.serve.session import Session
+
+__all__ = [
+    "AdmissionController",
+    "Broker",
+    "DeadlineExpiredError",
+    "MicroBatcher",
+    "PRIORITY_CLASSES",
+    "RejectedError",
+    "ReplayReport",
+    "RequestCancelledError",
+    "ResultHandle",
+    "ServeApp",
+    "ServeConfig",
+    "ServeServer",
+    "Session",
+    "TokenBucket",
+    "Workload",
+    "make_server",
+    "replay",
+    "result_digest",
+]

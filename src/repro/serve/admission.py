@@ -1,0 +1,129 @@
+"""Admission control: token buckets, queue bounds, explicit rejection.
+
+A service that accepts every request dies by queueing: latency grows
+without bound, deadlines pass silently, and the clients that caused the
+overload are the last to notice.  The serving layer therefore refuses
+work *at the front door*, loudly, with a structured
+:class:`RejectedError` that names the reason — never a silent drop.  The
+accounting invariant the smoke tests assert is::
+
+    serve.requests == serve.admitted + serve.rejected
+    serve.admitted == serve.completed + serve.expired + serve.cancelled
+                      (once the queues drain)
+
+Two admission gates run at submit time, cheapest first:
+
+* **queue depth** — each priority class's queue is bounded
+  (``ServeConfig.max_queue_depth``); a submit against a full queue is
+  backpressure, reason ``"queue_full"``;
+* **rate limit** — a per-client :class:`TokenBucket`
+  (``ServeConfig.rate`` / ``burst``); a client over its sustained rate is
+  rejected with reason ``"rate_limited"`` while other clients continue
+  unharmed.
+
+Deadlines are the third, time-shifted gate: an admitted request that
+outlives ``deadline_s`` is *expired* — skipped at dequeue and at
+batch-assembly time by the broker, its waiter woken with
+:class:`DeadlineExpiredError`, counted under ``serve.expired``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.config import ServeConfig
+
+
+class RejectedError(RuntimeError):
+    """The service refused a request at admission (backpressure).
+
+    ``reason`` is one of ``"queue_full"``, ``"rate_limited"``,
+    ``"quota_exceeded"`` (session-level), or ``"draining"`` (broker
+    shutting down).  Clients are expected to back off and retry; the
+    request was never queued.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"request rejected ({reason})"
+                         + (f": {detail}" if detail else ""))
+        self.reason = reason
+
+
+class DeadlineExpiredError(RuntimeError):
+    """An admitted request's deadline passed before it was dispatched."""
+
+
+class RequestCancelledError(RuntimeError):
+    """The client cancelled an admitted request before it was dispatched."""
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: sustained ``rate``/s with ``burst`` headroom.
+
+    Refill is computed lazily from the clock at each ``try_take`` — no
+    background thread.  The ``clock`` is injectable so tests drive time
+    explicitly instead of sleeping.
+    """
+
+    rate: float
+    burst: float
+    clock: Callable[[], float] = time.monotonic
+    tokens: float = field(init=False)
+    _last: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.tokens = float(self.burst)
+        self._last = self.clock()
+
+    def try_take(self, n: float = 1.0) -> bool:
+        """Take ``n`` tokens if available; False means rate-limited."""
+        now = self.clock()
+        self.tokens = min(float(self.burst),
+                          self.tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+
+class AdmissionController:
+    """The broker's front door: queue bounds plus per-client buckets.
+
+    Not thread-safe on its own — the broker calls :meth:`admit` with its
+    lock held, which also serializes the ``serve.*`` counter updates the
+    broker makes around it.
+    """
+
+    def __init__(self, config: ServeConfig,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def admit(self, client: str, queue_depth: int) -> None:
+        """Raise :class:`RejectedError` unless the request may enqueue."""
+        if queue_depth >= self.config.max_queue_depth:
+            raise RejectedError(
+                "queue_full",
+                f"queue depth {queue_depth} >= "
+                f"max_queue_depth {self.config.max_queue_depth}")
+        if self.config.rate is None:
+            return
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(rate=self.config.rate,
+                                 burst=self.config.burst, clock=self.clock)
+            self._buckets[client] = bucket
+        if not bucket.try_take():
+            raise RejectedError(
+                "rate_limited",
+                f"client {client!r} exceeded {self.config.rate}/s "
+                f"(burst {self.config.burst})")

@@ -1,0 +1,187 @@
+"""Thin stdlib HTTP facade over the broker.
+
+Four endpoints, JSON in / JSON out, no framework:
+
+* ``POST /evaluate`` — ``{"workload": name, "point": ..., "client":,
+  "priority":, "deadline_s":, "timeout_s":}``; blocks until the request
+  reaches a terminal state and returns the result (or the structured
+  error).  Admission failures map to **429** with the rejection reason,
+  deadline expiry to **504**, cancellation to **409** — backpressure is
+  visible in the status code, never a hang or a silent drop.
+* ``POST /synthesize`` — same contract against the workload the app was
+  constructed with as its synthesis entrypoint (the full
+  sizing-loop-as-a-service shape from the ROADMAP).
+* ``GET /healthz`` — liveness plus queue depths and registered
+  workloads.
+* ``GET /metrics`` — the engine's versioned report (``serve`` section,
+  counters, cache stats), i.e. exactly what ``check_report`` validates.
+
+The handler threads only touch the broker's thread-safe surface
+(``submit`` and handle waits); everything engine-side stays on the
+dispatcher thread.  ``ThreadingHTTPServer`` gives one thread per
+in-flight connection, which is what a blocking ``/evaluate`` needs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.engine.faults import is_failure
+from repro.serve.admission import (
+    DeadlineExpiredError,
+    RejectedError,
+    RequestCancelledError,
+)
+from repro.serve.broker import Broker
+
+
+def _json_safe(value: Any) -> Any:
+    if is_failure(value):
+        return {"eval_failure": value.as_dict()}
+    return value
+
+
+class ServeApp:
+    """Routes HTTP requests onto a started :class:`Broker`.
+
+    ``synthesize_workload`` names the registered workload that
+    ``POST /synthesize`` runs; when omitted the endpoint answers 404.
+    """
+
+    def __init__(self, broker: Broker,
+                 synthesize_workload: str | None = None):
+        self.broker = broker
+        self.synthesize_workload = synthesize_workload
+
+    # Each handler returns (status_code, payload_dict).
+    def handle_get(self, path: str) -> tuple[int, dict]:
+        if path == "/healthz":
+            return 200, self.broker.healthz()
+        if path == "/metrics":
+            return 200, self.broker.report()
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def handle_post(self, path: str, body: dict) -> tuple[int, dict]:
+        if path == "/evaluate":
+            workload = body.get("workload")
+            if not isinstance(workload, str):
+                return 400, {"error": "body must name a 'workload'"}
+            return self._run(workload, body)
+        if path == "/synthesize":
+            if self.synthesize_workload is None:
+                return 404, {"error": "no synthesis workload configured"}
+            return self._run(self.synthesize_workload, body)
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def _run(self, workload: str, body: dict) -> tuple[int, dict]:
+        if "point" not in body:
+            return 400, {"error": "body must carry a 'point'"}
+        try:
+            handle = self.broker.submit(
+                workload, body["point"],
+                client=str(body.get("client", "http")),
+                priority=str(body.get("priority", "interactive")),
+                deadline_s=body.get("deadline_s"))
+        except RejectedError as exc:
+            return 429, {"error": str(exc), "reason": exc.reason}
+        except (KeyError, ValueError) as exc:
+            return 400, {"error": str(exc)}
+        try:
+            value = handle.result(timeout=body.get("timeout_s"))
+        except DeadlineExpiredError as exc:
+            return 504, {"error": str(exc), "outcome": "expired"}
+        except RequestCancelledError as exc:
+            return 409, {"error": str(exc), "outcome": "cancelled"}
+        except TimeoutError as exc:
+            # The *wait* timed out; the request itself is still live.
+            return 504, {"error": str(exc), "outcome": "pending"}
+        return 200, {"outcome": "completed", "result": _json_safe(value)}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    app: ServeApp  # set by make_server on the subclass
+
+    # Silence per-request stderr logging; telemetry is the log.
+    def log_message(self, format: str, *args: Any) -> None:
+        pass
+
+    def _reply(self, status: int, payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=True, default=repr).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        status, payload = self.app.handle_get(self.path)
+        self._reply(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+            if not isinstance(body, dict):
+                raise ValueError("body must be a JSON object")
+        except ValueError as exc:
+            self._reply(400, {"error": f"invalid JSON body: {exc}"})
+            return
+        status, payload = self.app.handle_post(self.path, body)
+        self._reply(status, payload)
+
+
+class ServeServer:
+    """Owns the HTTP listener thread; context manager for tests/CLIs.
+
+    ``port=0`` binds an ephemeral port; read it back from ``address``.
+    The server does not own the broker — close both, broker last, so
+    in-flight requests drain before the engine goes away.
+    """
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 0):
+        handler = type("BoundHandler", (_Handler,), {"app": app})
+        self.app = app
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServeServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="serve-http", daemon=True)
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def make_server(broker: Broker, host: str = "127.0.0.1", port: int = 0,
+                synthesize_workload: str | None = None) -> ServeServer:
+    """Convenience: wrap a started broker in a ready-to-start server."""
+    return ServeServer(ServeApp(broker, synthesize_workload), host, port)

@@ -1,0 +1,134 @@
+"""Deterministic replay of a recorded request stream.
+
+The broker keeps a structured request log (and can dump it as JSONL via
+:meth:`Broker.write_request_trace`): one record per request with its
+point, priority, outcome, and — for completed requests — a structural
+digest of the result.  :func:`replay` re-issues the completed requests
+*serially* against the registered workloads and asserts the digests
+match.  This is the serving layer's determinism oath: batching order,
+micro-batch composition, thread scheduling, and client interleaving must
+never change what a request computes — only when it computes.
+
+Digests go through :func:`repro.engine.cache.canonical_key`, the same
+canonical encoding the cache keys use, so a digest mismatch means a real
+value difference, not a formatting one.  :class:`EvalFailure` results
+are digested over their stable fields (``elapsed_s`` excluded — the
+failure identity, not its wall-clock).
+
+Replay requires points that survive a JSON round-trip when replaying
+from a file on disk; in-memory replay (passing ``Broker.request_log``
+directly) has no such restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.engine.cache import canonical_key
+from repro.engine.faults import EvalFailure, is_failure
+
+
+def result_digest(value: Any) -> str:
+    """Structural digest of an evaluation result.
+
+    Failures digest over their stable identity (type, message, attempts,
+    token, retryable); ordinary results over their canonical encoding.
+    """
+    if is_failure(value):
+        return canonical_key("eval-failure", value.exception_type,
+                             value.message, value.attempts, value.token,
+                             value.retryable)
+    return canonical_key("result", value)
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one :func:`replay` pass."""
+
+    total: int = 0            # records read
+    replayed: int = 0         # completed records re-evaluated
+    matched: int = 0
+    mismatched: list[dict] = field(default_factory=list)
+    skipped: int = 0          # rejected/expired/cancelled records
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatched
+
+    def assert_ok(self) -> None:
+        if self.mismatched:
+            first = self.mismatched[0]
+            raise AssertionError(
+                f"replay diverged on {len(self.mismatched)} of "
+                f"{self.replayed} request(s); first: seq={first['seq']} "
+                f"workload={first['workload']!r} recorded="
+                f"{first['recorded']} replayed={first['replayed']}")
+
+    def as_dict(self) -> dict:
+        return {"total": self.total, "replayed": self.replayed,
+                "matched": self.matched, "skipped": self.skipped,
+                "mismatched": list(self.mismatched), "ok": self.ok}
+
+
+def _load_records(trace: Any) -> Iterable[dict]:
+    if isinstance(trace, (str, Path)):
+        import json
+        with open(trace) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+    return list(trace)
+
+
+def replay(trace: Any,
+           workloads: dict[str, Callable[[Any], Any]],
+           engine: Any = None) -> ReplayReport:
+    """Re-issue a recorded request stream serially; compare digests.
+
+    Parameters
+    ----------
+    trace:
+        Path to a ``requests.jsonl`` written by
+        :meth:`Broker.write_request_trace`, or an in-memory iterable of
+        records (e.g. ``broker.request_log``).
+    workloads:
+        ``name -> fn`` mapping (a :class:`~repro.serve.broker.Workload`
+        is accepted wherever a bare callable is).
+    engine:
+        Optional :class:`~repro.engine.EvaluationEngine` to evaluate
+        through (exercising cache/retry exactly as the service did);
+        defaults to calling each workload function directly.
+    """
+    report = ReplayReport()
+    fns: dict[str, Callable[[Any], Any]] = {}
+    for name, fn in workloads.items():
+        fns[name] = getattr(fn, "fn", fn)
+    for record in _load_records(trace):
+        report.total += 1
+        if record.get("outcome") != "completed":
+            report.skipped += 1
+            continue
+        name = record["workload"]
+        if name not in fns:
+            raise KeyError(f"trace references unknown workload {name!r}")
+        point = record["point"]
+        if engine is not None:
+            value = engine.map_evaluate(fns[name], [point])[0]
+        else:
+            try:
+                value = fns[name](point)
+            except Exception as exc:  # the service records failures as
+                # values, so replay must too — a raising workload still
+                # produces a comparable digest rather than killing replay.
+                value = EvalFailure(exception_type=type(exc).__name__,
+                                    message=str(exc))
+        digest = result_digest(value)
+        report.replayed += 1
+        if digest == record.get("result_digest"):
+            report.matched += 1
+        else:
+            report.mismatched.append({
+                "seq": record.get("seq"), "workload": name,
+                "recorded": record.get("result_digest"),
+                "replayed": digest})
+    return report

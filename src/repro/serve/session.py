@@ -1,0 +1,129 @@
+"""Client sessions: identity, quota, and streaming results.
+
+A :class:`Session` is the client-side convenience wrapper over a
+:class:`~repro.serve.broker.Broker`: it pins the client id and priority
+class (so per-client rate limits and fairness apply consistently),
+enforces an optional submission quota, keeps track of every handle it
+issued, and streams results back *in completion order* — the shape an
+interactive tool wants ("show me each corner as it lands"), not
+submission order.
+
+Quota rejections are real rejections: they raise
+:class:`~repro.serve.admission.RejectedError` with reason
+``"quota_exceeded"`` and are counted under ``serve.rejected`` like any
+front-door refusal, so the accounting invariant
+(``requests == admitted + rejected``) keeps holding with sessions in
+the picture.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Any, Iterator
+
+from repro.serve.admission import RejectedError
+from repro.serve.broker import Broker, ResultHandle, Workload
+
+
+class Session:
+    """One client's view of the serving layer.
+
+    Parameters
+    ----------
+    broker:
+        The broker to submit through (must be started).
+    client:
+        Client identity — the admission controller's rate-limit key and
+        the request log's attribution field.
+    priority:
+        Priority class for every submission (``"interactive"`` or
+        ``"batch"``); individual submits may override.
+    quota:
+        Optional cap on total submissions through this session;
+        exceeding it is a counted ``"quota_exceeded"`` rejection.
+    deadline_s:
+        Default relative deadline applied to submissions that do not
+        carry their own.
+    """
+
+    def __init__(self, broker: Broker, client: str, *,
+                 priority: str = "interactive",
+                 quota: int | None = None,
+                 deadline_s: float | None = None):
+        if quota is not None and quota < 1:
+            raise ValueError("quota must be >= 1 (or None)")
+        self.broker = broker
+        self.client = client
+        self.priority = priority
+        self.quota = quota
+        self.deadline_s = deadline_s
+        self.submitted = 0
+        self.handles: list[ResultHandle] = []
+        self._completed: "queue.Queue[ResultHandle]" = queue.Queue()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, workload: str | Workload, point: Any, *,
+               priority: str | None = None,
+               deadline_s: float | None = None) -> ResultHandle:
+        """Submit one request under this session's identity and quota."""
+        if self.quota is not None and self.submitted >= self.quota:
+            self.broker.count_client_reject(
+                self.client, "quota_exceeded",
+                workload if isinstance(workload, str) else workload.name)
+            raise RejectedError(
+                "quota_exceeded",
+                f"session {self.client!r} used its quota of {self.quota}")
+        handle = self.broker.submit(
+            workload, point, client=self.client,
+            priority=priority if priority is not None else self.priority,
+            deadline_s=deadline_s if deadline_s is not None
+            else self.deadline_s)
+        self.submitted += 1
+        self.handles.append(handle)
+        handle.add_done_callback(self._completed.put)
+        return handle
+
+    def map(self, workload: str | Workload, points: Any,
+            **kwargs: Any) -> list[ResultHandle]:
+        """Submit many points; handles in submission order.
+
+        Admission applies per point — a mid-list rejection propagates
+        after the earlier points were admitted (they stay in flight).
+        """
+        return [self.submit(workload, p, **kwargs) for p in points]
+
+    # -- streaming results ---------------------------------------------
+    def results(self, timeout: float | None = None) -> Iterator[ResultHandle]:
+        """Yield this session's handles as they reach a terminal state.
+
+        Completion order, not submission order: expired and cancelled
+        handles are yielded too (their ``result()`` raises), so callers
+        see every admitted request exactly once.  ``timeout`` bounds the
+        wait for *each next* handle; running out raises ``TimeoutError``
+        with requests still in flight.
+        """
+        pending = len(self.handles)
+        yielded = 0
+        while yielded < pending:
+            try:
+                handle = self._completed.get(timeout=timeout)
+            except queue.Empty:
+                raise TimeoutError(
+                    f"{pending - yielded} request(s) still in flight")
+            yielded += 1
+            yield handle
+            pending = len(self.handles)  # submits during iteration count
+
+    def cancel_pending(self) -> int:
+        """Cancel every not-yet-dispatched request; returns how many."""
+        return sum(1 for h in self.handles if h.cancel())
+
+    # -- context manager -----------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # An erroring client should not leave work queued on the shared
+        # broker; a clean exit leaves in-flight requests to finish.
+        if exc_type is not None:
+            self.cancel_pending()

@@ -350,19 +350,27 @@ def pulse_detector_flow(seed: int = 1,
     graph.add("verify", _verify, deps=["synthesize"])
     graph.add("check", _check, deps=["synthesize", "verify"])
 
-    status = "ok"
+    from repro.analysis.dcop import ConvergenceError
+    from repro.analysis.mna import SingularCircuitError
+
     try:
         with span_if(engine.tracer, "pulse_detector_flow"):
             results = graph.run(engine=engine,
                                 retry_policy=config.retry_policy)
-    except Exception:
-        status = "error"
+    except (ConvergenceError, SingularCircuitError):
+        # Domain failures of the synthesize/verify stages get an
+        # error-status manifest; anything else is a programming error
+        # and propagates without one — same contract as
+        # measures.output_swing.
         finish_run("pulse_detector_flow", engine, seed=seed, config=config,
-                   status=status)
+                   status="error")
+        engine.close()
+        raise
+    except BaseException:
         engine.close()
         raise
     manifest = finish_run("pulse_detector_flow", engine, seed=seed,
-                          config=config, status=status)
+                          config=config, status="ok")
     report = engine.report()
     engine.close()
     return PulseDetectorRun(

@@ -195,11 +195,36 @@ class TestRetryPolicy:
         assert policy.delay(2) == pytest.approx(0.3)
         assert policy.delay(3) == pytest.approx(0.9)
 
+    def test_jitter_is_deterministic_per_token(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_factor=3.0, jitter=0.5,
+                             jitter_seed=7)
+        # Pure function of (seed, attempt, token): identical across calls,
+        # bounded by [base, base * (1 + jitter)).
+        for attempt, base in ((1, 0.1), (2, 0.3), (3, 0.9)):
+            d = policy.delay(attempt, token="tok-a")
+            assert d == policy.delay(attempt, token="tok-a")
+            assert base <= d < base * 1.5
+        # Distinct tokens de-synchronize; distinct seeds reshuffle.
+        assert policy.delay(1, token="tok-a") != \
+            policy.delay(1, token="tok-b")
+        reseeded = RetryPolicy(backoff_s=0.1, backoff_factor=3.0,
+                               jitter=0.5, jitter_seed=8)
+        assert policy.delay(1, token="tok-a") != \
+            reseeded.delay(1, token="tok-a")
+
+    def test_no_jitter_without_token_or_with_zero_jitter(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_factor=3.0, jitter=0.5)
+        assert policy.delay(2) == pytest.approx(0.3)
+        flat = RetryPolicy(backoff_s=0.1, backoff_factor=3.0, jitter=0.0)
+        assert flat.delay(2, token="tok-a") == pytest.approx(0.3)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
 
 
 # ----------------------------------------------------------------------
