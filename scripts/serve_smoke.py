@@ -13,7 +13,7 @@ rejection path fires at least once).  The gate then fails loudly unless:
 * the serve accounting invariant holds exactly — zero silent drops::
 
       requests == admitted + rejected
-      admitted == completed + expired + cancelled
+      admitted == completed + expired + cancelled + errored
 
 * every admitted-and-not-cancelled request produced a result;
 * a serial :func:`repro.serve.replay` of the recorded request stream
@@ -159,9 +159,12 @@ def main(argv: list[str] | None = None) -> int:
     serve = report["serve"]
     if serve["requests"] != serve["admitted"] + serve["rejected"]:
         _fail(f"silent drop at admission: {serve}")
-    settled = serve["completed"] + serve["expired"] + serve["cancelled"]
+    settled = (serve["completed"] + serve["expired"] + serve["cancelled"]
+               + serve["errored"])
     if serve["admitted"] != settled:
         _fail(f"admitted request unaccounted for: {serve}")
+    if serve["errored"]:
+        _fail(f"dispatcher-side engine errors under smoke load: {serve}")
     if serve["rejected"] < 1 or serve["cancelled"] < 1:
         _fail(f"smoke load failed to exercise rejection/cancellation: "
               f"{serve}")
@@ -183,7 +186,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"accounting: requests={serve['requests']} = "
           f"admitted {serve['admitted']} + rejected {serve['rejected']}; "
           f"admitted = completed {serve['completed']} + expired "
-          f"{serve['expired']} + cancelled {serve['cancelled']}")
+          f"{serve['expired']} + cancelled {serve['cancelled']} "
+          f"+ errored {serve['errored']}")
     print(f"batching: {serve['batches']} batches, mean size {mbs:.1f}, "
           f"p99 latency {serve['latency_p99_s'] * 1e3:.0f} ms")
     print(f"replay: {rep.replayed} replayed, {rep.matched} matched")

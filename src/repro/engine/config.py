@@ -64,6 +64,14 @@ class ServeConfig:
         batches with ``batch``-class work waiting, one ``batch`` batch
         is served — strict-priority latency for interactive traffic
         without starving bulk clients.
+    http_max_wait_s:
+        Server-side ceiling on how long one HTTP ``/evaluate`` or
+        ``/synthesize`` handler blocks when the request carries neither
+        a ``timeout_s`` nor any deadline — without it a few such
+        requests would pin ``ThreadingHTTPServer`` threads (and their
+        connections) forever.  Hitting the ceiling answers 504 with
+        ``outcome="pending"``; the request itself stays in flight.
+        ``None`` disables the ceiling.
     """
 
     max_batch: int = 16
@@ -73,6 +81,7 @@ class ServeConfig:
     burst: int = 32
     default_deadline_s: float | None = None
     interactive_burst: int = 4
+    http_max_wait_s: float | None = 300.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -87,6 +96,8 @@ class ServeConfig:
             raise ValueError("burst must be >= 1")
         if self.interactive_burst < 1:
             raise ValueError("interactive_burst must be >= 1")
+        if self.http_max_wait_s is not None and self.http_max_wait_s <= 0:
+            raise ValueError("http_max_wait_s must be positive (or None)")
 
     def describe(self) -> dict:
         return {
@@ -97,6 +108,7 @@ class ServeConfig:
             "burst": self.burst,
             "default_deadline_s": self.default_deadline_s,
             "interactive_burst": self.interactive_burst,
+            "http_max_wait_s": self.http_max_wait_s,
         }
 
 

@@ -88,6 +88,7 @@ REQUIRED_SERVE_KEYS = (
     "rejected",
     "expired",
     "cancelled",
+    "errored",
     "completed",
     "batches",
     "batched",
@@ -131,6 +132,7 @@ def serve_rollup(counters: dict, latency_samples: list | None = None) -> dict:
         "rejected": int(counters.get("serve.rejected", 0)),
         "expired": int(counters.get("serve.expired", 0)),
         "cancelled": int(counters.get("serve.cancelled", 0)),
+        "errored": int(counters.get("serve.errored", 0)),
         "completed": int(counters.get("serve.completed", 0)),
         "batches": batches,
         "batched": batched,

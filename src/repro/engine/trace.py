@@ -198,12 +198,20 @@ class Tracer:
 
     # -- spans ---------------------------------------------------------
     @contextmanager
-    def span(self, name: str) -> Iterator[Span]:
+    def span(self, name: str, *,
+             duration_s: float | None = None) -> Iterator[Span]:
         """Open a child span of the current span (or a new root span).
 
         Naming convention: lowercase, ``_``-separated component names;
         the hierarchy, not the name, encodes context (``size``, not
         ``cell_flow_size``).  Paths join names with ``/``.
+
+        ``duration_s`` records a *pre-timed* span: the given duration is
+        used instead of the measured wall time, on both the span and its
+        ``span_end`` event.  Use it to attribute work that already
+        happened elsewhere (e.g. the serving layer re-attributing one
+        batch's wall time to the requests inside it) without the event
+        log and the span tree disagreeing about the duration.
         """
         parent = self.current_span
         path = f"{parent.path}/{name}" if parent is not None else name
@@ -221,7 +229,8 @@ class Tracer:
             sp.status = "error"
             raise
         finally:
-            sp.duration_s = time.perf_counter() - t0
+            sp.duration_s = duration_s if duration_s is not None \
+                else time.perf_counter() - t0
             sp.counters = {
                 k: v - before.get(k, 0)
                 for k, v in self.telemetry.counters.items()

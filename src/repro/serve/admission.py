@@ -9,7 +9,7 @@ accounting invariant the smoke tests assert is::
 
     serve.requests == serve.admitted + serve.rejected
     serve.admitted == serve.completed + serve.expired + serve.cancelled
-                      (once the queues drain)
+                      + serve.errored   (once the queues drain)
 
 Two admission gates run at submit time, cheapest first:
 

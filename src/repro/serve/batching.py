@@ -49,20 +49,23 @@ class MicroBatcher:
 
     def assemble(self, cond: threading.Condition, queue: list, first,
                  compatible: Callable, ready: Callable,
-                 on_drop: Callable) -> list:
+                 on_drop: Callable, on_add: Callable) -> list:
         """Build a batch around ``first`` from ``queue`` (cond held).
 
         ``compatible(a, b)`` says two requests may share a
         ``map_evaluate`` call (same workload); ``ready(r)`` says a
         request is still worth dispatching (not expired, not cancelled);
-        ``on_drop(r, reason)`` disposes of one that is not.  Compatible
+        ``on_drop(r, reason)`` disposes of one that is not;
+        ``on_add(r)`` fires the moment a request joins the batch — the
+        broker claims it there, so a cancel racing the open batch window
+        loses exactly as it does against a dequeued request.  Compatible
         requests are removed from ``queue`` in FIFO order; incompatible
         ones stay untouched, in place, for a later batch.
         """
         batch = [first]
         deadline = self.clock() + self.max_wait_s
         while True:
-            self._drain(queue, batch, compatible, ready, on_drop)
+            self._drain(queue, batch, compatible, ready, on_drop, on_add)
             if len(batch) >= self.max_batch:
                 break
             remaining = deadline - self.clock()
@@ -74,7 +77,7 @@ class MicroBatcher:
         return batch
 
     def _drain(self, queue: list, batch: list, compatible: Callable,
-               ready: Callable, on_drop: Callable) -> None:
+               ready: Callable, on_drop: Callable, on_add: Callable) -> None:
         i = 0
         while i < len(queue) and len(batch) < self.max_batch:
             req = queue[i]
@@ -84,6 +87,7 @@ class MicroBatcher:
                 continue
             if compatible(batch[0], req):
                 queue.pop(i)
+                on_add(req)
                 batch.append(req)
                 continue
             i += 1

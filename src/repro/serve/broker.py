@@ -21,12 +21,15 @@ Lifecycle of a request::
 
 Every transition is counted (``serve.requests``, ``serve.admitted``,
 ``serve.rejected``, ``serve.expired``, ``serve.cancelled``,
-``serve.completed``, ``serve.batches``, ``serve.batched``,
-``serve.batch_size.<n>``) and per-request latencies are sampled into the
-engine telemetry, so ``engine.report()["serve"]`` — report schema v4 —
-states the whole story, percentiles included.  Nothing is ever silently
-dropped: ``admitted == completed + expired + cancelled`` once the queues
-drain.
+``serve.errored``, ``serve.completed``, ``serve.batches``,
+``serve.batched``, ``serve.batch_size.<n>``) and per-request latencies
+are sampled into the engine telemetry, so ``engine.report()["serve"]``
+— report schema v4 — states the whole story, percentiles included.
+Nothing is ever silently dropped:
+``admitted == completed + expired + cancelled + errored`` once the
+queues drain (``errored`` is the dispatcher-side failure lane: the
+engine call itself raised, and every request of that batch was failed
+with the raising exception).
 
 Threading model: client threads touch only ``submit``/``cancel`` (which
 take the broker lock) and handle waits; the dispatcher thread is the
@@ -83,10 +86,11 @@ class ResultHandle:
     ``result(timeout)`` blocks until the request completes (returning
     the evaluation result, :class:`~repro.engine.faults.EvalFailure`
     included — failures are values), or raises the terminal error:
-    :class:`DeadlineExpiredError`, :class:`RequestCancelledError`, or
+    :class:`DeadlineExpiredError`, :class:`RequestCancelledError`, the
+    engine-side exception for an ``"errored"`` batch, or
     ``TimeoutError`` if the wait itself runs out (the request stays
     in flight).  ``outcome`` is one of ``"pending"``, ``"completed"``,
-    ``"expired"``, ``"cancelled"``.
+    ``"expired"``, ``"cancelled"``, ``"errored"``.
     """
 
     def __init__(self, broker: "Broker", request: "_Request"):
@@ -401,7 +405,8 @@ class Broker:
                     self._cond, self._queues[cls], first,
                     compatible=lambda a, b: a.workload is b.workload,
                     ready=self._ready,
-                    on_drop=lambda r, _where: self._claim_drop(r))
+                    on_drop=lambda r, _where: self._claim_drop(r),
+                    on_add=self._claim)
                 t_assembled = self.clock()
             self._execute(batch, t_assembled)
 
@@ -490,14 +495,19 @@ class Broker:
                                               key_fn=workload.key_fn)
         except BaseException as exc:
             # map_evaluate raising (no retry policy installed) must not
-            # kill the dispatcher: fail the whole batch loudly.
+            # kill the dispatcher: fail the whole batch loudly — in its
+            # own ``errored`` lane, so dispatcher-side failures stay
+            # distinguishable from client cancellations in the counters
+            # and the request log.
             if span_cm is not None:
                 span_cm.__exit__(type(exc), exc, exc.__traceback__)
             with self._cond:
                 for req in batch:
-                    self.engine.telemetry.count("serve.cancelled")
-                    req.handle._fail("cancelled", exc)
-                    self._record(req, outcome="cancelled")
+                    if req.handle.done():
+                        continue  # already settled and counted elsewhere
+                    self.engine.telemetry.count("serve.errored")
+                    req.handle._fail("errored", exc)
+                    self._record(req, outcome="errored")
             return
         if span_cm is not None:
             span_cm.__exit__(None, None, None)
@@ -507,45 +517,50 @@ class Broker:
             tele.count("serve.batches")
             tele.count("serve.batched", len(batch))
             tele.count(f"serve.batch_size.{len(batch)}")
+            completed = []
             for req, value in zip(batch, values):
+                if req.handle.done():
+                    continue  # already settled and counted elsewhere
                 tele.count("serve.completed")
                 tele.record_sample("serve.latency_s", t_done - req.t_submit)
                 req.handle._complete(value)
                 self._record(req, outcome="completed",
                              result_digest=result_digest(value))
+                completed.append(req)
             if tracer is not None:
-                self._trace_requests(tracer, batch, t_assembled, t_done)
+                self._trace_requests(tracer, completed, t_assembled, t_done)
 
     def _trace_requests(self, tracer, batch: list[_Request],
                         t_assembled: float, t_done: float) -> None:
         """One ``serve.request`` span (+ phase children) per request.
 
-        The spans are entered and exited immediately — the work already
-        happened inside the ``serve.batch`` span — and their durations
-        are then set from the request's recorded timestamps, so the span
-        tree still reads as queue-wait / batch-wait / execute phases.
+        The work already happened inside the ``serve.batch`` span, so
+        the spans are recorded *pre-timed*: the durations come from the
+        request's timestamps and are handed to ``tracer.span`` up front,
+        which makes the ``span_end`` events and the span tree agree on
+        every queue-wait / batch-wait / execute phase duration.
         """
         for req in batch:
-            with tracer.span("serve.request") as sp:
-                with tracer.span("queue_wait") as s_queue:
-                    pass
-                with tracer.span("batch_wait") as s_batch:
-                    pass
-                with tracer.span("execute") as s_exec:
-                    pass
             t_dequeue = req.t_dequeue if req.t_dequeue is not None \
                 else t_assembled
-            s_queue.duration_s = max(0.0, t_dequeue - req.t_submit)
-            s_batch.duration_s = max(0.0, t_assembled - t_dequeue)
-            s_exec.duration_s = max(0.0, t_done - t_assembled)
-            sp.duration_s = max(0.0, t_done - req.t_submit)
+            queue_wait = max(0.0, t_dequeue - req.t_submit)
+            batch_wait = max(0.0, t_assembled - t_dequeue)
+            execute = max(0.0, t_done - t_assembled)
+            latency = max(0.0, t_done - req.t_submit)
+            with tracer.span("serve.request", duration_s=latency):
+                with tracer.span("queue_wait", duration_s=queue_wait):
+                    pass
+                with tracer.span("batch_wait", duration_s=batch_wait):
+                    pass
+                with tracer.span("execute", duration_s=execute):
+                    pass
             tracer.event("serve.request", seq=req.seq, client=req.client,
                          workload=req.workload.name, priority=req.priority,
                          status="completed",
-                         queue_wait_s=s_queue.duration_s,
-                         batch_wait_s=s_batch.duration_s,
-                         execute_s=s_exec.duration_s,
-                         latency_s=sp.duration_s)
+                         queue_wait_s=queue_wait,
+                         batch_wait_s=batch_wait,
+                         execute_s=execute,
+                         latency_s=latency)
 
     # -- request log ---------------------------------------------------
     def _record(self, req: _Request | None, outcome: str,

@@ -6,8 +6,12 @@ Four endpoints, JSON in / JSON out, no framework:
   "priority":, "deadline_s":, "timeout_s":}``; blocks until the request
   reaches a terminal state and returns the result (or the structured
   error).  Admission failures map to **429** with the rejection reason,
-  deadline expiry to **504**, cancellation to **409** — backpressure is
-  visible in the status code, never a hang or a silent drop.
+  deadline expiry to **504**, cancellation to **409**, a dispatcher-side
+  engine error to **500** — backpressure is visible in the status code,
+  never a hang or a silent drop.  A request that carries neither
+  ``timeout_s`` nor any deadline is still bounded by the server-side
+  ``ServeConfig.http_max_wait_s`` ceiling (504, ``outcome="pending"``),
+  so idle clients cannot pin handler threads forever.
 * ``POST /synthesize`` — same contract against the workload the app was
   constructed with as its synthesis entrypoint (the full
   sizing-loop-as-a-service shape from the ROADMAP).
@@ -79,18 +83,25 @@ class ServeApp:
     def _run(self, workload: str, body: dict) -> tuple[int, dict]:
         if "point" not in body:
             return 400, {"error": "body must carry a 'point'"}
+        deadline_s = body.get("deadline_s")
         try:
             handle = self.broker.submit(
                 workload, body["point"],
                 client=str(body.get("client", "http")),
                 priority=str(body.get("priority", "interactive")),
-                deadline_s=body.get("deadline_s"))
+                deadline_s=deadline_s)
         except RejectedError as exc:
             return 429, {"error": str(exc), "reason": exc.reason}
         except (KeyError, ValueError) as exc:
             return 400, {"error": str(exc)}
+        timeout = body.get("timeout_s")
+        if (timeout is None and deadline_s is None
+                and self.broker.config.default_deadline_s is None):
+            # Nothing else bounds this wait: apply the server-side
+            # ceiling so a handler thread is never pinned forever.
+            timeout = self.broker.config.http_max_wait_s
         try:
-            value = handle.result(timeout=body.get("timeout_s"))
+            value = handle.result(timeout=timeout)
         except DeadlineExpiredError as exc:
             return 504, {"error": str(exc), "outcome": "expired"}
         except RequestCancelledError as exc:
@@ -98,6 +109,10 @@ class ServeApp:
         except TimeoutError as exc:
             # The *wait* timed out; the request itself is still live.
             return 504, {"error": str(exc), "outcome": "pending"}
+        except Exception as exc:
+            # The dispatcher failed the batch with the engine's own
+            # exception (handle.outcome == "errored").
+            return 500, {"error": str(exc), "outcome": "errored"}
         return 200, {"outcome": "completed", "result": _json_safe(value)}
 
 

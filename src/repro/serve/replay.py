@@ -51,7 +51,7 @@ class ReplayReport:
     replayed: int = 0         # completed records re-evaluated
     matched: int = 0
     mismatched: list[dict] = field(default_factory=list)
-    skipped: int = 0          # rejected/expired/cancelled records
+    skipped: int = 0          # rejected/expired/cancelled/errored records
 
     @property
     def ok(self) -> bool:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -75,7 +76,7 @@ def assert_accounting(serve: dict) -> None:
     """The zero-silent-drops invariant, with queues drained."""
     assert serve["requests"] == serve["admitted"] + serve["rejected"]
     assert serve["admitted"] == (serve["completed"] + serve["expired"]
-                                 + serve["cancelled"])
+                                 + serve["cancelled"] + serve["errored"])
 
 
 # ----------------------------------------------------------------------
@@ -267,6 +268,34 @@ class TestCancellation:
         broker.close()
         assert_accounting(serve_section(broker))
 
+    def test_cancel_loses_once_coalesced_into_open_batch(self):
+        """A request drained into an open batch window is claimed at
+        drain time, so a racing cancel loses — it must not settle the
+        request as cancelled while the batch also completes it."""
+        clock = FakeClock()
+        # The frozen fake clock keeps the batch window open forever; the
+        # batch only closes when max_batch is reached, which makes the
+        # open-window state deterministic to observe.
+        broker = make_broker(
+            ServeConfig(max_wait_ms=1000.0, max_batch=3), clock=clock)
+        broker.start()
+        first = broker.submit("square", {"x": 1})
+        second = broker.submit("square", {"x": 2})
+        deadline = time.monotonic() + 5.0
+        while not second._request.claimed:
+            assert time.monotonic() < deadline, \
+                "dispatcher never drained the second request"
+            time.sleep(0.005)
+        assert second.cancel() is False  # claimed inside the open window
+        third = broker.submit("square", {"x": 3})  # closes the batch
+        assert [h.result(timeout=5)["y"]
+                for h in (first, second, third)] == [1, 4, 9]
+        broker.close()
+        serve = serve_section(broker)
+        assert serve["completed"] == 3 and serve["cancelled"] == 0
+        assert serve["batches"] == 1 and serve["batched"] == 3
+        assert_accounting(serve)
+
     def test_close_without_drain_cancels_loudly(self):
         broker = make_broker(ServeConfig(max_wait_ms=0))
         handles = [broker.submit("square", {"x": i}) for i in range(3)]
@@ -277,6 +306,43 @@ class TestCancellation:
         serve = serve_section(broker)
         assert serve["cancelled"] == 3
         assert_accounting(serve)
+
+
+# ----------------------------------------------------------------------
+# Dispatcher-side engine errors
+# ----------------------------------------------------------------------
+
+class TestEngineErrors:
+    def test_engine_exception_fails_batch_as_errored(self):
+        """``map_evaluate`` raising (no retry policy installed) fails
+        every request of that batch in the distinct ``errored`` lane —
+        not ``cancelled`` — and the dispatcher survives to serve the
+        next batch."""
+        def boom(point):
+            raise RuntimeError("simulator exploded")
+
+        broker = make_broker(ServeConfig(max_wait_ms=0, max_batch=4))
+        broker.register(Workload("boom", boom))
+        broker.start()
+        doomed = [broker.submit("boom", {"x": i}) for i in range(2)]
+        ok = broker.submit("square", {"x": 3})
+        assert ok.result(timeout=5) == {"y": 9}
+        for handle in doomed:
+            with pytest.raises(RuntimeError, match="simulator exploded"):
+                handle.result(timeout=5)
+            assert handle.outcome == "errored"
+        broker.close()
+        serve = serve_section(broker)
+        assert serve["errored"] == 2
+        assert serve["cancelled"] == 0 and serve["completed"] == 1
+        assert_accounting(serve)
+        outcomes = {r["seq"]: r["outcome"] for r in broker.request_log}
+        assert sorted(outcomes.values()) == [
+            "completed", "errored", "errored"]
+        # The request log is replayable: errored records are skipped.
+        rep = replay(broker.request_log, broker.workloads)
+        rep.assert_ok()
+        assert rep.skipped == 2 and rep.replayed == 1
 
 
 # ----------------------------------------------------------------------
@@ -528,6 +594,33 @@ class TestHttp:
             assert status == 429 and out["reason"] == "queue_full"
         broker.close()
 
+    def test_unbounded_wait_is_capped_server_side(self):
+        """No timeout_s and no deadline anywhere: the handler thread is
+        released by the ``http_max_wait_s`` ceiling, 504 pending."""
+        broker = make_broker(
+            ServeConfig(max_wait_ms=0, http_max_wait_s=0.2))
+        try:
+            with make_server(broker) as server:  # broker NOT started:
+                status, out = self.request(      # the request never runs
+                    server.url + "/evaluate",
+                    {"workload": "square", "point": {"x": 1}})
+                assert status == 504 and out["outcome"] == "pending"
+        finally:
+            broker.close()
+
+    def test_engine_error_maps_to_500(self):
+        def boom(point):
+            raise RuntimeError("simulator exploded")
+
+        broker = make_broker(ServeConfig(max_wait_ms=0))
+        broker.register(Workload("boom", boom))
+        with broker, make_server(broker) as server:
+            status, out = self.request(
+                server.url + "/evaluate",
+                {"workload": "boom", "point": {"x": 1}})
+            assert status == 500 and out["outcome"] == "errored"
+            assert "simulator exploded" in out["error"]
+
 
 # ----------------------------------------------------------------------
 # Schemas: report v4 and manifest v3 carry the serve story
@@ -572,3 +665,34 @@ class TestSchemas:
         names = {name for root in manifest["report"].get("spans", [])
                  for name in walk(root)}
         assert "serve.batch" in names and "serve.request" in names
+
+    def test_serve_request_span_end_events_match_span_tree(self):
+        """The ``span_end`` events and the span tree agree on every
+        serve.request phase duration (the spans are recorded pre-timed,
+        so the event log must not report the ~0 enter/exit time)."""
+        config = EngineConfig(trace=True,
+                              serve=ServeConfig(max_wait_ms=0, max_batch=4))
+        engine = EvaluationEngine.from_config(config)
+        broker = Broker(engine, config=config.serve, owns_engine=True)
+        broker.register(Workload("square", square))
+        with broker:
+            for handle in [broker.submit("square", {"x": i})
+                           for i in range(4)]:
+                handle.result(timeout=5)
+        tree: dict[str, list] = {}
+        for root in engine.tracer.roots:
+            for span in root.walk():
+                tree.setdefault(span.path, []).append(span.duration_s)
+        events: dict[str, list] = {}
+        for record in engine.tracer.events:
+            if (record["kind"] == "span_end"
+                    and record["span"].startswith("serve.request")):
+                events.setdefault(record["span"], []).append(
+                    record["duration_s"])
+        assert set(events) == {
+            "serve.request", "serve.request/queue_wait",
+            "serve.request/batch_wait", "serve.request/execute"}
+        for path, durations in events.items():
+            assert sorted(durations) == sorted(tree[path])
+        # The latencies are the real request latencies, not enter/exit.
+        assert any(d > 0 for d in events["serve.request"])
