@@ -294,6 +294,98 @@ def test_power_grid_solver_speedup():
 
 
 # ----------------------------------------------------------------------
+# surrogate layer: screened vs unscreened pulse-detector sizing
+# ----------------------------------------------------------------------
+
+def test_surrogate_screening_sim_reduction():
+    """Cache-trained surrogate screening on the Table 1 pulse detector.
+
+    The paper's sizing bill is dominated by simulator calls, so the
+    screen's job is to spend most of each batch on predictions and only
+    simulate the candidates that matter (top-ranked, high-uncertainty,
+    claimed winners).  Gates, pinned at seed 7 where the run is fully
+    deterministic: >= 2x fewer real evaluations than the unscreened
+    baseline at equal-or-better final cost (5% tolerance), and warm
+    per-batch surrogate overhead under 10% of one real transient
+    simulation.
+    """
+    from repro.engine import SurrogateConfig, canonical_key
+    from repro.opt.anneal import anneal_continuous
+    from repro.surrogate import FeatureSpec, SurrogateScreen
+    from repro.synthesis.pulse_detector import (
+        MANUAL_DESIGN,
+        pulse_detector_performance,
+        pulse_detector_space,
+        pulse_detector_specs,
+        verified_peaking_time,
+    )
+
+    specs = pulse_detector_specs()
+    space = pulse_detector_space()
+    schedule = AnnealSchedule(moves_per_temperature=24, cooling=0.7,
+                              max_evaluations=600, stop_after_stale=5)
+
+    def cost(point):
+        return specs.cost(pulse_detector_performance(point))
+
+    def run(screened):
+        cont = space.to_continuous()
+        engine = EvaluationEngine.from_config(EngineConfig(cache=True))
+        screen = None
+        if screened:
+            spec = FeatureSpec.from_continuous(cont)
+            screen = SurrogateScreen(
+                featurize=lambda x: spec.encode(cont.to_dict(x)),
+                config=SurrogateConfig(min_fit=32, refit_every=16),
+                telemetry=engine.telemetry)
+        result = anneal_continuous(
+            cost, cont, schedule=schedule, seed=7,
+            executor=engine.keyed(lambda x: canonical_key("pd", x)),
+            batch_size=8, surrogate=screen)
+        predict_s = list(engine.telemetry.sample_values(
+            "surrogate.predict_s"))
+        rep = engine.report()
+        engine.close()
+        return result, rep, predict_s
+
+    off, r_off, _ = run(screened=False)
+    on, r_on, predict_s = run(screened=True)
+
+    evals_off = r_off["counters"]["engine.evaluations"]
+    evals_on = r_on["counters"]["engine.evaluations"]
+    ratio = evals_off / max(evals_on, 1)
+    sur = r_on["surrogate"]
+    # Warm overhead: one prediction pass per screened batch.
+    per_batch_s = sum(predict_s) / max(len(predict_s), 1)
+    t0 = time.perf_counter()
+    verified_peaking_time(MANUAL_DESIGN)
+    sim_s = time.perf_counter() - t0
+
+    report("surrogate screening: pulse-detector sizing (seed 7)", [
+        ("unscreened simulator evals", "--", str(evals_off)),
+        ("screened simulator evals", "--", str(evals_on)),
+        ("eval reduction", ">= 2x", f"{ratio:.2f}x"),
+        ("sims avoided", "--", str(sur["sims_avoided"])),
+        ("verify misses", "--", str(sur["verify_misses"])),
+        ("unscreened final cost", "--", f"{off.best_cost:.4f}"),
+        ("screened final cost", "<= 1.05x base", f"{on.best_cost:.4f}"),
+        ("surrogate overhead / batch", "< 10% of sim",
+         f"{per_batch_s * 1e3:.2f} ms"),
+        ("one real transient sim", "--", f"{sim_s * 1e3:.0f} ms"),
+    ])
+
+    assert ratio >= 2.0, "screen must at least halve real simulator evals"
+    # Pinned per-seed tolerance: at seed 7 the screened run actually
+    # finds a *better* design; 5% slack absorbs any future retuning.
+    assert on.best_cost <= off.best_cost * 1.05
+    assert sur["sims_avoided"] > 0
+    # The winner rule keeps the reported best honest — re-check for real.
+    best_point = space.to_continuous().to_dict(on.best_state)
+    assert on.best_cost == cost(best_point)
+    assert per_batch_s < 0.1 * sim_s
+
+
+# ----------------------------------------------------------------------
 # serving layer: batched service vs serial request-at-a-time
 # ----------------------------------------------------------------------
 

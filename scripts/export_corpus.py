@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Export a surrogate training corpus from an evaluation-cache directory.
+
+Joins a disk :class:`~repro.engine.EvalCache` (content-addressed
+``*.pkl`` performance records) with the ``corpus_index.jsonl`` sidecar
+that maps cache keys back to the sizing dictionaries that produced them
+(written by screened sizing runs and by serve brokers configured with
+``corpus_dir``), and writes the resulting (features, cost) corpus as
+JSONL — the warm-start file screened runs read on boot.
+
+Without ``--space``, raw sizing values (sorted by parameter name) are
+used as features and the cached value must be numeric; with
+``--space pulse_detector``, sizings are featurized through the design
+space's log/linear scaling and costs come from the block's spec set.
+
+Usage::
+
+    PYTHONPATH=src python scripts/export_corpus.py \
+        --cache-dir run-cache --index run-cache/corpus_index.jsonl \
+        --out corpus.jsonl [--space pulse_detector] [--max-records 4096]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.engine import EvalCache
+from repro.surrogate import Corpus, CorpusIndex, FeatureSpec, harvest_cache
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", type=Path, required=True,
+                        help="disk cache directory (*.pkl records)")
+    parser.add_argument("--index", type=Path, required=True,
+                        help="corpus_index.jsonl mapping keys to sizings")
+    parser.add_argument("--out", type=Path, required=True,
+                        help="output corpus JSONL path")
+    parser.add_argument("--space", choices=["pulse_detector"],
+                        help="featurize/cost through a known design space")
+    parser.add_argument("--max-records", type=int, default=4096)
+    args = parser.parse_args(argv)
+
+    if not args.cache_dir.is_dir():
+        print(f"error: {args.cache_dir} is not a directory",
+              file=sys.stderr)
+        return 1
+    index = CorpusIndex.load(args.index)
+    if not index:
+        print(f"error: no index records in {args.index}", file=sys.stderr)
+        return 1
+
+    feature_spec = cost_fn = None
+    if args.space == "pulse_detector":
+        from repro.synthesis.pulse_detector import (
+            pulse_detector_space,
+            pulse_detector_specs,
+        )
+        feature_spec = FeatureSpec.from_continuous(
+            pulse_detector_space().to_continuous())
+        cost_fn = pulse_detector_specs().cost
+
+    cache = EvalCache(disk_dir=args.cache_dir)
+    corpus = harvest_cache(cache, index, feature_spec=feature_spec,
+                           cost_fn=cost_fn,
+                           corpus=Corpus(max_records=args.max_records))
+    if len(corpus) == 0:
+        print("error: harvest produced no records (keys in the index "
+              "never joined a cached success)", file=sys.stderr)
+        return 1
+    path = corpus.to_jsonl(args.out)
+    finite = sum(1 for r in corpus.records
+                 if r.cost == r.cost and abs(r.cost) != float("inf"))
+    print(f"index keys: {len(index)}")
+    print(f"corpus records: {len(corpus)} ({finite} finite-cost)")
+    print(f"wrote: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ manifest schemas.
 """
 
 from repro.engine.cache import CacheStats, EvalCache, canonical_key
-from repro.engine.config import EngineConfig, ServeConfig
+from repro.engine.config import EngineConfig, ServeConfig, SurrogateConfig
 from repro.engine.core import EvaluationEngine, KeyedEngine
 from repro.engine.executor import (
     BatchStats,
@@ -38,6 +38,7 @@ from repro.engine.schema import (
     check_report,
     serve_rollup,
     solver_rollup,
+    surrogate_rollup,
     validate_manifest,
 )
 from repro.engine.telemetry import Telemetry, TimerStat
@@ -76,6 +77,7 @@ __all__ = [
     "SerialExecutor",
     "ServeConfig",
     "Span",
+    "SurrogateConfig",
     "Telemetry",
     "ThreadExecutor",
     "TimerStat",
@@ -93,6 +95,7 @@ __all__ = [
     "solver_rollup",
     "span_if",
     "strip_volatile",
+    "surrogate_rollup",
     "validate_manifest",
     "write_manifest",
 ]

@@ -22,7 +22,7 @@ import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 _MISS = object()
 
@@ -172,6 +172,40 @@ class EvalCache:
 
     def __len__(self) -> int:
         return len(self._store)
+
+    # -- enumeration ---------------------------------------------------
+    def items(self) -> list[tuple[str, Any]]:
+        """Snapshot of the in-memory LRU layer, LRU-first.
+
+        A plain copy of the ``(key, value)`` pairs: recency order and the
+        hit/miss statistics are untouched, so enumerating the cache (for
+        corpus harvesting or debugging) never perturbs what a subsequent
+        run observes.  Values are the stored objects themselves — treat
+        them as immutable, exactly as :meth:`get` callers must.
+        """
+        return list(self._store.items())
+
+    def scan_disk(self) -> Iterator[tuple[str, Any]]:
+        """Enumerate the on-disk layer, sorted by key.
+
+        Yields every readable ``(key, value)`` pickle under ``disk_dir``
+        without promoting anything into the LRU and without touching the
+        statistics.  Unreadable/corrupt files and persisted failure
+        records are skipped — the same values :meth:`get` would refuse
+        to serve.  Yields nothing when there is no disk layer.
+        """
+        if self.disk_dir is None:
+            return
+        for path in sorted(self.disk_dir.glob("*.pkl")):
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError):
+                continue
+            if _is_failure(value):
+                continue
+            yield path.stem, value
 
     # -- internals -----------------------------------------------------
     def _insert(self, key: str, value: Any, write_disk: bool) -> None:

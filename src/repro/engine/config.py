@@ -72,6 +72,15 @@ class ServeConfig:
         connections) forever.  Hitting the ceiling answers 504 with
         ``outcome="pending"``; the request itself stays in flight.
         ``None`` disables the ceiling.
+    corpus_dir:
+        Directory in which the broker appends a ``corpus_index.jsonl``
+        sidecar mapping each completed request's content-addressed cache
+        key to its sizing point.  Together with a disk
+        :class:`~repro.engine.cache.EvalCache` layer this makes served
+        traffic harvestable as surrogate training data
+        (:func:`repro.surrogate.harvest_cache`) — heavy load literally
+        grows the corpus that later makes sizing cheaper.  ``None``
+        (default) records nothing.
     """
 
     max_batch: int = 16
@@ -82,6 +91,7 @@ class ServeConfig:
     default_deadline_s: float | None = None
     interactive_burst: int = 4
     http_max_wait_s: float | None = 300.0
+    corpus_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -109,6 +119,121 @@ class ServeConfig:
             "default_deadline_s": self.default_deadline_s,
             "interactive_burst": self.interactive_burst,
             "http_max_wait_s": self.http_max_wait_s,
+            "corpus_dir": self.corpus_dir,
+        }
+
+
+@dataclass(frozen=True)
+class SurrogateConfig:
+    """Trust-region policy knobs for cache-trained surrogate screening.
+
+    Pure data (no surrogate imports) so an :class:`EngineConfig` can
+    carry it and a run manifest can record it;
+    :class:`repro.surrogate.SurrogateScreen` consumes it.
+
+    Parameters
+    ----------
+    simulate_fraction:
+        Fraction of each screened batch that is always simulated for
+        real — the predicted-best head of the ranking.
+    explore_fraction:
+        Additional fraction simulated purely for model improvement: the
+        highest-``uncertainty`` points of the batch.
+    winner_margin:
+        Relative margin of the claimed-winner rule: any candidate whose
+        *predicted* cost undercuts ``best_real + margin·|best_real|`` is
+        promoted to real simulation.  A predicted cost is therefore
+        never allowed to become the run's best — winners are always
+        verified.
+    min_fit:
+        Corpus size below which the model is cold and every candidate is
+        simulated (the cold-start rule).
+    refit_every:
+        Number of freshly simulated points between model refits.
+    miss_tol:
+        Relative prediction error above which a verified point counts as
+        a ``surrogate.verify_misses`` miss.
+    miss_window / max_miss_rate / fallback_batches:
+        The trust-region fallback: when the rolling miss rate over the
+        last ``miss_window`` verified points exceeds ``max_miss_rate``,
+        screening is suspended for ``fallback_batches`` batches
+        (simulate everything, keep training) before being retried.
+    length_scale / ridge / max_centers / seed:
+        :class:`repro.surrogate.RbfSurrogate` hyper-parameters; ``seed``
+        drives the deterministic center subsample, keeping training
+        byte-stable.
+    max_corpus:
+        Bound on retained training records (oldest evicted first).
+    corpus_dir:
+        Directory for corpus persistence: ``corpus.jsonl`` is loaded on
+        start and rewritten at the end of a screened sizing run, and a
+        ``corpus_index.jsonl`` sidecar (cache key → sizing) written
+        there — by sizing runs or by a serve broker — lets
+        :func:`repro.surrogate.harvest_cache` turn a shared disk
+        :class:`~repro.engine.cache.EvalCache` into training data.
+    """
+
+    simulate_fraction: float = 0.25
+    explore_fraction: float = 0.1
+    winner_margin: float = 0.05
+    min_fit: int = 64
+    refit_every: int = 32
+    miss_tol: float = 0.2
+    miss_window: int = 64
+    max_miss_rate: float = 0.3
+    fallback_batches: int = 4
+    length_scale: float = 0.5
+    ridge: float = 1e-6
+    max_centers: int = 512
+    max_corpus: int = 4096
+    seed: int = 0
+    corpus_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.simulate_fraction <= 1.0:
+            raise ValueError("simulate_fraction must be in (0, 1]")
+        if not 0.0 <= self.explore_fraction <= 1.0:
+            raise ValueError("explore_fraction must be in [0, 1]")
+        if self.winner_margin < 0.0:
+            raise ValueError("winner_margin must be >= 0")
+        if self.min_fit < 2:
+            raise ValueError("min_fit must be >= 2")
+        if self.refit_every < 1:
+            raise ValueError("refit_every must be >= 1")
+        if self.miss_tol <= 0.0:
+            raise ValueError("miss_tol must be positive")
+        if self.miss_window < 1:
+            raise ValueError("miss_window must be >= 1")
+        if not 0.0 < self.max_miss_rate <= 1.0:
+            raise ValueError("max_miss_rate must be in (0, 1]")
+        if self.fallback_batches < 1:
+            raise ValueError("fallback_batches must be >= 1")
+        if self.length_scale <= 0.0:
+            raise ValueError("length_scale must be positive")
+        if self.ridge <= 0.0:
+            raise ValueError("ridge must be positive")
+        if self.max_centers < 1:
+            raise ValueError("max_centers must be >= 1")
+        if self.max_corpus < self.min_fit:
+            raise ValueError("max_corpus must be >= min_fit")
+
+    def describe(self) -> dict:
+        return {
+            "simulate_fraction": self.simulate_fraction,
+            "explore_fraction": self.explore_fraction,
+            "winner_margin": self.winner_margin,
+            "min_fit": self.min_fit,
+            "refit_every": self.refit_every,
+            "miss_tol": self.miss_tol,
+            "miss_window": self.miss_window,
+            "max_miss_rate": self.max_miss_rate,
+            "fallback_batches": self.fallback_batches,
+            "length_scale": self.length_scale,
+            "ridge": self.ridge,
+            "max_centers": self.max_centers,
+            "max_corpus": self.max_corpus,
+            "seed": self.seed,
+            "corpus_dir": self.corpus_dir,
         }
 
 
@@ -134,6 +259,11 @@ class EngineConfig:
         ``tracer`` instance wins.  ``trace_dir`` implies ``trace`` and
         additionally makes traced flows write ``manifest.json`` +
         ``trace.jsonl`` there at the end of the run.
+    serve / surrogate:
+        Optional :class:`ServeConfig` / :class:`SurrogateConfig` blocks.
+        ``surrogate`` makes :class:`repro.synthesis.SimulationBasedSizer`
+        screen candidate batches through a cache-trained surrogate
+        (:mod:`repro.surrogate`) instead of simulating everything.
     """
 
     executor: Executor | str = "serial"
@@ -149,6 +279,7 @@ class EngineConfig:
     tracer: Tracer | None = field(default=None, repr=False)
     trace_dir: str | Path | None = None
     serve: ServeConfig | None = None
+    surrogate: SurrogateConfig | None = None
 
     # -- part builders -------------------------------------------------
     def build_executor(self) -> Executor:
@@ -215,6 +346,8 @@ class EngineConfig:
             if self.trace_dir is not None else None,
             "serve": self.serve.describe() if self.serve is not None
             else None,
+            "surrogate": self.surrogate.describe()
+            if self.surrogate is not None else None,
         }
 
 

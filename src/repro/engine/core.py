@@ -32,6 +32,7 @@ from repro.engine.schema import (
     REPORT_SCHEMA_VERSION,
     serve_rollup,
     solver_rollup,
+    surrogate_rollup,
 )
 from repro.engine.telemetry import Telemetry
 from repro.engine.trace import Tracer
@@ -273,7 +274,10 @@ class EvaluationEngine:
         the ``solver.*`` counters emitted by the shared factor-once/
         solve-many layer (:mod:`repro.analysis.solver`).  Schema v4 adds
         ``serve``: the rollup of the serving layer's ``serve.*`` counters
-        and per-request latency samples (:mod:`repro.serve`).
+        and per-request latency samples (:mod:`repro.serve`).  Schema v5
+        adds ``surrogate``: the rollup of the surrogate screening layer's
+        ``surrogate.*`` counters and fit/predict latency samples
+        (:mod:`repro.surrogate`).
         """
         out = self.telemetry.report()
         out["schema_version"] = REPORT_SCHEMA_VERSION
@@ -284,6 +288,10 @@ class EvaluationEngine:
         out["solver"] = solver_rollup(out["counters"])
         out["serve"] = serve_rollup(
             out["counters"], self.telemetry.sample_values("serve.latency_s"))
+        out["surrogate"] = surrogate_rollup(
+            out["counters"],
+            self.telemetry.sample_values("surrogate.fit_s"),
+            self.telemetry.sample_values("surrogate.predict_s"))
         return out
 
     def close(self) -> None:

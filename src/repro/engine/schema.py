@@ -28,13 +28,16 @@ from typing import Any
 #: executor/cache); v2 adds ``schema_version`` and ``spans``; v3 adds
 #: ``solver`` (rollup of the shared linear-solver layer's counters);
 #: v4 adds ``serve`` (rollup of the serving layer's ``serve.*`` counters
-#: and latency samples).
-REPORT_SCHEMA_VERSION = 4
+#: and latency samples); v5 adds ``surrogate`` (rollup of the surrogate
+#: screening layer's ``surrogate.*`` counters and fit/predict latency
+#: samples).
+REPORT_SCHEMA_VERSION = 5
 
 #: Version of the per-run manifest written by traced flows.
 #: v2 adds the ``solver_*`` rollups sourced from report["solver"];
-#: v3 adds the ``serve_*`` rollups sourced from report["serve"].
-MANIFEST_SCHEMA_VERSION = 3
+#: v3 adds the ``serve_*`` rollups sourced from report["serve"];
+#: v4 adds the ``surrogate_*`` rollups sourced from report["surrogate"].
+MANIFEST_SCHEMA_VERSION = 4
 
 #: Keys every ``report()`` dict must contain, at any version >= 2.
 REQUIRED_REPORT_KEYS = (
@@ -47,6 +50,7 @@ REQUIRED_REPORT_KEYS = (
     "spans",
     "solver",
     "serve",
+    "surrogate",
 )
 
 #: Keys of the ``report["solver"]`` section (schema v3).
@@ -144,6 +148,49 @@ def serve_rollup(counters: dict, latency_samples: list | None = None) -> dict:
     }
 
 
+#: Keys of the ``report["surrogate"]`` section (schema v5).
+REQUIRED_SURROGATE_KEYS = (
+    "fits",
+    "predictions",
+    "screened",
+    "simulated",
+    "sims_avoided",
+    "verify_misses",
+    "fallbacks",
+    "avoid_rate",
+    "fit_latency_p50_s",
+    "predict_latency_p50_s",
+)
+
+
+def surrogate_rollup(counters: dict, fit_samples: list | None = None,
+                     predict_samples: list | None = None) -> dict:
+    """Fold the ``surrogate.*`` counters into the report section.
+
+    All-zero (``avoid_rate`` and percentiles None) when a run never used
+    surrogate screening — the section is always present, like ``solver``
+    and ``serve``, so consumers never need an existence check.  Latency
+    percentiles are nearest-rank over the ``surrogate.fit_s`` /
+    ``surrogate.predict_s`` telemetry samples (keys end in ``_s``:
+    wall-clock values are volatile and stripped from structural digests).
+    """
+    screened = int(counters.get("surrogate.screened", 0))
+    avoided = int(counters.get("surrogate.sims_avoided", 0))
+    return {
+        "fits": int(counters.get("surrogate.fits", 0)),
+        "predictions": int(counters.get("surrogate.predictions", 0)),
+        "screened": screened,
+        "simulated": int(counters.get("surrogate.simulated", 0)),
+        "sims_avoided": avoided,
+        "verify_misses": int(counters.get("surrogate.verify_misses", 0)),
+        "fallbacks": int(counters.get("surrogate.fallbacks", 0)),
+        "avoid_rate": (avoided / screened) if screened else None,
+        "fit_latency_p50_s": _percentile(list(fit_samples or []), 0.50),
+        "predict_latency_p50_s": _percentile(list(predict_samples or []),
+                                             0.50),
+    }
+
+
 _SCHEMA_PATH = Path(__file__).with_name("run_manifest_schema.json")
 
 
@@ -183,6 +230,12 @@ def check_report(report: dict) -> None:
     if missing_serve:
         raise SchemaError(
             f"report['serve'] missing keys: {missing_serve}")
+    surrogate = report["surrogate"]
+    missing_surrogate = [k for k in REQUIRED_SURROGATE_KEYS
+                         if k not in surrogate]
+    if missing_surrogate:
+        raise SchemaError(
+            f"report['surrogate'] missing keys: {missing_surrogate}")
 
 
 def manifest_schema() -> dict:

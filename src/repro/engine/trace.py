@@ -331,6 +331,11 @@ def build_manifest(flow: str, engine, seed: int | None = None,
             "serve_expired": report["serve"]["expired"],
             "serve_batches": report["serve"]["batches"],
             "serve_mean_batch_size": report["serve"]["mean_batch_size"],
+            "surrogate_fits": report["surrogate"]["fits"],
+            "surrogate_predictions": report["surrogate"]["predictions"],
+            "surrogate_sims_avoided": report["surrogate"]["sims_avoided"],
+            "surrogate_verify_misses": report["surrogate"]["verify_misses"],
+            "surrogate_avoid_rate": report["surrogate"]["avoid_rate"],
         },
     }
 

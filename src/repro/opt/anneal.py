@@ -81,6 +81,16 @@ class Annealer(Generic[State]):
         bad point no longer kills the whole synthesis run.  The penalty
         is deterministic, so seeded serial and parallel runs under the
         same fault schedule stay bit-identical.
+    surrogate:
+        Optional :class:`repro.surrogate.SurrogateScreen`.  Every cost
+        batch routes through ``surrogate.screen(raw_map, states)``
+        instead of the raw executor path: only the candidates the
+        trust-region policy selects are actually evaluated, the rest
+        receive predicted costs.  The screen's winner-verification rule
+        guarantees the returned ``best_cost`` always comes from a real
+        evaluation, and its decisions are deterministic per (seed,
+        config), so the batching/executor determinism contract is
+        preserved.
     """
 
     def __init__(self, cost: Callable[[State], float],
@@ -91,7 +101,8 @@ class Annealer(Generic[State]):
                  rng: np.random.Generator | None = None,
                  executor=None,
                  batch_size: int = 1,
-                 failure_cost: float = float("inf")):
+                 failure_cost: float = float("inf"),
+                 surrogate=None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.cost = cost
@@ -102,14 +113,21 @@ class Annealer(Generic[State]):
         self.executor = executor
         self.batch_size = batch_size
         self.failure_cost = failure_cost
+        self.surrogate = surrogate
         self.failures = 0
+
+    def _raw_map(self, states: list[State]) -> list:
+        """The unscreened evaluation path (executor or direct)."""
+        if self.executor is None:
+            return [self.cost(s) for s in states]
+        return list(self.executor.map_evaluate(self.cost, states))
 
     def _map(self, states: list[State]) -> list[float]:
         from repro.engine.faults import is_failure
-        if self.executor is None:
-            raw = [self.cost(s) for s in states]
+        if self.surrogate is not None:
+            raw = self.surrogate.screen(self._raw_map, states)
         else:
-            raw = list(self.executor.map_evaluate(self.cost, states))
+            raw = self._raw_map(states)
         costs: list[float] = []
         for c in raw:
             if is_failure(c):
@@ -295,15 +313,16 @@ def anneal_continuous(cost: Callable[[dict[str, float]], float],
                       rng: np.random.Generator | None = None,
                       executor=None,
                       batch_size: int = 1,
-                      failure_cost: float = float("inf")
-                      ) -> AnnealResult[np.ndarray]:
+                      failure_cost: float = float("inf"),
+                      surrogate=None) -> AnnealResult[np.ndarray]:
     """Anneal a scalar cost over a named continuous box.
 
     Pass ``rng`` to thread one explicit generator through both the start
     point and the anneal itself; otherwise two generators are derived from
     ``seed`` (the historical behaviour).  ``executor``/``batch_size``/
-    ``failure_cost`` are forwarded to :class:`Annealer` for batched,
-    failure-tolerant cost evaluation.
+    ``failure_cost``/``surrogate`` are forwarded to :class:`Annealer` for
+    batched, failure-tolerant (optionally surrogate-screened) cost
+    evaluation.
     """
     start_rng = rng if rng is not None else np.random.default_rng(seed)
     start = space.clip(x0) if x0 is not None else space.random_point(start_rng)
@@ -318,5 +337,6 @@ def anneal_continuous(cost: Callable[[dict[str, float]], float],
         executor=executor,
         batch_size=batch_size,
         failure_cost=failure_cost,
+        surrogate=surrogate,
     )
     return annealer.run(start)

@@ -84,6 +84,14 @@ class GeneticOptimizer:
     :class:`repro.engine.KeyedEngine`).  Each generation's population is
     scored through it in one batch, in deterministic order, so serial and
     parallel runs of the same seed are identical.
+
+    ``surrogate`` optionally routes each generation through a
+    :class:`repro.surrogate.SurrogateScreen`: only the candidates the
+    trust-region policy selects are truly evaluated, the rest score
+    their predicted fitness (claimed winners always verified for real).
+    Genomes are plain dicts, so the screen's ``featurize`` can be a
+    :meth:`repro.surrogate.FeatureSpec.encode` built with
+    :meth:`~repro.surrogate.FeatureSpec.from_genes`.
     """
 
     def __init__(self, genes: Sequence[Gene],
@@ -96,7 +104,8 @@ class GeneticOptimizer:
                  seed: int = 1,
                  rng: np.random.Generator | None = None,
                  executor=None,
-                 failure_fitness: float = float("inf")):
+                 failure_fitness: float = float("inf"),
+                 surrogate=None):
         if population < 4:
             raise ValueError("population must be at least 4")
         self.genes = list(genes)
@@ -115,15 +124,22 @@ class GeneticOptimizer:
         # executor) scores failure_fitness: worst-in-population, so it is
         # selected against but never crashes the generation.
         self.failure_fitness = failure_fitness
+        self.surrogate = surrogate
         self.failures = 0
+
+    def _raw_score(self, pop: list[Genome]) -> list:
+        """The unscreened evaluation path (executor or direct)."""
+        if self.executor is None:
+            return [self.fitness(g) for g in pop]
+        return list(self.executor.map_evaluate(self.fitness, pop))
 
     def _score(self, pop: list[Genome]) -> list[tuple[float, Genome]]:
         """Evaluate a population (batched through the executor hook)."""
         from repro.engine.faults import is_failure
-        if self.executor is None:
-            raw = [self.fitness(g) for g in pop]
+        if self.surrogate is not None:
+            raw = self.surrogate.screen(self._raw_score, pop)
         else:
-            raw = list(self.executor.map_evaluate(self.fitness, pop))
+            raw = self._raw_score(pop)
         fits: list[float] = []
         for f in raw:
             if is_failure(f):

@@ -217,6 +217,17 @@ class Broker:
         self._thread: threading.Thread | None = None
         self._t0 = clock()
         self.request_log: list[dict] = []
+        # Surrogate corpus sidecar: with a corpus_dir configured, every
+        # completed keyed request appends its cache key → point mapping,
+        # making served traffic harvestable as surrogate training data
+        # (repro.surrogate.harvest_cache).  Dispatcher thread only.
+        self._corpus_index = None
+        if self.config.corpus_dir is not None:
+            from pathlib import Path
+
+            from repro.surrogate.corpus import CorpusIndex
+            self._corpus_index = CorpusIndex(
+                Path(self.config.corpus_dir) / "corpus_index.jsonl")
 
     @classmethod
     def from_config(cls, config: EngineConfig | None = None,
@@ -265,6 +276,9 @@ class Broker:
                 for req in queue:
                     self._dispose(req, "cancelled")
                 queue.clear()
+        if self._corpus_index is not None:
+            self._corpus_index.close()
+            self._corpus_index = None
         if self._owns_engine:
             self.engine.close()
 
@@ -527,6 +541,14 @@ class Broker:
                 self._record(req, outcome="completed",
                              result_digest=result_digest(value))
                 completed.append(req)
+                if (self._corpus_index is not None
+                        and workload.key_fn is not None
+                        and isinstance(req.point, dict)):
+                    try:
+                        self._corpus_index.record(
+                            workload.key_fn(req.point), req.point)
+                    except (TypeError, ValueError):
+                        pass  # unkeyable/unserializable point: no record
             if tracer is not None:
                 self._trace_requests(tracer, completed, t_assembled, t_done)
 

@@ -1,0 +1,48 @@
+"""Cache-trained surrogate screening for the sizing hot path.
+
+The paper's frontend thesis is that simulation-in-the-loop sizing is the
+bottleneck of mixed-signal synthesis; the ML-enabled AMS synthesis
+literature answers with cheap learned performance predictors that let
+the optimizer simulate only promising candidates.  This package is that
+layer, built entirely from infrastructure the toolkit already owns: the
+content-addressed :class:`~repro.engine.cache.EvalCache` is a free
+training set (every entry is a ``(sizing, performance)`` pair), the
+telemetry/trace stack gives the screening layer the same observability
+as every other subsystem, and the optimizer batch hooks give it a seam
+to sit in without touching the search logic.
+
+Four modules, data-flow order:
+
+* :mod:`repro.surrogate.features` — deterministic featurization of
+  sizing dicts (sorted-key vectors, per-parameter log/linear scaling
+  from the search-space bounds);
+* :mod:`repro.surrogate.corpus` — training-pair harvesting from the
+  cache (plus a JSONL sidecar index, since the cache stores hashes) and
+  a bounded, deduplicated record store;
+* :mod:`repro.surrogate.model` — an RBF-ridge surrogate with
+  ``fit`` / ``predict`` / ``uncertainty`` and seeded, byte-stable
+  training (numpy only);
+* :mod:`repro.surrogate.screen` — the trust-region policy that decides,
+  per candidate batch, what gets a real simulation and what gets a
+  prediction.  Claimed winners are always verified for real.
+"""
+
+from repro.surrogate.corpus import (
+    Corpus,
+    CorpusIndex,
+    CorpusRecord,
+    harvest_cache,
+)
+from repro.surrogate.features import FeatureSpec
+from repro.surrogate.model import RbfSurrogate
+from repro.surrogate.screen import SurrogateScreen
+
+__all__ = [
+    "Corpus",
+    "CorpusIndex",
+    "CorpusRecord",
+    "FeatureSpec",
+    "RbfSurrogate",
+    "SurrogateScreen",
+    "harvest_cache",
+]

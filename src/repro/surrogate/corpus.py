@@ -1,0 +1,270 @@
+"""Training-pair harvesting and storage for the surrogate.
+
+The :class:`~repro.engine.cache.EvalCache` already holds every
+performance result the toolkit ever computed — but it is content
+addressed, so the *sizings* behind the SHA-256 keys are not recoverable
+from the cache alone.  The missing half is the :class:`CorpusIndex`: an
+append-only JSONL sidecar (``corpus_index.jsonl``) mapping cache key →
+sizing dict, written wherever evaluations happen (the sizer's engine
+batches, the serve broker's completion loop).  :func:`harvest_cache`
+joins the two into a :class:`Corpus` of ``(features, cost,
+performance)`` records — which is how heavy traffic through the
+engine/serve stack literally becomes training data.
+
+The corpus itself is a bounded, key-deduplicated record list with JSONL
+persistence (``corpus.jsonl``), so a warm surrogate survives across
+sizing runs and can be inspected offline (``scripts/export_corpus.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, IO
+
+import numpy as np
+
+from repro.surrogate.features import FeatureSpec
+
+
+@dataclass
+class CorpusRecord:
+    """One training pair.
+
+    ``features`` and ``cost`` are what the model trains on; ``sizes``,
+    ``performance`` and the cache ``key`` are kept (when known) for
+    offline inspection and re-featurization under a different spec.
+    """
+
+    features: tuple[float, ...]
+    cost: float
+    key: str | None = None
+    sizes: dict | None = None
+    performance: dict | None = None
+
+    def to_json(self) -> dict:
+        return {
+            "features": list(self.features),
+            "cost": self.cost,
+            "key": self.key,
+            "sizes": self.sizes,
+            "performance": self.performance,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "CorpusRecord":
+        return cls(
+            features=tuple(float(v) for v in obj["features"]),
+            cost=float(obj["cost"]),
+            key=obj.get("key"),
+            sizes=obj.get("sizes"),
+            performance=obj.get("performance"),
+        )
+
+
+class Corpus:
+    """Bounded, deduplicated store of :class:`CorpusRecord`.
+
+    Deduplication key is the cache key when present, else the feature
+    bytes — re-harvesting a cache or re-screening a revisited annealer
+    state never double-counts a training pair.  When ``max_records`` is
+    exceeded the oldest records are evicted (the newest data tracks the
+    optimizer's current trust region).
+    """
+
+    def __init__(self, max_records: int = 4096):
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.max_records = max_records
+        self.records: list[CorpusRecord] = []
+        self._seen: set = set()
+
+    @staticmethod
+    def _dedup_key(record: CorpusRecord):
+        if record.key is not None:
+            return record.key
+        return np.asarray(record.features, dtype=float).tobytes()
+
+    def add(self, record: CorpusRecord) -> bool:
+        """Append one record; returns False on duplicate."""
+        dk = self._dedup_key(record)
+        if dk in self._seen:
+            return False
+        self._seen.add(dk)
+        self.records.append(record)
+        while len(self.records) > self.max_records:
+            evicted = self.records.pop(0)
+            self._seen.discard(self._dedup_key(evicted))
+        return True
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Training arrays ``(X, y)`` over records with finite cost."""
+        rows = [r for r in self.records
+                if np.isfinite(r.cost)
+                and np.all(np.isfinite(r.features))]
+        if not rows:
+            return (np.empty((0, 0)), np.empty((0,)))
+        X = np.array([r.features for r in rows], dtype=float)
+        y = np.array([r.cost for r in rows], dtype=float)
+        return X, y
+
+    # -- persistence ---------------------------------------------------
+    def to_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            for record in self.records:
+                fh.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        tmp.replace(path)
+        return path
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path,
+                   max_records: int = 4096) -> "Corpus":
+        """Load a corpus dump; malformed lines are skipped, not fatal."""
+        corpus = cls(max_records=max_records)
+        path = Path(path)
+        if not path.exists():
+            return corpus
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    corpus.add(CorpusRecord.from_json(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError):
+                    continue
+        return corpus
+
+    def merge(self, other: "Corpus") -> int:
+        """Add every record of ``other``; returns how many were new."""
+        return sum(self.add(r) for r in other.records)
+
+
+class CorpusIndex:
+    """Append-only JSONL sidecar mapping cache key → sizing dict.
+
+    The writer half lives next to whatever computes evaluations (sizer
+    engine batches, the serve broker); :meth:`load` is the reader half
+    :func:`harvest_cache` joins against.  Records are one JSON object
+    per line (``{"key": ..., "sizes": {...}}``), flushed per write so a
+    crash loses at most the line in flight.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = open(self.path, "a")
+        self._written: set[str] = set()
+
+    def record(self, key: str, sizes: dict) -> bool:
+        """Append one mapping; dedups keys already written this session."""
+        if self._fh is None:
+            raise RuntimeError("CorpusIndex is closed")
+        if key in self._written:
+            return False
+        line = json.dumps({"key": key, "sizes": sizes}, sort_keys=True)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self._written.add(key)
+        return True
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CorpusIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def load(path: str | Path) -> dict[str, dict]:
+        """Read a sidecar into ``{key: sizes}`` (last write wins;
+        malformed lines skipped)."""
+        out: dict[str, dict] = {}
+        path = Path(path)
+        if not path.exists():
+            return out
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    out[str(obj["key"])] = dict(obj["sizes"])
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError):
+                    continue
+        return out
+
+
+def harvest_cache(cache, index: dict[str, dict] | str | Path,
+                  feature_spec: FeatureSpec | None = None,
+                  cost_fn: Callable[[dict], float] | None = None,
+                  corpus: Corpus | None = None,
+                  max_records: int = 4096) -> Corpus:
+    """Join an :class:`~repro.engine.cache.EvalCache` with a sidecar index.
+
+    Enumerates both cache layers (the in-memory LRU via ``items()`` and
+    the disk layer via ``scan_disk()``, memory winning on key overlap),
+    looks each key up in ``index`` (a loaded dict or a path to a
+    ``corpus_index.jsonl``), and emits one record per match.  Cached
+    dict values are performance dicts — ``cost_fn`` (typically
+    ``specs.cost``) turns them into training targets; plain numeric
+    values are used as the cost directly.  Entries without a usable
+    cost, without an index entry, or (when a ``feature_spec`` is given)
+    without the spec's parameters are skipped — harvesting is best
+    effort over whatever traffic happened to flow.
+    """
+    if not isinstance(index, dict):
+        index = CorpusIndex.load(index)
+    corpus = corpus if corpus is not None else Corpus(max_records=max_records)
+    entries: dict[str, Any] = {}
+    for key, value in cache.scan_disk():
+        entries[key] = value
+    for key, value in cache.items():
+        entries[key] = value
+    for key in sorted(entries):
+        sizes = index.get(key)
+        if sizes is None:
+            continue
+        value = entries[key]
+        performance = None
+        if isinstance(value, dict):
+            performance = value
+            if cost_fn is None:
+                continue
+            try:
+                cost = float(cost_fn(value))
+            except (TypeError, ValueError, KeyError, ZeroDivisionError,
+                    OverflowError):
+                continue
+        else:
+            try:
+                cost = float(value)
+            except (TypeError, ValueError):
+                continue
+        if feature_spec is not None:
+            try:
+                features = tuple(float(v)
+                                 for v in feature_spec.encode(sizes))
+            except (ValueError, TypeError):
+                continue
+        else:
+            features = tuple(float(v) for v in
+                             (sizes[k] for k in sorted(sizes)))
+        corpus.add(CorpusRecord(features=features, cost=cost, key=key,
+                                sizes=dict(sizes),
+                                performance=performance))
+    return corpus

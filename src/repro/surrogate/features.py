@@ -1,0 +1,170 @@
+"""Deterministic featurization of sizing dicts.
+
+A surrogate is only as reproducible as its inputs.  A sizing point in
+this toolkit is a ``{name: value}`` dict, and dict key order is an
+accident of construction — so the feature vector is defined over the
+*sorted* parameter names, and each coordinate is scaled into roughly
+[0, 1] using the same per-parameter log/linear convention the search
+space itself uses (:class:`~repro.opt.anneal.ContinuousSpace`,
+:class:`~repro.opt.genetic.FloatGene`).  Device sizes and currents span
+decades; feeding raw values to an RBF kernel would let one parameter's
+magnitude drown the rest.
+
+The encoding round-trips: ``decode(encode(point)) == point`` up to
+floating-point, which is what makes the spec usable for offline corpus
+inspection (``scripts/export_corpus.py``) as well as online screening.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Fixed featurization contract for one search space.
+
+    ``names`` is sorted at construction (use the ``from_*`` builders);
+    ``categories`` maps categorical parameter names to their ordered
+    choice tuples — a categorical encodes as ``index / (n_choices - 1)``
+    so every coordinate lives on the same [0, 1] footing.
+    """
+
+    names: tuple[str, ...]
+    lower: tuple[float, ...]
+    upper: tuple[float, ...]
+    log_scale: tuple[bool, ...]
+    categories: tuple[tuple[str, tuple], ...] = ()
+
+    def __post_init__(self) -> None:
+        if list(self.names) != sorted(self.names):
+            raise ValueError("FeatureSpec names must be sorted")
+        if len(set(self.names)) != len(self.names):
+            raise ValueError("duplicate feature names")
+        if not (len(self.names) == len(self.lower) == len(self.upper)
+                == len(self.log_scale)):
+            raise ValueError("names/lower/upper/log_scale length mismatch")
+        cat = dict(self.categories)
+        for name, lo, hi, log in zip(self.names, self.lower, self.upper,
+                                     self.log_scale):
+            if name in cat:
+                continue
+            if lo >= hi:
+                raise ValueError(f"feature {name}: bad bounds [{lo}, {hi}]")
+            if log and lo <= 0:
+                raise ValueError(f"feature {name}: log scale needs > 0 bounds")
+
+    @property
+    def dim(self) -> int:
+        return len(self.names)
+
+    def _category(self, name: str) -> tuple | None:
+        for cat_name, choices in self.categories:
+            if cat_name == name:
+                return choices
+        return None
+
+    # -- encode / decode ----------------------------------------------
+    def encode(self, point: Mapping[str, Any]) -> np.ndarray:
+        """Sorted-key, per-parameter-scaled feature vector of a point.
+
+        Key order of ``point`` is irrelevant; extra keys are ignored
+        (sizers pass complete designs that include fixed parameters);
+        a missing parameter raises ``ValueError`` naming it.
+        """
+        out = np.empty(self.dim, dtype=float)
+        for i, name in enumerate(self.names):
+            if name not in point:
+                raise ValueError(f"point is missing parameter {name!r}")
+            value = point[name]
+            choices = self._category(name)
+            if choices is not None:
+                try:
+                    idx = choices.index(value)
+                except ValueError:
+                    raise ValueError(
+                        f"{name!r}: {value!r} not in {choices!r}") from None
+                out[i] = idx / max(len(choices) - 1, 1)
+                continue
+            v = float(value)
+            lo, hi = self.lower[i], self.upper[i]
+            if self.log_scale[i]:
+                out[i] = (math.log(v) - math.log(lo)) / (
+                    math.log(hi) - math.log(lo))
+            else:
+                out[i] = (v - lo) / (hi - lo)
+        return out
+
+    def decode(self, vector: Sequence[float]) -> dict[str, Any]:
+        """Inverse of :meth:`encode` (categoricals snap to nearest index)."""
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.dim,):
+            raise ValueError(
+                f"expected a vector of dim {self.dim}, got {vector.shape}")
+        out: dict[str, Any] = {}
+        for i, name in enumerate(self.names):
+            choices = self._category(name)
+            u = float(vector[i])
+            if choices is not None:
+                idx = int(round(u * max(len(choices) - 1, 1)))
+                out[name] = choices[min(max(idx, 0), len(choices) - 1)]
+                continue
+            lo, hi = self.lower[i], self.upper[i]
+            if self.log_scale[i]:
+                out[name] = math.exp(
+                    math.log(lo) + u * (math.log(hi) - math.log(lo)))
+            else:
+                out[name] = lo + u * (hi - lo)
+        return out
+
+    # -- builders ------------------------------------------------------
+    @classmethod
+    def from_continuous(cls, space) -> "FeatureSpec":
+        """Build from a :class:`~repro.opt.anneal.ContinuousSpace`."""
+        order = sorted(range(len(space.names)),
+                       key=lambda i: space.names[i])
+        return cls(
+            names=tuple(space.names[i] for i in order),
+            lower=tuple(float(space.lower[i]) for i in order),
+            upper=tuple(float(space.upper[i]) for i in order),
+            log_scale=tuple(bool(space.log_scale) for _ in order),
+        )
+
+    @classmethod
+    def from_space(cls, space) -> "FeatureSpec":
+        """Build from a :class:`~repro.synthesis.DesignSpace`."""
+        return cls.from_continuous(space.to_continuous())
+
+    @classmethod
+    def from_genes(cls, genes) -> "FeatureSpec":
+        """Build from a mixed :class:`FloatGene`/:class:`CategoricalGene`
+        list (the :class:`~repro.opt.genetic.GeneticOptimizer` genome)."""
+        names, lower, upper, log, cats = [], [], [], [], []
+        for gene in sorted(genes, key=lambda g: g.name):
+            names.append(gene.name)
+            if hasattr(gene, "choices"):
+                cats.append((gene.name, tuple(gene.choices)))
+                lower.append(0.0)
+                upper.append(1.0)
+                log.append(False)
+            else:
+                lower.append(float(gene.lower))
+                upper.append(float(gene.upper))
+                log.append(bool(gene.log_scale))
+        return cls(names=tuple(names), lower=tuple(lower),
+                   upper=tuple(upper), log_scale=tuple(log),
+                   categories=tuple(cats))
+
+    def describe(self) -> dict:
+        """JSON-safe summary (recorded by ``scripts/export_corpus.py``)."""
+        return {
+            "names": list(self.names),
+            "lower": list(self.lower),
+            "upper": list(self.upper),
+            "log_scale": list(self.log_scale),
+            "categories": {n: list(c) for n, c in self.categories},
+        }

@@ -1,0 +1,134 @@
+"""RBF-ridge surrogate with byte-stable, seeded training (numpy only).
+
+Kernel ridge regression with a Gaussian radial basis function over the
+[0, 1]-scaled feature space (:mod:`repro.surrogate.features`), plus the
+GP-style posterior variance that the screening policy uses as its
+``uncertainty`` signal.  Everything is deliberately boring: a Cholesky
+factorization of the regularized kernel matrix, a deterministic
+(seeded, sorted-index) subsample when the corpus outgrows
+``max_centers``, and no iterative fitting — so two fits of the same data
+on the same machine produce bit-identical coefficients, which is what
+keeps surrogate-screened runs a pure function of (seed, config).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RbfSurrogate:
+    """Gaussian-RBF kernel ridge regressor with posterior uncertainty.
+
+    Parameters
+    ----------
+    length_scale:
+        Kernel length scale in the scaled feature space, per unit of
+        normalized distance (distances are divided by ``sqrt(dim)`` so
+        the default works across space dimensionalities).
+    ridge:
+        Tikhonov regularizer added to the kernel diagonal; also the
+        observation-noise term of the posterior variance.
+    max_centers:
+        Training-set bound.  Beyond it a seeded subsample of rows is
+        used; indices are sorted after drawing so the kernel matrix
+        layout (and therefore the arithmetic) is order-deterministic.
+    seed:
+        Seed for the center subsample.
+    """
+
+    def __init__(self, length_scale: float = 0.5, ridge: float = 1e-6,
+                 max_centers: int = 512, seed: int = 0):
+        if length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+        if ridge <= 0:
+            raise ValueError("ridge must be positive")
+        if max_centers < 1:
+            raise ValueError("max_centers must be >= 1")
+        self.length_scale = length_scale
+        self.ridge = ridge
+        self.max_centers = max_centers
+        self.seed = seed
+        self._centers: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self.n_fit = 0  # rows actually used by the last fit
+
+    @property
+    def is_fit(self) -> bool:
+        return self._centers is not None
+
+    # -- kernel --------------------------------------------------------
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # Normalize squared distances by the dimension so length_scale
+        # means the same thing for a 2-D toy space and a 12-D sizer.
+        dim = max(a.shape[1], 1)
+        sq = (np.sum(a * a, axis=1)[:, None]
+              + np.sum(b * b, axis=1)[None, :]
+              - 2.0 * (a @ b.T))
+        np.maximum(sq, 0.0, out=sq)
+        return np.exp(-sq / (2.0 * self.length_scale ** 2 * dim))
+
+    # -- fit / predict / uncertainty ----------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RbfSurrogate":
+        """Fit on feature rows ``X`` and scalar targets ``y``.
+
+        Rows with non-finite targets (failed/infeasible evaluations with
+        infinite cost) are dropped — the model learns the shape of the
+        feasible landscape and the screening policy's verification step
+        handles the rest.  Raises ``ValueError`` when fewer than two
+        finite rows remain.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.shape != (X.shape[0],):
+            raise ValueError("X must be (n, d) and y (n,)")
+        keep = np.isfinite(y) & np.all(np.isfinite(X), axis=1)
+        X, y = X[keep], y[keep]
+        if len(y) < 2:
+            raise ValueError("need at least 2 finite training rows")
+        if len(y) > self.max_centers:
+            rng = np.random.default_rng(self.seed)
+            idx = np.sort(rng.choice(len(y), size=self.max_centers,
+                                     replace=False))
+            X, y = X[idx], y[idx]
+        self._y_mean = float(np.mean(y))
+        std = float(np.std(y))
+        self._y_std = std if std > 1e-12 else 1.0
+        z = (y - self._y_mean) / self._y_std
+        K = self._kernel(X, X)
+        K[np.diag_indices_from(K)] += self.ridge
+        self._chol = np.linalg.cholesky(K)
+        self._alpha = self._solve_chol(z)
+        self._centers = X
+        self.n_fit = len(y)
+        return self
+
+    def _solve_chol(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``K v = b`` through the stored Cholesky factor."""
+        tmp = np.linalg.solve(self._chol, b)
+        return np.linalg.solve(self._chol.T, tmp)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Posterior mean cost for each feature row."""
+        if not self.is_fit:
+            raise RuntimeError("predict() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        k = self._kernel(X, self._centers)
+        return k @ self._alpha * self._y_std + self._y_mean
+
+    def uncertainty(self, X: np.ndarray) -> np.ndarray:
+        """Posterior standard deviation (same units as the targets).
+
+        High where the corpus has never been — the exploration signal
+        that keeps the screen from trusting extrapolations.
+        """
+        if not self.is_fit:
+            raise RuntimeError("uncertainty() before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        k = self._kernel(X, self._centers)
+        # var = k(x,x) - k_xc K^-1 k_xc^T, with k(x,x) = 1 for this kernel.
+        v = np.linalg.solve(self._chol, k.T)
+        var = 1.0 + self.ridge - np.sum(v * v, axis=0)
+        return np.sqrt(np.maximum(var, 0.0)) * self._y_std

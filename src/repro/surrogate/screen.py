@@ -1,0 +1,223 @@
+"""Trust-region screening policy over the optimizer batch hooks.
+
+The screen sits between an optimizer and its real evaluation path: it
+receives each candidate batch, decides which candidates earn a real
+simulation, and answers the rest with model predictions.  Three states:
+
+* **cold** — fewer than ``min_fit`` training points: simulate
+  everything, grow the corpus (screening that cannot be trusted is not
+  screening).
+* **active** — rank the batch by predicted cost and simulate the top
+  ``simulate_fraction``, plus the ``explore_fraction`` highest-
+  uncertainty points (model improvement), plus every *claimed winner* —
+  any candidate whose prediction undercuts the best real cost seen so
+  far (within ``winner_margin``).  The winner rule is the safety
+  invariant: a prediction can never become the run's best cost, because
+  any prediction good enough to be the best is promoted to a real
+  simulation first.
+* **fallback** — when the rolling verify-miss rate over the last
+  ``miss_window`` real simulations exceeds ``max_miss_rate``, the model
+  has lost the plot (the optimizer moved to a region the corpus does
+  not cover): simulate everything for ``fallback_batches`` batches
+  while retraining, then retry.
+
+Every real result (from any state) feeds the corpus; the model refits
+every ``refit_every`` fresh points — immediately after a batch with
+verify misses.  All decisions are deterministic functions of the
+(seeded) candidate stream and the config: ranking uses stable argsort,
+the corpus is insertion-ordered, and the model's training is
+byte-stable — so screened runs stay identical serial vs parallel, and
+fit/predict wall times flow only into ``_s``-suffixed telemetry samples
+that the structural manifest digest strips.
+
+Counter vocabulary (all under ``surrogate.``): ``fits``,
+``predictions`` (points ranked by the model), ``screened`` (points
+entering an active screen), ``simulated`` (of those, sent to the real
+evaluator), ``sims_avoided`` (answered with a prediction),
+``verify_misses``, ``fallbacks``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.engine.config import SurrogateConfig
+from repro.surrogate.corpus import Corpus, CorpusRecord
+from repro.surrogate.model import RbfSurrogate
+
+
+class SurrogateScreen:
+    """Batch-evaluation filter implementing the trust-region policy.
+
+    Parameters
+    ----------
+    featurize:
+        ``state -> feature vector`` for whatever states the optimizer
+        batches (sizing dicts for the GA, parameter vectors for the
+        annealer — the sizer binds ``spec.encode ∘ space.to_dict``).
+    config:
+        :class:`~repro.engine.config.SurrogateConfig` policy knobs.
+    telemetry / tracer:
+        The engine's observability stack; both optional (the screen
+        works standalone in tests).
+    model / corpus:
+        Injectable for warm starts — ``corpus`` may be pre-loaded from
+        ``corpus.jsonl`` or a cache harvest.
+    """
+
+    def __init__(self, featurize: Callable[[Any], Sequence[float]],
+                 config: SurrogateConfig | None = None,
+                 telemetry=None, tracer=None,
+                 model: RbfSurrogate | None = None,
+                 corpus: Corpus | None = None):
+        self.featurize = featurize
+        self.config = config if config is not None else SurrogateConfig()
+        self.telemetry = telemetry
+        self.tracer = tracer
+        cfg = self.config
+        self.model = model if model is not None else RbfSurrogate(
+            length_scale=cfg.length_scale, ridge=cfg.ridge,
+            max_centers=cfg.max_centers, seed=cfg.seed)
+        self.corpus = corpus if corpus is not None else Corpus(
+            max_records=cfg.max_corpus)
+        self.best_real = float("inf")
+        self._since_fit = len(self.corpus)  # unfit data counts as fresh
+        self._miss_window: deque[bool] = deque(maxlen=cfg.miss_window)
+        self._fallback_left = 0
+
+    # -- bookkeeping helpers ------------------------------------------
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.telemetry is not None and n:
+            self.telemetry.count(name, n)
+
+    def _sample(self, name: str, value: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record_sample(name, value)
+
+    def _is_failure(self, value: Any) -> bool:
+        from repro.engine.faults import is_failure
+        return is_failure(value)
+
+    def _absorb(self, state: Any, features: np.ndarray, value: Any) -> None:
+        """Fold one real result into corpus / best-cost bookkeeping."""
+        if self._is_failure(value):
+            return
+        cost = float(value)
+        sizes = dict(state) if isinstance(state, dict) else None
+        if self.corpus.add(CorpusRecord(
+                features=tuple(float(v) for v in features), cost=cost,
+                sizes=sizes)):
+            self._since_fit += 1
+        if math.isfinite(cost) and cost < self.best_real:
+            self.best_real = cost
+
+    def _maybe_fit(self, force: bool = False) -> None:
+        cfg = self.config
+        if len(self.corpus) < cfg.min_fit:
+            return
+        if self.model.is_fit and not force \
+                and self._since_fit < cfg.refit_every:
+            return
+        X, y = self.corpus.matrix()
+        if len(y) < 2:
+            return
+        from repro.engine.trace import span_if
+        with span_if(self.tracer, "surrogate.fit"):
+            t0 = time.perf_counter()
+            try:
+                self.model.fit(X, y)
+            except (ValueError, np.linalg.LinAlgError):
+                return  # degenerate data: stay cold, keep collecting
+            self._sample("surrogate.fit_s", time.perf_counter() - t0)
+            self._count("surrogate.fits")
+        self._since_fit = 0
+
+    # -- the policy ----------------------------------------------------
+    def screen(self, evaluate: Callable[[list], list],
+               states: Sequence[Any]) -> list:
+        """Answer a candidate batch, simulating only what matters.
+
+        ``evaluate`` is the optimizer's raw batch path (executor + cache
+        behind it); the return list is positionally aligned with
+        ``states`` and mixes real results (floats or ``EvalFailure``
+        pass-throughs) with predicted costs (plain floats).
+        """
+        states = list(states)
+        if not states:
+            return []
+        cfg = self.config
+        self._maybe_fit()
+        if not self.model.is_fit or self._fallback_left > 0:
+            # Cold or in fallback: simulate everything, keep learning.
+            if self._fallback_left > 0:
+                self._fallback_left -= 1
+            results = list(evaluate(states))
+            for state, value in zip(states, results):
+                self._absorb(state, np.asarray(
+                    self.featurize(state), dtype=float), value)
+            return results
+
+        from repro.engine.trace import span_if
+        with span_if(self.tracer, "surrogate.screen"):
+            X = np.array([self.featurize(s) for s in states], dtype=float)
+            k = len(states)
+            t0 = time.perf_counter()
+            mu = self.model.predict(X)
+            sigma = self.model.uncertainty(X)
+            self._sample("surrogate.predict_s", time.perf_counter() - t0)
+            self._count("surrogate.predictions", k)
+            self._count("surrogate.screened", k)
+
+            chosen: set[int] = set()
+            by_cost = np.argsort(mu, kind="stable")
+            chosen.update(int(i) for i in
+                          by_cost[:math.ceil(cfg.simulate_fraction * k)])
+            n_explore = math.ceil(cfg.explore_fraction * k)
+            if n_explore:
+                by_sigma = np.argsort(-sigma, kind="stable")
+                chosen.update(int(i) for i in by_sigma[:n_explore])
+            # Claimed winners: any prediction that would beat (or crowd)
+            # the best real cost must be verified for real.
+            if math.isfinite(self.best_real):
+                bar = self.best_real + cfg.winner_margin * max(
+                    abs(self.best_real), 1e-12)
+            else:
+                bar = float("inf")
+            chosen.update(int(i) for i in np.nonzero(mu <= bar)[0])
+
+            order = sorted(chosen)
+            real = list(evaluate([states[i] for i in order]))
+            self._count("surrogate.simulated", len(order))
+            self._count("surrogate.sims_avoided", k - len(order))
+
+            results: list = [None] * k
+            misses = 0
+            for i, value in zip(order, real):
+                results[i] = value
+                self._absorb(states[i], X[i], value)
+                if self._is_failure(value):
+                    continue
+                cost = float(value)
+                err = abs(cost - float(mu[i]))
+                miss = err > cfg.miss_tol * max(abs(cost), 1.0) \
+                    if math.isfinite(cost) else True
+                self._miss_window.append(miss)
+                misses += int(miss)
+            for i in range(k):
+                if results[i] is None:
+                    results[i] = float(mu[i])
+            self._count("surrogate.verify_misses", misses)
+            if misses:
+                self._maybe_fit(force=True)
+            if len(self._miss_window) == cfg.miss_window and (
+                    sum(self._miss_window) / cfg.miss_window
+                    > cfg.max_miss_rate):
+                self._fallback_left = cfg.fallback_batches
+                self._miss_window.clear()
+                self._count("surrogate.fallbacks")
+        return results

@@ -123,7 +123,14 @@ def run_design_task(task: DesignTask,
                            f"attempt {attempt + 1} on {topology}")
             try:
                 sizes, predicted = task.translate(topology, task.specs)
-            except Exception as exc:  # translation tools raise varied types
+            except (RuntimeError, ValueError, KeyError, ZeroDivisionError,
+                    OverflowError) as exc:
+                # The translation tools' actual failure vocabulary:
+                # PlanError / ConvergenceError / FlowError are
+                # RuntimeErrors, NetlistError (incl. SingularCircuitError)
+                # is a ValueError, plan arithmetic raises the rest.
+                # Programming errors (TypeError, AttributeError, ...)
+                # propagate instead of being logged as redesign fodder.
                 log.record(task.name, StepKind.TRANSLATE, False, str(exc))
                 last_failure = f"translate({topology}): {exc}"
                 break  # sizing failure is structural: try next topology

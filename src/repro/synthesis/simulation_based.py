@@ -180,6 +180,10 @@ class _EngineBatch:
     space: DesignSpace
     names: list[str]
     specs: SpecSet
+    # Optional repro.surrogate.CorpusIndex: records cache key → sizes for
+    # every successful evaluation, which is what lets a later run harvest
+    # this run's disk cache as surrogate training data.
+    corpus_index: object | None = None
 
     def _sizes(self, x) -> dict[str, float]:
         point = {n: float(v) for n, v in zip(self.names, x)}
@@ -189,6 +193,11 @@ class _EngineBatch:
         points = [self._sizes(x) for x in states]
         perfs = self.engine.map_evaluate(self.evaluator.simulate, points,
                                          key_fn=self.evaluator.cache_key)
+        if self.corpus_index is not None:
+            for point, perf in zip(points, perfs):
+                if not is_failure(perf):
+                    self.corpus_index.record(
+                        self.evaluator.cache_key(point), point)
         # A failed candidate gets the same deterministic penalty an empty
         # performance dict would (every spec at its fixed miss penalty),
         # so injected-fault runs stay bit-identical across executors.
@@ -207,6 +216,17 @@ class SimulationBasedSizer:
     worker processes.  The sizing result is identical for serial and
     parallel executors at a fixed seed, because all randomness stays in
     the parent process.
+
+    ``surrogate`` opts the annealing loop into cache-trained surrogate
+    screening (:mod:`repro.surrogate`): pass a ready
+    :class:`~repro.surrogate.SurrogateScreen`, a
+    :class:`~repro.engine.config.SurrogateConfig`, or set
+    ``EngineConfig(surrogate=...)`` — the sizer then builds the feature
+    spec from its own design space, warm-starts the corpus from
+    ``surrogate.corpus_dir`` (``corpus.jsonl`` plus a harvest of the
+    engine's cache against ``corpus_index.jsonl``) and persists the
+    grown corpus there after the run.  The final reported sizing is
+    always re-measured with a real simulation, screened or not.
     """
 
     def __init__(self, evaluator: Callable[[dict[str, float]], dict[str, float]],
@@ -215,7 +235,8 @@ class SimulationBasedSizer:
                  engine: EvaluationEngine | None = None,
                  batch_size: int = 1,
                  max_failure_fraction: float = 0.5,
-                 config: EngineConfig | None = None):
+                 config: EngineConfig | None = None,
+                 surrogate=None):
         self.evaluator = evaluator
         self.space = space
         self.specs = specs
@@ -227,6 +248,9 @@ class SimulationBasedSizer:
             engine, None, config, "SimulationBasedSizer")
         self.engine = engine
         self.config = config
+        if surrogate is None and config is not None:
+            surrogate = config.surrogate
+        self.surrogate = surrogate
         self.batch_size = batch_size
         self.evaluations = 0
         # Tolerated fraction of failed evaluations before the run itself
@@ -238,28 +262,86 @@ class SimulationBasedSizer:
         self.evaluations += 1
         return self.specs.cost(self.evaluator(self.space.complete(point)))
 
+    def _build_screen(self, cont):
+        """Resolve the ``surrogate`` option into a live screen.
+
+        Returns ``(screen, corpus_path)``; ``corpus_path`` is where the
+        grown corpus is rewritten after the run (None without a
+        ``corpus_dir``).  A ready-made ``SurrogateScreen`` passes
+        through untouched — its owner manages persistence.
+        """
+        if self.surrogate is None:
+            return None, None
+        from repro.engine.config import SurrogateConfig
+        if not isinstance(self.surrogate, SurrogateConfig):
+            return self.surrogate, None
+        from pathlib import Path
+
+        from repro.surrogate import (
+            Corpus,
+            FeatureSpec,
+            SurrogateScreen,
+            harvest_cache,
+        )
+        cfg = self.surrogate
+        spec = FeatureSpec.from_continuous(cont)
+        corpus = Corpus(max_records=cfg.max_corpus)
+        corpus_path = None
+        if cfg.corpus_dir is not None:
+            corpus_dir = Path(cfg.corpus_dir)
+            corpus_path = corpus_dir / "corpus.jsonl"
+            corpus.merge(Corpus.from_jsonl(corpus_path,
+                                           max_records=cfg.max_corpus))
+            cache = self.engine.cache if self.engine is not None else None
+            if cache is not None:
+                harvest_cache(cache, corpus_dir / "corpus_index.jsonl",
+                              feature_spec=spec, cost_fn=self.specs.cost,
+                              corpus=corpus)
+        telemetry = self.engine.telemetry if self.engine is not None else None
+        tracer = getattr(self.engine, "tracer", None) \
+            if self.engine is not None else None
+        screen = SurrogateScreen(
+            featurize=lambda x: spec.encode(cont.to_dict(x)),
+            config=cfg, telemetry=telemetry, tracer=tracer, corpus=corpus)
+        return screen, corpus_path
+
     def run(self, x0: dict[str, float] | None = None) -> SizingResult:
         self.evaluations = 0
         cont = self.space.to_continuous()
         start = np.array([x0[n] for n in cont.names]) if x0 else None
         executor = None
         failures_before = 0
+        screen, corpus_path = self._build_screen(cont)
+        corpus_index = None
+        if corpus_path is not None:
+            from repro.surrogate import CorpusIndex
+            corpus_index = CorpusIndex(
+                corpus_path.with_name("corpus_index.jsonl"))
         if self.engine is not None:
             if not isinstance(self.evaluator, SimulationEvaluator):
                 raise TypeError(
                     "engine-backed sizing needs a SimulationEvaluator "
                     "(it provides simulate() and cache_key())")
             executor = _EngineBatch(self.engine, self.evaluator,
-                                    self.space, cont.names, self.specs)
+                                    self.space, cont.names, self.specs,
+                                    corpus_index=corpus_index)
             failures_before = self.engine.failure_count()
         tracer = getattr(self.engine, "tracer", None) \
             if self.engine is not None else None
         t0 = time.perf_counter()
-        with span_if(tracer, "sizing"):
-            result = anneal_continuous(self.cost, cont, schedule=self.schedule,
-                                       seed=self.seed, x0=start,
-                                       executor=executor,
-                                       batch_size=self.batch_size)
+        try:
+            with span_if(tracer, "sizing"):
+                result = anneal_continuous(self.cost, cont,
+                                           schedule=self.schedule,
+                                           seed=self.seed, x0=start,
+                                           executor=executor,
+                                           batch_size=self.batch_size,
+                                           surrogate=screen)
+        finally:
+            if corpus_index is not None:
+                corpus_index.close()
+        if screen is not None and corpus_path is not None:
+            screen.corpus.to_jsonl(corpus_path)
         runtime = time.perf_counter() - t0
         best = cont.to_dict(result.best_state)
         warnings: list[str] = []

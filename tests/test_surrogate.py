@@ -1,0 +1,654 @@
+"""Tests for the cache-trained surrogate screening subsystem.
+
+Covers the four surrogate modules (features / model / corpus / screen),
+the cache enumeration API they harvest through, the optimizer and sizer
+hooks, the serve-broker corpus sidecar, the schema v5 / manifest v4
+contract — and the differential matrix the determinism story rests on:
+seed × {surrogate on, off} × {serial, parallel} must produce
+per-configuration identical trajectories, with the screened final cost
+within tolerance of the unscreened baseline.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.specs import Spec, SpecSet
+from repro.engine import (
+    EngineConfig,
+    EvalCache,
+    EvaluationEngine,
+    ServeConfig,
+    SurrogateConfig,
+    build_manifest,
+    canonical_key,
+    check_report,
+    manifest_digest,
+    validate_manifest,
+)
+from repro.engine.faults import EvalFailure
+from repro.opt.anneal import AnnealSchedule, anneal_continuous
+from repro.opt.genetic import FloatGene, GeneticOptimizer
+from repro.surrogate import (
+    Corpus,
+    CorpusIndex,
+    CorpusRecord,
+    FeatureSpec,
+    RbfSurrogate,
+    SurrogateScreen,
+    harvest_cache,
+)
+from repro.synthesis.pulse_detector import (
+    pulse_detector_performance,
+    pulse_detector_space,
+    pulse_detector_specs,
+)
+
+SPECS = pulse_detector_specs()
+SPACE = pulse_detector_space()
+
+
+def _pd_cost(point: dict) -> float:
+    """Module-level (picklable) pulse-detector cost for worker dispatch."""
+    return SPECS.cost(pulse_detector_performance(point))
+
+
+def _pd_key(x) -> str:
+    return canonical_key("pd", x)
+
+
+SCHEDULE = AnnealSchedule(moves_per_temperature=24, cooling=0.7,
+                          max_evaluations=400, stop_after_stale=4)
+
+
+def _stable_surrogate(section: dict) -> dict:
+    """Surrogate report section minus the wall-clock latency rollups."""
+    return {k: v for k, v in section.items()
+            if not k.endswith("_latency_p50_s")}
+SCREEN_CFG = SurrogateConfig(min_fit=32, refit_every=16,
+                             simulate_fraction=0.25, explore_fraction=0.1)
+
+
+# ----------------------------------------------------------------------
+# Cache enumeration API (satellite)
+# ----------------------------------------------------------------------
+
+class TestCacheEnumeration:
+    def test_items_snapshots_lru_without_touching_stats(self):
+        cache = EvalCache(max_entries=8)
+        for i in range(3):
+            cache.put(f"k{i}", {"v": i})
+        cache.get("k0")  # promote k0 to most-recent
+        before = dict(cache.stats.as_dict())
+        items = cache.items()
+        assert [k for k, _ in items] == ["k1", "k2", "k0"]
+        assert dict(items)["k2"] == {"v": 2}
+        assert cache.stats.as_dict() == before
+        # ...and enumeration did not perturb recency either.
+        assert [k for k, _ in cache.items()] == ["k1", "k2", "k0"]
+
+    def test_scan_disk_sorted_and_resilient(self, tmp_path):
+        cache = EvalCache(max_entries=4, disk_dir=tmp_path)
+        for i in range(3):
+            cache.put(f"key{i}", {"v": i})
+        # Corrupt pickle and a persisted failure record: both skipped.
+        (tmp_path / "zzz.pkl").write_bytes(b"not a pickle")
+        failure = EvalFailure(exception_type="Boom", message="x",
+                              token="t", attempts=1)
+        with open(tmp_path / "aaa.pkl", "wb") as fh:
+            pickle.dump(failure, fh)
+        fresh = EvalCache(max_entries=4, disk_dir=tmp_path)
+        scanned = list(fresh.scan_disk())
+        assert [k for k, _ in scanned] == ["key0", "key1", "key2"]
+        assert scanned[1][1] == {"v": 1}
+        assert len(fresh) == 0  # nothing promoted into the LRU
+
+    def test_scan_disk_without_disk_layer_is_empty(self):
+        assert list(EvalCache().scan_disk()) == []
+
+
+# ----------------------------------------------------------------------
+# Featurization
+# ----------------------------------------------------------------------
+
+class TestFeatureSpec:
+    def test_from_continuous_sorted_and_scaled(self):
+        spec = FeatureSpec.from_continuous(SPACE.to_continuous())
+        assert list(spec.names) == sorted(spec.names)
+        v = spec.encode(dict(pulse_detector_space().variables and {
+            n: (lo * hi) ** 0.5
+            for n, (lo, hi) in SPACE.variables.items()}))
+        assert v.shape == (len(spec.names),)
+        # Geometric midpoint of a log-scaled box is the feature midpoint.
+        assert np.allclose(v, 0.5)
+
+    def test_encode_missing_parameter_raises(self):
+        spec = FeatureSpec.from_continuous(SPACE.to_continuous())
+        with pytest.raises(ValueError, match="missing parameter"):
+            spec.encode({"i_csa": 1e-3})
+
+    def test_encode_ignores_extra_keys(self):
+        spec = FeatureSpec.from_continuous(SPACE.to_continuous())
+        point = {n: (lo * hi) ** 0.5
+                 for n, (lo, hi) in SPACE.variables.items()}
+        assert np.array_equal(spec.encode(point),
+                              spec.encode({**point, "vdd": 3.3}))
+
+    def test_from_genes_mixed(self):
+        from repro.opt.genetic import CategoricalGene
+        genes = [FloatGene("w", 1e-6, 1e-4),
+                 CategoricalGene("topo", ("a", "b", "c"))]
+        spec = FeatureSpec.from_genes(genes)
+        v = spec.encode({"topo": "b", "w": 1e-5})
+        assert v[0] == pytest.approx(0.5)  # topo index 1 of 3 → 0.5
+        assert 0.0 < v[1] < 1.0
+        back = spec.decode(v)
+        assert back["topo"] == "b"
+        assert back["w"] == pytest.approx(1e-5)
+
+    @given(st.dictionaries(
+        st.sampled_from(sorted(SPACE.variables)),
+        st.floats(min_value=0.0, max_value=1.0),
+        min_size=len(SPACE.variables), max_size=len(SPACE.variables)))
+    @settings(max_examples=25, deadline=None)
+    def test_key_order_independent(self, unit_point):
+        spec = FeatureSpec.from_continuous(SPACE.to_continuous())
+        point = {n: lo * (hi / lo) ** u for (n, (lo, hi)), u in
+                 zip(sorted(SPACE.variables.items()), sorted(unit_point
+                     .items()) and [unit_point[n] for n in
+                                    sorted(unit_point)])}
+        shuffled = dict(reversed(list(point.items())))
+        assert np.array_equal(spec.encode(point), spec.encode(shuffled))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=len(SPACE.variables),
+                    max_size=len(SPACE.variables)))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trips_scaling(self, unit):
+        spec = FeatureSpec.from_continuous(SPACE.to_continuous())
+        vec = np.array(unit)
+        point = spec.decode(vec)
+        assert np.allclose(spec.encode(point), vec, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Model
+# ----------------------------------------------------------------------
+
+class TestRbfSurrogate:
+    def _data(self, n=60, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.random((n, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1] ** 2
+        return X, y
+
+    def test_fits_smooth_function(self):
+        X, y = self._data()
+        model = RbfSurrogate(length_scale=0.3).fit(X, y)
+        pred = model.predict(X)
+        assert float(np.max(np.abs(pred - y))) < 0.05
+
+    def test_byte_stable_training(self):
+        X, y = self._data(n=700)  # forces the seeded center subsample
+        Xq = np.random.default_rng(9).random((20, 2))
+        a = RbfSurrogate(max_centers=256, seed=5).fit(X, y)
+        b = RbfSurrogate(max_centers=256, seed=5).fit(X, y)
+        assert a.n_fit == b.n_fit == 256
+        assert a.predict(Xq).tobytes() == b.predict(Xq).tobytes()
+        assert a.uncertainty(Xq).tobytes() == b.uncertainty(Xq).tobytes()
+
+    def test_uncertainty_grows_away_from_data(self):
+        X, y = self._data()
+        model = RbfSurrogate(length_scale=0.2).fit(X, y)
+        near = model.uncertainty(X[:5])
+        far = model.uncertainty(np.full((1, 2), 40.0))
+        assert float(far[0]) > float(np.max(near))
+
+    def test_nonfinite_targets_dropped(self):
+        X, y = self._data()
+        y = y.copy()
+        y[::3] = np.inf
+        model = RbfSurrogate().fit(X, y)
+        assert model.n_fit == np.isfinite(y).sum()
+
+    def test_too_few_rows_raises(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            RbfSurrogate().fit(np.ones((1, 2)), np.ones(1))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RbfSurrogate().predict(np.ones((1, 2)))
+
+
+# ----------------------------------------------------------------------
+# Corpus / index / harvest
+# ----------------------------------------------------------------------
+
+class TestCorpus:
+    def test_dedup_and_eviction(self):
+        corpus = Corpus(max_records=3)
+        assert corpus.add(CorpusRecord((0.1,), 1.0, key="a"))
+        assert not corpus.add(CorpusRecord((0.9,), 9.0, key="a"))
+        for i in range(4):
+            corpus.add(CorpusRecord((float(i),), float(i), key=f"k{i}"))
+        assert len(corpus) == 3
+        # ...and the evicted key can re-enter (bound, not a tombstone).
+        assert corpus.add(CorpusRecord((0.1,), 1.0, key="a"))
+
+    def test_keyless_dedup_by_features(self):
+        corpus = Corpus()
+        assert corpus.add(CorpusRecord((0.25, 0.5), 1.0))
+        assert not corpus.add(CorpusRecord((0.25, 0.5), 2.0))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        corpus = Corpus()
+        corpus.add(CorpusRecord((0.1, 0.2), 3.0, key="a",
+                                sizes={"w": 1e-6},
+                                performance={"gain": 10.0}))
+        corpus.add(CorpusRecord((0.3, 0.4), float("inf"), key="b"))
+        path = corpus.to_jsonl(tmp_path / "corpus.jsonl")
+        loaded = Corpus.from_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded.records[0].performance == {"gain": 10.0}
+        X, y = loaded.matrix()  # infinite-cost record excluded
+        assert X.shape == (1, 2) and y.tolist() == [3.0]
+
+    def test_index_round_trip_and_dedup(self, tmp_path):
+        path = tmp_path / "corpus_index.jsonl"
+        with CorpusIndex(path) as index:
+            assert index.record("k1", {"w": 1.0})
+            assert not index.record("k1", {"w": 2.0})
+            assert index.record("k2", {"w": 3.0})
+        assert CorpusIndex.load(path) == {"k1": {"w": 1.0},
+                                          "k2": {"w": 3.0}}
+
+    def test_harvest_joins_both_cache_layers(self, tmp_path):
+        disk = tmp_path / "cache"
+        spec = FeatureSpec.from_continuous(SPACE.to_continuous())
+        specs = pulse_detector_specs()
+        mid = {n: (lo * hi) ** 0.5 for n, (lo, hi) in
+               SPACE.variables.items()}
+        hot = {**mid, "i_csa": 1e-3}
+        # Disk-only entry (written by a previous process)...
+        old = EvalCache(disk_dir=disk)
+        old.put("key_disk", pulse_detector_performance(mid))
+        # ...plus a memory entry in the live cache.
+        cache = EvalCache(disk_dir=disk)
+        cache.put("key_mem", pulse_detector_performance(hot))
+        index = {"key_disk": mid, "key_mem": hot, "key_absent": mid}
+        corpus = harvest_cache(cache, index, feature_spec=spec,
+                               cost_fn=specs.cost)
+        assert {r.key for r in corpus.records} == {"key_disk", "key_mem"}
+        for r in corpus.records:
+            assert r.cost == pytest.approx(
+                specs.cost(pulse_detector_performance(r.sizes)))
+
+    def test_harvest_numeric_values_without_cost_fn(self):
+        cache = EvalCache()
+        cache.put("k", 4.5)
+        corpus = harvest_cache(cache, {"k": {"x": 2.0}})
+        assert corpus.records[0].cost == 4.5
+        assert corpus.records[0].features == (2.0,)
+
+
+# ----------------------------------------------------------------------
+# Screening policy
+# ----------------------------------------------------------------------
+
+class _CountingEval:
+    """Fake raw evaluator: f(x) = (x - 0.3)^2 over 1-D states."""
+
+    def __init__(self, fn=None):
+        self.calls = 0
+        self.seen: list[float] = []
+        self.fn = fn if fn is not None else lambda x: (x - 0.3) ** 2
+
+    def __call__(self, states):
+        self.calls += len(states)
+        self.seen.extend(states)
+        return [self.fn(s) for s in states]
+
+
+class TestScreen:
+    CFG = SurrogateConfig(min_fit=16, refit_every=8, simulate_fraction=0.25,
+                          explore_fraction=0.0, miss_window=8,
+                          max_miss_rate=0.3, fallback_batches=2)
+
+    def _warm_screen(self, evaluate, cfg=None):
+        screen = SurrogateScreen(lambda s: np.array([s]),
+                                 config=cfg or self.CFG)
+        rng = np.random.default_rng(0)
+        screen.screen(evaluate, list(rng.random(24)))  # cold: all real
+        return screen
+
+    def test_cold_simulates_everything(self):
+        ev = _CountingEval()
+        screen = SurrogateScreen(lambda s: np.array([s]), config=self.CFG)
+        out = screen.screen(ev, [0.1, 0.2, 0.9])
+        assert ev.calls == 3
+        assert out == [ev.fn(0.1), ev.fn(0.2), ev.fn(0.9)]
+        assert not screen.model.is_fit
+
+    def test_active_screening_avoids_sims(self):
+        ev = _CountingEval()
+        screen = self._warm_screen(ev)
+        before = ev.calls
+        batch = list(np.linspace(0.35, 0.95, 16))
+        out = screen.screen(ev, batch)
+        assert screen.model.is_fit
+        assert 0 < ev.calls - before < len(batch)
+        assert len(out) == len(batch)
+
+    def test_winner_predictions_are_verified(self):
+        ev = _CountingEval()
+        screen = self._warm_screen(ev)
+        # A batch full of near-optimal points: their predictions undercut
+        # best_real, so the winner rule must promote them to real sims.
+        batch = [0.3, 0.300001, 0.2999]
+        screen.screen(ev, batch)
+        assert set(batch) <= set(ev.seen)
+        # Inductively, the best value the screen ever *returned* as real
+        # equals the best real evaluation seen so far.
+        assert screen.best_real == pytest.approx(min(ev.fn(s)
+                                                     for s in ev.seen))
+
+    def test_miss_storm_triggers_fallback(self):
+        ev = _CountingEval()
+        screen = self._warm_screen(ev)
+        # The landscape changes under the model: every verification
+        # misses, the rolling window fills, fallback engages.
+        shifted = _CountingEval(fn=lambda x: 50.0 + x)
+        for lo in (0.0, 0.25, 0.5, 0.75):
+            screen.screen(shifted, list(np.linspace(lo, lo + 0.2, 12)))
+        assert screen._fallback_left > 0 or shifted.calls >= 20
+
+    def test_failures_pass_through_unabsorbed(self):
+        failure = EvalFailure(exception_type="Boom", message="m",
+                              token="t", attempts=1)
+        ev = _CountingEval(fn=lambda x: failure)
+        screen = SurrogateScreen(lambda s: np.array([s]), config=self.CFG)
+        out = screen.screen(ev, [0.1, 0.2])
+        assert out == [failure, failure]
+        assert len(screen.corpus) == 0
+        assert screen.best_real == float("inf")
+
+    def test_counters_flow_into_engine_report(self):
+        engine = EvaluationEngine.from_config(EngineConfig())
+        ev = _CountingEval()
+        screen = SurrogateScreen(lambda s: np.array([s]), config=self.CFG,
+                                 telemetry=engine.telemetry)
+        rng = np.random.default_rng(1)
+        screen.screen(ev, list(rng.random(24)))
+        screen.screen(ev, list(np.linspace(0.4, 0.9, 16)))
+        report = engine.report()
+        engine.close()
+        check_report(report)
+        sur = report["surrogate"]
+        assert sur["fits"] >= 1
+        assert sur["predictions"] == sur["screened"] == 16
+        assert sur["simulated"] + sur["sims_avoided"] == sur["screened"]
+        assert sur["avoid_rate"] == pytest.approx(
+            sur["sims_avoided"] / sur["screened"])
+        assert sur["predict_latency_p50_s"] is not None
+
+
+# ----------------------------------------------------------------------
+# Differential matrix: seed × {on, off} × {serial, parallel}
+# ----------------------------------------------------------------------
+
+def _run_anneal(seed: int, executor: str, screened: bool):
+    cont = SPACE.to_continuous()
+    engine = EvaluationEngine.from_config(EngineConfig(
+        executor=executor, workers=2, cache=True, trace=True))
+    screen = None
+    if screened:
+        spec = FeatureSpec.from_continuous(cont)
+        screen = SurrogateScreen(
+            featurize=lambda x: spec.encode(cont.to_dict(x)),
+            config=SCREEN_CFG, telemetry=engine.telemetry,
+            tracer=engine.tracer)
+    result = anneal_continuous(_pd_cost, cont, schedule=SCHEDULE,
+                               seed=seed, executor=engine.keyed(_pd_key),
+                               batch_size=8, surrogate=screen)
+    report = engine.report()
+    engine.close()
+    return result, report
+
+
+class TestDifferentialMatrix:
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_screened_trajectory_deterministic_per_seed(self, seed):
+        a, ra = _run_anneal(seed, "serial", screened=True)
+        b, rb = _run_anneal(seed, "serial", screened=True)
+        assert a.history == b.history
+        assert a.best_state.tobytes() == b.best_state.tobytes()
+        assert a.best_cost == b.best_cost
+        assert _stable_surrogate(ra["surrogate"]) == \
+            _stable_surrogate(rb["surrogate"])
+
+    @pytest.mark.parametrize("screened", [False, True])
+    def test_serial_parallel_identical(self, screened):
+        s, rs = _run_anneal(7, "serial", screened)
+        p, rp = _run_anneal(7, "parallel", screened)
+        assert s.history == p.history
+        assert s.best_state.tobytes() == p.best_state.tobytes()
+        assert s.best_cost == p.best_cost
+        assert _stable_surrogate(rs["surrogate"]) == \
+            _stable_surrogate(rp["surrogate"])
+        from repro.engine.trace import strip_volatile
+        assert strip_volatile(rs["spans"]) == strip_volatile(rp["spans"])
+
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    def test_screened_cost_within_tolerance_and_saves_sims(self, seed):
+        off, r_off = _run_anneal(seed, "serial", screened=False)
+        on, r_on = _run_anneal(seed, "serial", screened=True)
+        evals_off = r_off["counters"]["engine.evaluations"]
+        evals_on = r_on["counters"]["engine.evaluations"]
+        assert evals_on < evals_off
+        assert r_on["surrogate"]["sims_avoided"] > 0
+        # Final cost within tolerance of the unscreened baseline.
+        assert on.best_cost <= off.best_cost * 2.0 + 0.1
+        # The winner rule guarantees best_cost is a *real* evaluation.
+        best_point = SPACE.to_continuous().to_dict(on.best_state)
+        assert on.best_cost == pytest.approx(_pd_cost(best_point))
+
+    def test_surrogate_off_section_is_all_zero(self):
+        _, report = _run_anneal(3, "serial", screened=False)
+        sur = report["surrogate"]
+        assert sur["fits"] == sur["predictions"] == sur["screened"] == 0
+        assert sur["avoid_rate"] is None
+        assert sur["fit_latency_p50_s"] is None
+
+
+# ----------------------------------------------------------------------
+# GA hook
+# ----------------------------------------------------------------------
+
+class TestGeneticHook:
+    GENES = [FloatGene("x", 0.01, 1.0, log_scale=False),
+             FloatGene("y", 0.01, 1.0, log_scale=False)]
+
+    @staticmethod
+    def _fitness(g):
+        return (g["x"] - 0.4) ** 2 + (g["y"] - 0.6) ** 2
+
+    def _run(self, screened: bool):
+        screen = None
+        if screened:
+            spec = FeatureSpec.from_genes(self.GENES)
+            screen = SurrogateScreen(spec.encode, config=SurrogateConfig(
+                min_fit=24, refit_every=12))
+        ga = GeneticOptimizer(self.GENES, self._fitness, population=24,
+                              seed=5, surrogate=screen)
+        return ga.run(generations=12), screen
+
+    def test_screened_ga_deterministic_and_close(self):
+        base, _ = self._run(False)
+        a, screen_a = self._run(True)
+        b, _ = self._run(True)
+        assert a.history == b.history
+        assert a.best == b.best
+        assert len(screen_a.corpus) > 0
+        assert a.best_fitness <= base.best_fitness + 0.05
+        # Claimed winners are verified: the reported best is real.
+        assert a.best_fitness == pytest.approx(self._fitness(a.best))
+
+
+# ----------------------------------------------------------------------
+# Schema v5 / manifest v4
+# ----------------------------------------------------------------------
+
+class TestSchema:
+    def test_fresh_engine_report_validates(self):
+        engine = EvaluationEngine.from_config(EngineConfig(trace=True))
+        report = engine.report()
+        engine.close()
+        check_report(report)
+        assert report["schema_version"] == 5
+
+    def test_manifest_v4_with_surrogate_rollups(self):
+        config = EngineConfig(trace=True, surrogate=SurrogateConfig())
+        _, report = None, None
+        cont = SPACE.to_continuous()
+        engine = EvaluationEngine.from_config(config)
+        spec = FeatureSpec.from_continuous(cont)
+        screen = SurrogateScreen(
+            featurize=lambda x: spec.encode(cont.to_dict(x)),
+            config=SCREEN_CFG, telemetry=engine.telemetry,
+            tracer=engine.tracer)
+        anneal_continuous(_pd_cost, cont, schedule=SCHEDULE, seed=3,
+                          executor=engine.keyed(_pd_key), batch_size=8,
+                          surrogate=screen)
+        manifest = build_manifest("anneal_pd", engine, seed=3,
+                                  config=config)
+        engine.close()
+        validate_manifest(manifest)
+        assert manifest["schema_version"] == 4
+        assert manifest["rollups"]["surrogate_sims_avoided"] > 0
+        assert manifest["run"]["config"]["surrogate"]["min_fit"] == 64
+
+    def test_manifest_digest_stable_across_screened_reruns(self):
+        def one_manifest():
+            cont = SPACE.to_continuous()
+            engine = EvaluationEngine.from_config(
+                EngineConfig(trace=True, cache=True))
+            spec = FeatureSpec.from_continuous(cont)
+            screen = SurrogateScreen(
+                featurize=lambda x: spec.encode(cont.to_dict(x)),
+                config=SCREEN_CFG, telemetry=engine.telemetry,
+                tracer=engine.tracer)
+            anneal_continuous(_pd_cost, cont, schedule=SCHEDULE, seed=11,
+                              executor=engine.keyed(_pd_key), batch_size=8,
+                              surrogate=screen)
+            manifest = build_manifest("anneal_pd", engine, seed=11)
+            engine.close()
+            return manifest
+        assert manifest_digest(one_manifest()) == \
+            manifest_digest(one_manifest())
+
+    def test_surrogate_config_validation(self):
+        with pytest.raises(ValueError, match="simulate_fraction"):
+            SurrogateConfig(simulate_fraction=0.0)
+        with pytest.raises(ValueError, match="max_corpus"):
+            SurrogateConfig(min_fit=100, max_corpus=50)
+        with pytest.raises(ValueError, match="miss_tol"):
+            SurrogateConfig(miss_tol=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Sizer + serve corpus plumbing
+# ----------------------------------------------------------------------
+
+class TestSizerIntegration:
+    def _sizer(self, tmp_path, seed=1):
+        from repro.synthesis import (
+            DesignSpace,
+            SimulationBasedSizer,
+            SimulationEvaluator,
+        )
+        from repro.circuits.library import five_transistor_ota
+
+        def builder(sizes):
+            keys = ("w_in", "l_in", "w_load", "l_load", "w_tail", "l_tail",
+                    "i_bias", "c_load", "vdd")
+            return five_transistor_ota(
+                {k: v for k, v in sizes.items() if k in keys})
+        space = DesignSpace(
+            variables={"w_in": (5e-6, 500e-6), "w_load": (5e-6, 200e-6),
+                       "i_bias": (2e-6, 500e-6)},
+            fixed={"w_tail": 30e-6, "l_in": 2e-6, "l_load": 2e-6,
+                   "l_tail": 2e-6, "c_load": 2e-12, "vdd": 3.3})
+        specs = SpecSet([Spec.at_least("gain_db", 30.0),
+                         Spec.minimize("power", good=1e-4)])
+        config = EngineConfig(
+            cache=True, disk_cache_dir=tmp_path / "cache", trace=True,
+            surrogate=SurrogateConfig(
+                min_fit=24, refit_every=12, corpus_dir=str(tmp_path)))
+        return SimulationBasedSizer(
+            SimulationEvaluator(builder=builder), space, specs,
+            schedule=AnnealSchedule(moves_per_temperature=12, cooling=0.7,
+                                    max_evaluations=180,
+                                    stop_after_stale=3),
+            seed=seed, batch_size=6, config=config)
+
+    def test_screened_sizing_persists_corpus(self, tmp_path):
+        sizer = self._sizer(tmp_path)
+        result = sizer.run()
+        assert result.performance  # final point re-measured for real
+        corpus_path = tmp_path / "corpus.jsonl"
+        index_path = tmp_path / "corpus_index.jsonl"
+        assert corpus_path.exists() and index_path.exists()
+        records = [json.loads(line) for line in
+                   corpus_path.read_text().splitlines()]
+        assert records and all("features" in r and "cost" in r
+                               for r in records)
+        assert CorpusIndex.load(index_path)
+        report = sizer.engine.report()
+        check_report(report)
+        assert report["surrogate"]["fits"] >= 1
+        assert report["surrogate"]["sims_avoided"] > 0
+
+    def test_second_run_warm_starts_from_corpus(self, tmp_path):
+        self._sizer(tmp_path, seed=1).run()
+        first = len((tmp_path / "corpus.jsonl").read_text().splitlines())
+        sizer = self._sizer(tmp_path, seed=2)
+        sizer.run()
+        report = sizer.engine.report()
+        # Warm start: the corpus grew across runs and the second run
+        # screened from its very first post-probe batch.
+        second = len((tmp_path / "corpus.jsonl").read_text().splitlines())
+        assert second > first
+        assert report["surrogate"]["sims_avoided"] > 0
+
+
+class TestServeCorpus:
+    def test_broker_records_completed_keyed_requests(self, tmp_path):
+        from repro.serve import Broker, Workload
+
+        engine = EvaluationEngine.from_config(EngineConfig(
+            cache=True, disk_cache_dir=tmp_path / "cache"))
+        broker = Broker(engine, config=ServeConfig(
+            max_wait_ms=0, corpus_dir=str(tmp_path)), owns_engine=True)
+        broker.register(Workload(
+            "perf", pulse_detector_performance,
+            key_fn=lambda p: canonical_key("pd_serve", p)))
+        mid = {n: (lo * hi) ** 0.5 for n, (lo, hi) in
+               SPACE.variables.items()}
+        points = [{**mid, "i_csa": mid["i_csa"] * (1 + 0.1 * i)}
+                  for i in range(4)]
+        with broker:
+            handles = [broker.submit("perf", p) for p in points]
+            for h in handles:
+                h.result(timeout=10)
+        index = CorpusIndex.load(tmp_path / "corpus_index.jsonl")
+        assert len(index) == 4
+        # Served traffic is harvestable: keys join the disk cache layer.
+        fresh = EvalCache(disk_dir=tmp_path / "cache")
+        spec = FeatureSpec.from_continuous(SPACE.to_continuous())
+        corpus = harvest_cache(fresh, index, feature_spec=spec,
+                               cost_fn=SPECS.cost)
+        assert len(corpus) == 4
