@@ -121,6 +121,8 @@ def main(argv: list[str] | None = None) -> int:
     print(f"rollups: {json.dumps(manifest['rollups'], sort_keys=True)}")
     print("solver: "
           f"{json.dumps(manifest['report']['solver'], sort_keys=True)}")
+    print("kernel: "
+          f"{json.dumps(manifest['report']['kernel'], sort_keys=True)}")
     print("surrogate: "
           f"{json.dumps(manifest['report']['surrogate'], sort_keys=True)}")
     print(f"check: specs_met={run.check['specs_met']:.0f} "

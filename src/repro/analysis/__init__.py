@@ -70,6 +70,18 @@ from repro.analysis.api import (
     NoiseSpec,
     TranSpec,
 )
+from repro.analysis import batch
+from repro.analysis.batch import (
+    BatchTopologyError,
+    StampPlan,
+    batched_ac,
+    batched_dc,
+    batched_noise,
+    batched_transient,
+    run_batch,
+    topology_signature,
+)
+from repro.analysis.mna import BatchSingularError, solve_dense_batched
 
 __all__ = [
     "AcResult",
@@ -79,6 +91,17 @@ __all__ = [
     "NoiseSpec",
     "TranSpec",
     "api",
+    "batch",
+    "BatchSingularError",
+    "BatchTopologyError",
+    "StampPlan",
+    "batched_ac",
+    "batched_dc",
+    "batched_noise",
+    "batched_transient",
+    "run_batch",
+    "solve_dense_batched",
+    "topology_signature",
     "StepResponse",
     "MismatchSigma",
     "OffsetStatistics",

@@ -12,7 +12,7 @@ manifest schemas.
 
 from repro.engine.cache import CacheStats, EvalCache, canonical_key
 from repro.engine.config import EngineConfig, ServeConfig, SurrogateConfig
-from repro.engine.core import EvaluationEngine, KeyedEngine
+from repro.engine.core import BATCH_FALLBACK, EvaluationEngine, KeyedEngine
 from repro.engine.executor import (
     BatchStats,
     Executor,
@@ -36,6 +36,7 @@ from repro.engine.schema import (
     REPORT_SCHEMA_VERSION,
     SchemaError,
     check_report,
+    kernel_rollup,
     serve_rollup,
     solver_rollup,
     surrogate_rollup,
@@ -55,6 +56,7 @@ from repro.engine.trace import (
 )
 
 __all__ = [
+    "BATCH_FALLBACK",
     "BatchStats",
     "CacheStats",
     "EngineConfig",
@@ -89,6 +91,7 @@ __all__ = [
     "current_tracer",
     "finish_run",
     "is_failure",
+    "kernel_rollup",
     "manifest_digest",
     "point_token",
     "serve_rollup",

@@ -182,8 +182,22 @@ class EvalCache:
         corpus harvesting or debugging) never perturbs what a subsequent
         run observes.  Values are the stored objects themselves — treat
         them as immutable, exactly as :meth:`get` callers must.
+
+        Safe to call while other threads insert: if a concurrent writer
+        resizes the store mid-copy (``RuntimeError: dictionary changed
+        size during iteration``) the copy is simply retried — a snapshot
+        is any consistent point-in-time view, not a frozen one.
         """
-        return list(self._store.items())
+        for _ in range(16):
+            try:
+                return list(self._store.items())
+            except RuntimeError:  # concurrent insert resized the dict
+                continue
+        # Writer churn outpaced 16 attempts: copy the keys first (atomic
+        # under the GIL) and accept missing freshly-evicted entries.
+        sentinel = object()
+        pairs = [(k, self._store.get(k, sentinel)) for k in list(self._store)]
+        return [(k, v) for k, v in pairs if v is not sentinel]
 
     def scan_disk(self) -> Iterator[tuple[str, Any]]:
         """Enumerate the on-disk layer, sorted by key.

@@ -264,6 +264,14 @@ class EngineConfig:
         ``surrogate`` makes :class:`repro.synthesis.SimulationBasedSizer`
         screen candidate batches through a cache-trained surrogate
         (:mod:`repro.surrogate`) instead of simulating everything.
+    batch_kernel:
+        ``True`` routes same-topology cache misses through the
+        symbolic-once/evaluate-many kernels of
+        :mod:`repro.analysis.batch` (stacked MNA assembly + batched
+        dense LU) instead of per-point dispatch, with automatic scalar
+        fallback for anything the kernel declines.  Consumed by
+        :class:`repro.synthesis.SimulationBasedSizer` and reflected in
+        the ``kernel.*`` counters of ``engine.report()``.
     """
 
     executor: Executor | str = "serial"
@@ -280,6 +288,7 @@ class EngineConfig:
     trace_dir: str | Path | None = None
     serve: ServeConfig | None = None
     surrogate: SurrogateConfig | None = None
+    batch_kernel: bool = False
 
     # -- part builders -------------------------------------------------
     def build_executor(self) -> Executor:
@@ -348,6 +357,7 @@ class EngineConfig:
             else None,
             "surrogate": self.surrogate.describe()
             if self.surrogate is not None else None,
+            "batch_kernel": bool(self.batch_kernel),
         }
 
 

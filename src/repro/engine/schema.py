@@ -30,14 +30,16 @@ from typing import Any
 #: v4 adds ``serve`` (rollup of the serving layer's ``serve.*`` counters
 #: and latency samples); v5 adds ``surrogate`` (rollup of the surrogate
 #: screening layer's ``surrogate.*`` counters and fit/predict latency
-#: samples).
-REPORT_SCHEMA_VERSION = 5
+#: samples); v6 adds ``kernel`` (rollup of the batched-evaluation
+#: kernel's ``kernel.*`` counters and per-group latency samples).
+REPORT_SCHEMA_VERSION = 6
 
 #: Version of the per-run manifest written by traced flows.
 #: v2 adds the ``solver_*`` rollups sourced from report["solver"];
 #: v3 adds the ``serve_*`` rollups sourced from report["serve"];
-#: v4 adds the ``surrogate_*`` rollups sourced from report["surrogate"].
-MANIFEST_SCHEMA_VERSION = 4
+#: v4 adds the ``surrogate_*`` rollups sourced from report["surrogate"];
+#: v5 adds the ``kernel_*`` rollups sourced from report["kernel"].
+MANIFEST_SCHEMA_VERSION = 5
 
 #: Keys every ``report()`` dict must contain, at any version >= 2.
 REQUIRED_REPORT_KEYS = (
@@ -51,6 +53,7 @@ REQUIRED_REPORT_KEYS = (
     "solver",
     "serve",
     "surrogate",
+    "kernel",
 )
 
 #: Keys of the ``report["solver"]`` section (schema v3).
@@ -191,6 +194,45 @@ def surrogate_rollup(counters: dict, fit_samples: list | None = None,
     }
 
 
+#: Keys of the ``report["kernel"]`` section (schema v6).
+REQUIRED_KERNEL_KEYS = (
+    "groups",
+    "batches",
+    "batched_points",
+    "scalar_points",
+    "member_fallbacks",
+    "group_fallbacks",
+    "fault_exclusions",
+    "mean_batch_points",
+    "batch_latency_p50_s",
+)
+
+
+def kernel_rollup(counters: dict, batch_samples: list | None = None) -> dict:
+    """Fold the ``kernel.*`` counters into the report section.
+
+    All-zero (``mean_batch_points`` and the latency percentile None) when
+    a run never used a batched-evaluation kernel — the section is always
+    present, like ``solver``/``serve``/``surrogate``, so consumers never
+    need an existence check.  The latency percentile is nearest-rank over
+    the ``kernel.batch_s`` telemetry samples (keys end in ``_s``:
+    wall-clock values are volatile and stripped from structural digests).
+    """
+    batches = int(counters.get("kernel.batches", 0))
+    batched = int(counters.get("kernel.batched_points", 0))
+    return {
+        "groups": int(counters.get("kernel.groups", 0)),
+        "batches": batches,
+        "batched_points": batched,
+        "scalar_points": int(counters.get("kernel.scalar_points", 0)),
+        "member_fallbacks": int(counters.get("kernel.member_fallbacks", 0)),
+        "group_fallbacks": int(counters.get("kernel.group_fallbacks", 0)),
+        "fault_exclusions": int(counters.get("kernel.fault_exclusions", 0)),
+        "mean_batch_points": (batched / batches) if batches else None,
+        "batch_latency_p50_s": _percentile(list(batch_samples or []), 0.50),
+    }
+
+
 _SCHEMA_PATH = Path(__file__).with_name("run_manifest_schema.json")
 
 
@@ -236,6 +278,11 @@ def check_report(report: dict) -> None:
     if missing_surrogate:
         raise SchemaError(
             f"report['surrogate'] missing keys: {missing_surrogate}")
+    kernel = report["kernel"]
+    missing_kernel = [k for k in REQUIRED_KERNEL_KEYS if k not in kernel]
+    if missing_kernel:
+        raise SchemaError(
+            f"report['kernel'] missing keys: {missing_kernel}")
 
 
 def manifest_schema() -> dict:

@@ -336,6 +336,11 @@ def build_manifest(flow: str, engine, seed: int | None = None,
             "surrogate_sims_avoided": report["surrogate"]["sims_avoided"],
             "surrogate_verify_misses": report["surrogate"]["verify_misses"],
             "surrogate_avoid_rate": report["surrogate"]["avoid_rate"],
+            "kernel_batches": report["kernel"]["batches"],
+            "kernel_batched_points": report["kernel"]["batched_points"],
+            "kernel_scalar_points": report["kernel"]["scalar_points"],
+            "kernel_mean_batch_points":
+                report["kernel"]["mean_batch_points"],
         },
     }
 

@@ -73,11 +73,19 @@ class Workload:
     with it, identical requests from different clients collapse onto one
     evaluation.  Two requests are batchable iff they name the same
     workload, which is what guarantees one ``fn`` per engine batch.
+
+    ``batcher`` (optional) is a vectorized kernel implementing the
+    three-member batcher protocol of ``map_evaluate`` (for circuit
+    workloads, :class:`repro.synthesis.simulation_based.BatchEvaluator`):
+    the micro-batches the broker already coalesces then additionally run
+    symbolic-once/evaluate-many per same-topology group, with scalar
+    fallback for anything the kernel declines.
     """
 
     name: str
     fn: Callable[[Any], Any]
     key_fn: Callable[[Any], str] | None = None
+    batcher: Any = None
 
 
 class ResultHandle:
@@ -506,7 +514,8 @@ class Broker:
             span_cm.__enter__()
         try:
             values = self.engine.map_evaluate(workload.fn, points,
-                                              key_fn=workload.key_fn)
+                                              key_fn=workload.key_fn,
+                                              batcher=workload.batcher)
         except BaseException as exc:
             # map_evaluate raising (no retry policy installed) must not
             # kill the dispatcher: fail the whole batch loudly — in its

@@ -90,6 +90,7 @@ from repro.synthesis.sc_filter import (
     synthesize_sc_filter,
 )
 from repro.synthesis.simulation_based import (
+    BatchEvaluator,
     SimulationBasedSizer,
     SimulationEvaluator,
 )
@@ -137,6 +138,7 @@ __all__ = [
     "PlanLibrary",
     "PlanResult",
     "PulseDetectorDesign",
+    "BatchEvaluator",
     "SimulationBasedSizer",
     "SimulationEvaluator",
     "SizingResult",

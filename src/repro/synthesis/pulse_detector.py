@@ -289,6 +289,80 @@ def build_pulse_detector_circuit(design: PulseDetectorDesign,
     return chain
 
 
+# ----------------------------------------------------------------------
+# Transistor-level CSA sizing on the vectorized kernels
+# ----------------------------------------------------------------------
+
+CSA_SIM_SPACE_VARIABLES = {
+    "w_in": (50e-6, 400e-6),
+    "i_bias": (50e-6, 400e-6),
+    "r_fb": (5e6, 50e6),
+}
+
+
+def csa_testbench(sizes: dict[str, float]) -> Circuit:
+    """CSA wired for :class:`~repro.synthesis.SimulationEvaluator`.
+
+    The charge-sensitive amplifier is single-ended; renaming its ``in``
+    node to ``inp`` lets the evaluator's standard differential testbench
+    (AC drive on ``inp``) measure it as a common-source gain stage.  The
+    unused ``inn`` input is tied off by the evaluator's own bias source.
+    """
+    csa = charge_sensitive_amplifier(sizes)
+    c = Circuit("csa_tb")
+    for dev in csa.devices:
+        c.add(dev.renamed({"in": "inp"}))
+    return c
+
+
+def csa_sim_specs() -> SpecSet:
+    """Open-loop CSA specs for the simulation-based sizing demo."""
+    return SpecSet([
+        Spec.at_least("gain_db", 40.0),
+        Spec.at_least("gbw", 100e6),
+        Spec.minimize("power", good=1e-3),
+    ])
+
+
+def synthesize_csa_batched(seed: int = 7,
+                           schedule: AnnealSchedule | None = None,
+                           batch_kernel: bool = True,
+                           batch_size: int = 6) -> SizingResult:
+    """Size the CSA by simulation on the vectorized same-topology kernels.
+
+    Every annealing batch shares the CSA topology, so with
+    ``batch_kernel=True`` the engine assembles one stacked AC system per
+    batch instead of simulating the members one by one
+    (:mod:`repro.analysis.batch`).  The trajectory is pinned in
+    ``tests/golden/pulse_detector.json`` under ``batched_sizing`` — by
+    construction it must be *identical* to the ``batch_kernel=False``
+    run, so the golden also guards the batched≡scalar contract at the
+    whole-flow level.
+    """
+    from repro.circuits.library import CSA_DEFAULTS
+    from repro.engine.config import EngineConfig
+    from repro.synthesis.simulation_based import (
+        SimulationBasedSizer,
+        SimulationEvaluator,
+    )
+
+    space = DesignSpace(
+        variables=dict(CSA_SIM_SPACE_VARIABLES),
+        fixed={k: v for k, v in CSA_DEFAULTS.items()
+               if k not in CSA_SIM_SPACE_VARIABLES})
+    schedule = schedule or AnnealSchedule(
+        moves_per_temperature=12, cooling=0.8, max_evaluations=60,
+        stop_after_stale=4)
+    evaluator = SimulationEvaluator(builder=csa_testbench, input_bias=0.9,
+                                    raise_failures=True)
+    sizer = SimulationBasedSizer(
+        evaluator, space, csa_sim_specs(), schedule=schedule, seed=seed,
+        batch_size=batch_size,
+        config=EngineConfig(cache=True, trace=True,
+                            batch_kernel=batch_kernel))
+    return sizer.run()
+
+
 @dataclass
 class PulseDetectorRun:
     """Outcome of :func:`pulse_detector_flow`."""

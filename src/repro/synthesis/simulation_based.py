@@ -144,6 +144,15 @@ class SimulationEvaluator:
             if self.raise_failures:
                 raise
             return {}
+        return self._performance(circuit, op, metrics)
+
+    def _performance(self, circuit: Circuit, op, metrics) -> dict[str, float]:
+        """Assemble the performance dict from solved analyses.
+
+        Shared by the scalar path (:meth:`simulate`) and the vectorized
+        kernel path (:class:`BatchEvaluator`), so both report the exact
+        same metric set for a given operating point and Bode summary.
+        """
         performance = {
             "gain": metrics.dc_gain,
             "gain_db": metrics.dc_gain_db,
@@ -161,6 +170,95 @@ class SimulationEvaluator:
             inp = noise.input_referred_psd()
             performance["input_noise_density"] = float(np.sqrt(inp[-1]))
         return performance
+
+
+@dataclass
+class BatchEvaluator:
+    """Same-topology vectorized kernel for :class:`SimulationEvaluator`.
+
+    Satisfies the three-member batcher protocol of
+    :meth:`repro.engine.EvaluationEngine.map_evaluate`: ``group`` buckets
+    cache-miss sizing points by the topology signature of their built
+    testbench (sizings of one schematic share a signature — values are
+    excluded), and ``evaluate`` runs one bucket through the
+    symbolic-once/evaluate-many kernels in :mod:`repro.analysis.batch`:
+    per-member DC operating points (nonlinear Newton stays scalar, so
+    results match the scalar path bitwise) followed by one stacked AC
+    sweep solved as a batched dense LU.
+
+    Every member the kernel cannot take — unbuildable sizing,
+    non-convergent or singular DC, a member :func:`~repro.analysis.mna.
+    solve_dense_batched` flags as singular (removed and the rest
+    retried), or a metric-extraction error — is returned as
+    :data:`~repro.engine.core.BATCH_FALLBACK` so the engine re-runs it
+    through the ordinary scalar executor path with identical failure
+    counting, retry and record semantics.
+    """
+
+    evaluator: SimulationEvaluator
+    min_batch: int = 2
+
+    def group(self, points: list[dict[str, float]]) -> list[list[int]]:
+        from repro.analysis.batch import topology_signature
+        groups: dict[str, list[int]] = {}
+        for i, sizes in enumerate(points):
+            try:
+                sig = topology_signature(
+                    self.evaluator.build_testbench(sizes))
+            except (ValueError, KeyError):
+                # Unbuildable: a unique singleton signature keeps it under
+                # min_batch so the scalar path owns the failure.
+                sig = f"__unbuildable__:{i}"
+            groups.setdefault(sig, []).append(i)
+        return list(groups.values())
+
+    def evaluate(self, points: list[dict[str, float]]) -> list:
+        from repro.analysis.batch import batched_ac
+        from repro.analysis.mna import BatchSingularError
+        from repro.engine.core import BATCH_FALLBACK
+
+        ev = self.evaluator
+        results: list = [BATCH_FALLBACK] * len(points)
+        circuits: list = [None] * len(points)
+        ops: list = [None] * len(points)
+        good: list[int] = []
+        for i, sizes in enumerate(points):
+            try:
+                circuits[i] = ev.build_testbench(sizes)
+                ops[i] = dc_operating_point(circuits[i])
+                good.append(i)
+            except (ConvergenceError, SingularCircuitError,
+                    ValueError, KeyError):
+                pass  # BATCH_FALLBACK: the scalar re-run owns the failure
+        freqs = logspace_frequencies(ev.f_start, ev.f_stop,
+                                     ev.points_per_decade)
+        acs = None
+        while len(good) >= 2:
+            try:
+                acs = batched_ac([circuits[i] for i in good], freqs,
+                                 ops=[ops[i] for i in good])
+                break
+            except BatchSingularError as err:
+                # Drop the members the stacked LU flagged and retry the
+                # rest; the dropped ones fall back to the scalar path,
+                # which reports the per-member SingularCircuitError.
+                bad = {good[m] for m in err.members}
+                good = [i for i in good if i not in bad]
+        if acs is None:
+            return results
+        for i, ac in zip(good, acs):
+            try:
+                metrics = bode_metrics(ac, ev.output)
+                performance = ev._performance(circuits[i], ops[i], metrics)
+            except (ConvergenceError, SingularCircuitError,
+                    ValueError, KeyError):
+                continue  # fall back: scalar re-run reproduces the error
+            results[i] = performance
+            if ev.telemetry is not None:
+                # One batched member == one simulator run; fallback
+                # members are counted by the scalar re-run instead.
+                ev.telemetry.count("simulator.calls")
+        return results
 
 
 @dataclass
@@ -184,6 +282,9 @@ class _EngineBatch:
     # every successful evaluation, which is what lets a later run harvest
     # this run's disk cache as surrogate training data.
     corpus_index: object | None = None
+    # Optional BatchEvaluator: routes same-topology cache misses through
+    # the vectorized kernels instead of per-point executor dispatch.
+    batcher: object | None = None
 
     def _sizes(self, x) -> dict[str, float]:
         point = {n: float(v) for n, v in zip(self.names, x)}
@@ -192,7 +293,8 @@ class _EngineBatch:
     def map_evaluate(self, _fn, states) -> list[float]:
         points = [self._sizes(x) for x in states]
         perfs = self.engine.map_evaluate(self.evaluator.simulate, points,
-                                         key_fn=self.evaluator.cache_key)
+                                         key_fn=self.evaluator.cache_key,
+                                         batcher=self.batcher)
         if self.corpus_index is not None:
             for point, perf in zip(points, perfs):
                 if not is_failure(perf):
@@ -227,6 +329,14 @@ class SimulationBasedSizer:
     engine's cache against ``corpus_index.jsonl``) and persists the
     grown corpus there after the run.  The final reported sizing is
     always re-measured with a real simulation, screened or not.
+
+    ``batch_kernel=True`` (or ``EngineConfig(batch_kernel=True)``) opts
+    cache-miss evaluation into the vectorized same-topology kernels: a
+    :class:`BatchEvaluator` groups each annealing batch by testbench
+    topology signature and solves one stacked AC sweep per group
+    (:mod:`repro.analysis.batch`), with per-member scalar fallback for
+    anything the kernel declines.  ``kernel.*`` counters in
+    ``engine.report()`` show the batched/scalar split.
     """
 
     def __init__(self, evaluator: Callable[[dict[str, float]], dict[str, float]],
@@ -236,7 +346,8 @@ class SimulationBasedSizer:
                  batch_size: int = 1,
                  max_failure_fraction: float = 0.5,
                  config: EngineConfig | None = None,
-                 surrogate=None):
+                 surrogate=None,
+                 batch_kernel: bool | None = None):
         self.evaluator = evaluator
         self.space = space
         self.specs = specs
@@ -251,6 +362,10 @@ class SimulationBasedSizer:
         if surrogate is None and config is not None:
             surrogate = config.surrogate
         self.surrogate = surrogate
+        if batch_kernel is None:
+            batch_kernel = bool(config.batch_kernel) \
+                if config is not None else False
+        self.batch_kernel = bool(batch_kernel)
         self.batch_size = batch_size
         self.evaluations = 0
         # Tolerated fraction of failed evaluations before the run itself
@@ -322,9 +437,12 @@ class SimulationBasedSizer:
                 raise TypeError(
                     "engine-backed sizing needs a SimulationEvaluator "
                     "(it provides simulate() and cache_key())")
+            batcher = BatchEvaluator(self.evaluator) \
+                if self.batch_kernel else None
             executor = _EngineBatch(self.engine, self.evaluator,
                                     self.space, cont.names, self.specs,
-                                    corpus_index=corpus_index)
+                                    corpus_index=corpus_index,
+                                    batcher=batcher)
             failures_before = self.engine.failure_count()
         tracer = getattr(self.engine, "tracer", None) \
             if self.engine is not None else None

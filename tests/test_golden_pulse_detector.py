@@ -27,6 +27,7 @@ from repro.opt.anneal import AnnealSchedule
 from repro.synthesis.pulse_detector import (
     MANUAL_DESIGN,
     pulse_detector_performance,
+    synthesize_csa_batched,
     synthesize_pulse_detector,
 )
 
@@ -51,6 +52,19 @@ def _synthesize():
         max_evaluations=sched["max_evaluations"])
     return synthesize_pulse_detector(seed=golden["synthesized"]["seed"],
                                      schedule=schedule)
+
+
+def _synthesize_batched(batch_kernel: bool = True):
+    golden = _load_golden()["batched_sizing"]
+    sched = golden["schedule"]
+    schedule = AnnealSchedule(
+        moves_per_temperature=sched["moves_per_temperature"],
+        cooling=sched["cooling"],
+        max_evaluations=sched["max_evaluations"],
+        stop_after_stale=sched["stop_after_stale"])
+    return synthesize_csa_batched(seed=golden["seed"], schedule=schedule,
+                                  batch_kernel=batch_kernel,
+                                  batch_size=golden["batch_size"])
 
 
 def _assert_metrics(actual: dict, expected: dict, rtol: float,
@@ -94,6 +108,43 @@ class TestPulseDetectorGolden:
         assert a.performance == b.performance
 
 
+@pytest.mark.skipif(REGENERATE, reason="regenerating golden file")
+class TestBatchedSizingGolden:
+    """The vectorized-kernel CSA sizing trajectory is pinned.
+
+    Unlike the analytic synthesis above, this run goes through the full
+    simulation stack — ``StampPlan`` assembly, stacked LU, the engine's
+    batcher dispatch — so any numerical drift in the batched kernels
+    surfaces here as a trajectory delta.
+    """
+
+    def test_batched_sizing_matches_golden(self):
+        golden = _load_golden()["batched_sizing"]
+        result = _synthesize_batched()
+        assert result.feasible == golden["feasible"]
+        assert result.evaluations == golden["evaluations"]
+        assert result.cost == pytest.approx(golden["cost"], rel=SYNTH_RTOL)
+        _assert_metrics(result.sizes, golden["sizes"], SYNTH_RTOL,
+                        "batched sizes")
+        _assert_metrics(result.performance, golden["performance"],
+                        SYNTH_RTOL, "batched performance")
+        assert len(result.history) == len(golden["history"])
+        for step, (got, want) in enumerate(zip(result.history,
+                                               golden["history"])):
+            assert got == pytest.approx(want, rel=SYNTH_RTOL), (
+                f"batched sizing history diverged at temperature {step}")
+
+    def test_batched_equals_scalar_trajectory(self):
+        """The golden is mode-independent: turning the kernels off must
+        land on the exact same annealing trajectory."""
+        batched = _synthesize_batched(batch_kernel=True)
+        scalar = _synthesize_batched(batch_kernel=False)
+        assert batched.sizes == scalar.sizes
+        assert batched.cost == scalar.cost
+        assert batched.performance == scalar.performance
+        assert batched.history == scalar.history
+
+
 @pytest.mark.skipif(not REGENERATE, reason="set REPRO_REGENERATE_GOLDEN=1")
 def test_regenerate_golden():
     golden = _load_golden()
@@ -104,6 +155,11 @@ def test_regenerate_golden():
     golden["synthesized"].update(
         feasible=result.feasible, cost=result.cost, sizes=result.sizes,
         performance=result.performance)
+    batched = _synthesize_batched()
+    golden["batched_sizing"].update(
+        feasible=batched.feasible, cost=batched.cost, sizes=batched.sizes,
+        performance=batched.performance, evaluations=batched.evaluations,
+        history=list(batched.history))
     with open(GOLDEN_PATH, "w") as fh:
         json.dump(golden, fh, indent=2, sort_keys=True)
         fh.write("\n")
