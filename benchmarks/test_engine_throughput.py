@@ -461,6 +461,91 @@ def test_serve_saturation_throughput():
     assert p99 < p99_bound
 
 
+def test_shard_saturation_throughput():
+    """Saturating service load: a 4-shard router fleet vs one batched
+    broker over the identical engine stack and the identical request mix.
+
+    The single broker's ceiling is its one engine: 16 worker threads
+    overlap at most 16 of the 10 ms simulator calls at a time, however
+    well the micro-batcher packs them.  The router consistent-hashes the
+    same mixed-priority stream onto 4 broker/engine worker processes
+    (4 x 16 workers), so the fleet's ceiling is 4x higher and the
+    speedup survives hash imbalance and IPC overhead.  The gate also
+    holds the fleet to the same zero-silent-drops contract as one
+    broker: the merged accounting invariant must hold exactly and the
+    per-shard breakdown must sum to the fleet totals.
+    """
+    from repro.engine import ServeConfig
+    from repro.serve import Broker, ShardRouter, Workload
+
+    eval_s = 0.040
+    n_requests = 640
+    expected = [{"y": 2 * i} for i in range(n_requests)]
+
+    def simulate(point):
+        time.sleep(eval_s)
+        return {"y": point["x"] * 2}
+
+    def drive(backend):
+        # Same mixed-priority saturating load for both backends: 8
+        # concurrent clients, a quarter interactive, the rest bulk
+        # sweeps.
+        from concurrent.futures import ThreadPoolExecutor
+
+        def one(i):
+            return backend.submit(
+                "sim", {"x": i},
+                priority="interactive" if i % 4 == 0 else "batch")
+
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            handles = list(pool.map(one, range(n_requests)))
+        values = [h.result(timeout=60) for h in handles]
+        return values, time.perf_counter() - t0
+
+    def config(shards):
+        return EngineConfig(
+            executor="thread", workers=16,
+            serve=ServeConfig(max_batch=16, max_wait_ms=5.0,
+                              max_queue_depth=1024, shards=shards))
+
+    single = Broker.from_config(config(1))
+    single.register(Workload("sim", simulate))
+    with single:
+        values, single_s = drive(single)
+    assert values == expected
+
+    router = ShardRouter(config(4))
+    router.register(Workload("sim", simulate))
+    with router:  # spawn cost sits outside the timed window
+        values, fleet_s = drive(router)
+        serve = router.report()["serve"]
+    assert values == expected
+
+    assert serve["requests"] == serve["admitted"] + serve["rejected"]
+    assert serve["admitted"] == (serve["completed"] + serve["expired"]
+                                 + serve["cancelled"] + serve["errored"])
+    assert serve["completed"] == n_requests
+    assert len(serve["shards"]) == 4
+    for lane in ("completed", "expired", "cancelled", "errored"):
+        assert sum(s[lane] for s in serve["shards"]) == serve[lane]
+
+    ratio = single_s / max(fleet_s, 1e-9)
+    spread = [s["completed"] for s in serve["shards"]]
+    report("serving layer: 4-shard fleet vs single batched broker", [
+        ("requests", "--", str(n_requests)),
+        ("single broker (batch=16, 16 workers)", "--",
+         f"{single_s:.3f} s"),
+        ("4-shard fleet (4 x 16 workers)", "--", f"{fleet_s:.3f} s"),
+        ("throughput ratio", ">= 2.5x", f"{ratio:.1f}x"),
+        ("completed per shard", "--", str(spread)),
+        ("fleet p99 latency", "--",
+         f"{serve['latency_p99_s'] * 1e3:.0f} ms"),
+    ])
+    assert ratio >= 2.5
+    assert all(spread), "every shard must take a share of the keyspace"
+
+
 # ----------------------------------------------------------------------
 # vectorized kernels: symbolic-once / evaluate-many vs per-point scalar
 # ----------------------------------------------------------------------

@@ -1,27 +1,35 @@
 #!/usr/bin/env python
 """Boot the serving layer and gate the zero-silent-drops contract for CI.
 
-Starts a :class:`repro.serve.Broker` over a thread-executor engine,
-exposes it through the stdlib HTTP facade, and drives a mixed-priority
-workload: an interactive client issuing small blocking requests over
-HTTP while a batch client saturates the queue in-process (plus a
-deliberately over-quota session and a cancelled request, so every
-rejection path fires at least once).  The gate then fails loudly unless:
+Starts a :class:`repro.serve.Broker` (``--shards 1``, the default) or a
+:class:`repro.serve.ShardRouter` fleet (``--shards N``) over
+thread-executor engines, exposes it through an HTTP facade — the stdlib
+thread-per-request server for the single broker, the asyncio front door
+for the fleet — and drives a mixed-priority workload through the typed
+:class:`repro.serve.ServeClient`: an interactive client issuing small
+blocking requests over HTTP while a batch client saturates the queue
+in-process (plus a deliberately over-quota session and a cancelled
+request, so the rejection paths fire).  The gate then fails loudly
+unless:
 
 * ``GET /healthz`` answers ``ok`` while the load is running;
-* the engine report validates (``check_report``, report schema v4);
-* the serve accounting invariant holds exactly — zero silent drops::
+* the engine report validates (``check_report``, report schema v7);
+* the serve accounting invariant holds exactly — zero silent drops,
+  fleet-wide::
 
       requests == admitted + rejected
       admitted == completed + expired + cancelled + errored
 
+  and, when sharded, the per-shard breakdown sums to the fleet totals;
 * every admitted-and-not-cancelled request produced a result;
 * a serial :func:`repro.serve.replay` of the recorded request stream
-  reproduces every completed result digest.
+  reproduces every completed result digest — the shard count changed
+  *where* requests ran, never *what* they computed.
 
 Usage::
 
     PYTHONPATH=src python scripts/serve_smoke.py --out run-artifacts
+    PYTHONPATH=src python scripts/serve_smoke.py --shards 4
 """
 
 from __future__ import annotations
@@ -29,9 +37,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import threading
 import time
-import urllib.request
 from pathlib import Path
 
 from repro.engine import (
@@ -43,8 +51,11 @@ from repro.engine import (
 from repro.serve import (
     Broker,
     RejectedError,
+    ServeClient,
     Session,
+    ShardRouter,
     Workload,
+    make_async_server,
     make_server,
     replay,
 )
@@ -63,75 +74,76 @@ def _simulate(point: dict) -> dict:
     return {"y": x * x, "stage": point.get("stage", 0)}
 
 
-def _http_json(url: str, body: dict | None = None,
-               timeout: float = 30.0) -> tuple[int, dict]:
-    if body is None:
-        req = urllib.request.Request(url)
-    else:
-        req = urllib.request.Request(
-            url, data=json.dumps(body).encode(),
-            headers={"Content-Type": "application/json"})
-    try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return resp.status, json.loads(resp.read())
-    except urllib.error.HTTPError as exc:
-        return exc.code, json.loads(exc.read())
+def _simulate_key(point: dict) -> str:
+    return f"sim:{point['x']}:{point.get('stage', 0)}"
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=None,
                         help="optional directory for requests.jsonl")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="fleet width; 1 = single broker (default)")
     parser.add_argument("--interactive-requests", type=int, default=12)
     parser.add_argument("--batch-requests", type=int, default=64)
     args = parser.parse_args(argv)
+    sharded = args.shards > 1
 
+    store_dir = None
+    if sharded:
+        base = args.out if args.out is not None else \
+            Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+        store_dir = str(Path(base) / "shared-store")
     config = EngineConfig(
-        executor="thread", workers=16, cache=True, trace=True,
+        executor="thread", workers=16, cache=True, trace=not sharded,
         serve=ServeConfig(max_batch=16, max_wait_ms=5.0,
-                          max_queue_depth=512))
-    broker = Broker.from_config(config)
-    broker.register(Workload("simulate", _simulate,
-                             key_fn=lambda p: f"sim:{p['x']}:"
-                             f"{p.get('stage', 0)}"))
+                          max_queue_depth=512, shards=args.shards,
+                          shared_store_dir=store_dir,
+                          synthesize_workload="simulate"))
+    workload = Workload("simulate", _simulate, key_fn=_simulate_key)
+    if sharded:
+        backend = ShardRouter(config)
+        make_facade = make_async_server
+    else:
+        backend = Broker.from_config(config)
+        make_facade = make_server
+    backend.register(workload)
 
     http_results: list[dict] = []
     http_errors: list[str] = []
 
-    with broker, make_server(broker,
-                             synthesize_workload="simulate") as server:
+    with backend, make_facade(backend) as server:
+        url = server.url
+        client = ServeClient(url, client="designer")
+
         def interactive_client() -> None:
             for i in range(args.interactive_requests):
-                status, out = _http_json(
-                    server.url + "/evaluate",
-                    {"workload": "simulate", "point": {"x": i},
-                     "client": "designer", "priority": "interactive"})
-                if status != 200:
-                    http_errors.append(f"interactive #{i}: HTTP {status} "
-                                       f"{out}")
-                else:
-                    http_results.append(out["result"])
+                try:
+                    http_results.append(client.evaluate(
+                        "simulate", {"x": i}, priority="interactive"))
+                except Exception as exc:
+                    http_errors.append(f"interactive #{i}: {exc!r}")
 
-        sweeper = Session(broker, "sweeper", priority="batch")
+        sweeper = Session(backend, "sweeper", priority="batch")
         sweeper.map("simulate", [{"x": i % 16, "stage": i // 16}
                                  for i in range(args.batch_requests)])
 
         thread = threading.Thread(target=interactive_client)
         thread.start()
 
-        status, health = _http_json(server.url + "/healthz")
-        if status != 200 or health.get("status") != "ok":
-            _fail(f"/healthz under load: HTTP {status} {health}")
+        health = client.healthz()
+        if health.get("status") != "ok":
+            _fail(f"/healthz under load: {health}")
 
         # One of everything the accounting must absorb loudly:
-        over_quota = Session(broker, "greedy", quota=1)
+        over_quota = Session(backend, "greedy", quota=1)
         over_quota.submit("simulate", {"x": 1})
         try:
             over_quota.submit("simulate", {"x": 2})
             _fail("quota breach was not rejected")
         except RejectedError:
             pass
-        victim = broker.submit("simulate", {"x": 999}, client="fickle")
+        victim = backend.submit("simulate", {"x": 999}, client="fickle")
         victim.cancel()
 
         thread.join()
@@ -139,10 +151,15 @@ def main(argv: list[str] | None = None) -> int:
             handle.result(timeout=60)
         for handle in over_quota.handles:
             handle.result(timeout=60)
+        try:
+            victim.result(timeout=60)
+        except Exception:
+            pass  # cancelled (counted), or completed if dispatch won
 
-        status, metrics = _http_json(server.url + "/metrics")
-        if status != 200:
-            _fail(f"/metrics: HTTP {status}")
+        metrics = client.metrics()
+        if metrics.get("schema_version") is None:
+            _fail(f"/metrics did not return a report: {metrics}")
+        client.close()
 
     if http_errors:
         _fail("; ".join(http_errors))
@@ -151,7 +168,7 @@ def main(argv: list[str] | None = None) -> int:
     if http_results != expected:
         _fail(f"interactive results wrong: {http_results[:3]}...")
 
-    report = broker.report()
+    report = backend.report()
     try:
         check_report(report)
     except SchemaError as exc:
@@ -165,23 +182,36 @@ def main(argv: list[str] | None = None) -> int:
         _fail(f"admitted request unaccounted for: {serve}")
     if serve["errored"]:
         _fail(f"dispatcher-side engine errors under smoke load: {serve}")
-    if serve["rejected"] < 1 or serve["cancelled"] < 1:
-        _fail(f"smoke load failed to exercise rejection/cancellation: "
-              f"{serve}")
-    # ... + 1: the over-quota session's single admitted request (the
-    # cancelled victim settles under serve.cancelled, not completed).
+    if serve["rejected"] < 1:
+        _fail(f"smoke load failed to exercise rejection: {serve}")
     want = (args.interactive_requests + args.batch_requests + 1)
-    if serve["completed"] != want:
-        _fail(f"completed {serve['completed']} != expected {want}")
+    if sharded:
+        # Fleet cancellation is best-effort (the cancel races dispatch
+        # across a process boundary): the victim settles as cancelled
+        # *or* completed — either way it is accounted, never dropped.
+        if serve["completed"] not in (want, want + 1):
+            _fail(f"completed {serve['completed']} != expected "
+                  f"{want} (+1)")
+        if len(serve["shards"]) != args.shards:
+            _fail(f"expected {args.shards} shard entries: {serve}")
+        for lane in ("completed", "expired", "cancelled", "errored"):
+            total = sum(s[lane] for s in serve["shards"])
+            if total != serve[lane]:
+                _fail(f"per-shard {lane} {total} != fleet {serve[lane]}")
+    else:
+        if serve["cancelled"] < 1:
+            _fail(f"smoke load failed to exercise cancellation: {serve}")
+        if serve["completed"] != want:
+            _fail(f"completed {serve['completed']} != expected {want}")
 
-    rep = replay(broker.request_log, broker.workloads)
+    rep = replay(backend.request_log, backend.workloads)
     if not rep.ok:
         _fail(f"replay diverged: {rep.as_dict()}")
     if args.out is not None:
-        broker.write_request_trace(args.out / "requests.jsonl")
+        backend.write_request_trace(args.out / "requests.jsonl")
 
     mbs = serve["mean_batch_size"]
-    print(f"healthz under load: ok ({server.url})")
+    print(f"healthz under load: ok ({url}, shards={args.shards})")
     print(f"serve: {json.dumps(serve, sort_keys=True)}")
     print(f"accounting: requests={serve['requests']} = "
           f"admitted {serve['admitted']} + rejected {serve['rejected']}; "
@@ -190,6 +220,10 @@ def main(argv: list[str] | None = None) -> int:
           f"+ errored {serve['errored']}")
     print(f"batching: {serve['batches']} batches, mean size {mbs:.1f}, "
           f"p99 latency {serve['latency_p99_s'] * 1e3:.0f} ms")
+    if sharded:
+        spread = {s["shard"]: s["completed"] for s in serve["shards"]}
+        print(f"shards: completed by shard {spread}, "
+              f"restarts {sum(s['restarts'] for s in serve['shards'])}")
     print(f"replay: {rep.replayed} replayed, {rep.matched} matched")
     print("SERVE SMOKE OK")
     return 0

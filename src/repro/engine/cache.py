@@ -12,12 +12,19 @@ are the same evaluation, no matter which loop asked.
 
 The cache is an in-memory LRU with hit/miss/eviction statistics and an
 optional on-disk layer (one pickle per key) so results survive across
-processes and sessions.
+processes and sessions.  The disk layer is multi-process safe: publishes
+go through :func:`publish_pickle` (a process-unique temp file followed by
+an atomic ``os.replace``), so any number of writers — shard workers, pool
+workers, concurrent sessions — can share one directory, readers never see
+a partial file, and two writers racing on the same key both leave a
+complete value behind (last rename wins; the values are content-addressed,
+so both renames carry the same bytes).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -25,6 +32,33 @@ from pathlib import Path
 from typing import Any, Callable, Iterator
 
 _MISS = object()
+
+
+def publish_pickle(path: Path, value: Any) -> None:
+    """Atomically publish ``value`` as a pickle at ``path``.
+
+    The write-then-rename protocol of the shared artifact store: the
+    pickle is staged in a temp file unique to this process *and* this
+    publish (pid + a per-call counter), then renamed into place with
+    ``os.replace``.  A reader therefore never observes a partial file,
+    and concurrent writers — even of the same key, from different
+    processes — cannot interleave bytes in one staging file the way a
+    fixed ``<key>.tmp`` would let them.
+    """
+    tmp = path.with_name(
+        f".{path.name}.{os.getpid()}.{_publish_counter()}.tmp")
+    with open(tmp, "wb") as fh:
+        pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+_PUBLISH_SEQ = 0
+
+
+def _publish_counter() -> int:
+    global _PUBLISH_SEQ
+    _PUBLISH_SEQ += 1
+    return _PUBLISH_SEQ
 
 
 def _is_failure(value: Any) -> bool:
@@ -207,6 +241,12 @@ class EvalCache:
         statistics.  Unreadable/corrupt files and persisted failure
         records are skipped — the same values :meth:`get` would refuse
         to serve.  Yields nothing when there is no disk layer.
+
+        Safe to run while other processes publish: staged temp files
+        never match the ``*.pkl`` glob (they carry a leading dot and a
+        ``.tmp`` suffix), a published file is complete by construction
+        (:func:`publish_pickle` renames atomically), and a file that
+        vanishes between the glob and the open is simply skipped.
         """
         if self.disk_dir is None:
             return
@@ -230,11 +270,7 @@ class EvalCache:
             self._store.popitem(last=False)
             self.stats.evictions += 1
         if write_disk and self.disk_dir is not None:
-            path = self._disk_path(key)
-            tmp = path.with_suffix(".tmp")
-            with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            tmp.replace(path)  # atomic: a reader never sees a partial file
+            publish_pickle(self._disk_path(key), value)
 
     def _disk_path(self, key: str) -> Path | None:
         if self.disk_dir is None:

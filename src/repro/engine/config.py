@@ -81,6 +81,24 @@ class ServeConfig:
         (:func:`repro.surrogate.harvest_cache`) — heavy load literally
         grows the corpus that later makes sizing cheaper.  ``None``
         (default) records nothing.
+    shards:
+        Fleet width for :class:`repro.serve.ShardRouter`: requests are
+        consistent-hashed by workload digest onto this many broker/engine
+        worker processes.  ``1`` (default) is the single-broker shape —
+        a plain :class:`~repro.serve.Broker` ignores the knob.
+    shared_store_dir:
+        Directory of the cross-shard content-addressed result store
+        (:class:`repro.serve.SharedStore`): every shard's engine mounts
+        it as its disk :class:`~repro.engine.cache.EvalCache` layer, so
+        a result computed on one shard is a cache hit on every other.
+        ``None`` keeps shards' caches private.
+    http_host / http_port / synthesize_workload:
+        The HTTP front-door settings, consolidated here from the
+        scattered ``make_server(...)`` kwargs (which keep working behind
+        a ``DeprecationWarning``; setting a knob both here and there is
+        a ``ValueError``).  ``http_port=0`` binds an ephemeral port;
+        ``synthesize_workload`` names the registered workload that
+        ``POST /synthesize`` runs (``None`` answers 404).
     """
 
     max_batch: int = 16
@@ -92,6 +110,11 @@ class ServeConfig:
     interactive_burst: int = 4
     http_max_wait_s: float | None = 300.0
     corpus_dir: str | None = None
+    shards: int = 1
+    shared_store_dir: str | None = None
+    http_host: str = "127.0.0.1"
+    http_port: int = 0
+    synthesize_workload: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -108,6 +131,10 @@ class ServeConfig:
             raise ValueError("interactive_burst must be >= 1")
         if self.http_max_wait_s is not None and self.http_max_wait_s <= 0:
             raise ValueError("http_max_wait_s must be positive (or None)")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not 0 <= self.http_port <= 65535:
+            raise ValueError("http_port must be in [0, 65535]")
 
     def describe(self) -> dict:
         return {
@@ -120,6 +147,11 @@ class ServeConfig:
             "interactive_burst": self.interactive_burst,
             "http_max_wait_s": self.http_max_wait_s,
             "corpus_dir": self.corpus_dir,
+            "shards": self.shards,
+            "shared_store_dir": self.shared_store_dir,
+            "http_host": self.http_host,
+            "http_port": self.http_port,
+            "synthesize_workload": self.synthesize_workload,
         }
 
 

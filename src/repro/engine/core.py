@@ -378,7 +378,10 @@ class EvaluationEngine:
         (:mod:`repro.surrogate`).  Schema v6 adds ``kernel``: the rollup
         of the batched-evaluation kernel's ``kernel.*`` counters and
         per-group latency samples (:mod:`repro.analysis.batch` + the
-        ``batcher=`` path of :meth:`map_evaluate`).
+        ``batcher=`` path of :meth:`map_evaluate`).  Schema v7 adds
+        ``serve.shards``: the per-shard outcome breakdown a
+        :class:`repro.serve.ShardRouter` fleet report carries — ``[]``
+        here, since one engine is by definition one (unsharded) worker.
         """
         out = self.telemetry.report()
         out["schema_version"] = REPORT_SCHEMA_VERSION

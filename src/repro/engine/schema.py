@@ -31,15 +31,20 @@ from typing import Any
 #: and latency samples); v5 adds ``surrogate`` (rollup of the surrogate
 #: screening layer's ``surrogate.*`` counters and fit/predict latency
 #: samples); v6 adds ``kernel`` (rollup of the batched-evaluation
-#: kernel's ``kernel.*`` counters and per-group latency samples).
-REPORT_SCHEMA_VERSION = 6
+#: kernel's ``kernel.*`` counters and per-group latency samples); v7
+#: adds ``serve.shards`` (per-shard outcome breakdown of a sharded
+#: fleet — ``[]`` for a single unsharded broker) so merged fleet
+#: reports carry the fleet-wide sums *and* who did what.
+REPORT_SCHEMA_VERSION = 7
 
 #: Version of the per-run manifest written by traced flows.
 #: v2 adds the ``solver_*`` rollups sourced from report["solver"];
 #: v3 adds the ``serve_*`` rollups sourced from report["serve"];
 #: v4 adds the ``surrogate_*`` rollups sourced from report["surrogate"];
-#: v5 adds the ``kernel_*`` rollups sourced from report["kernel"].
-MANIFEST_SCHEMA_VERSION = 5
+#: v5 adds the ``kernel_*`` rollups sourced from report["kernel"];
+#: v6 adds ``serve_shards`` (fleet width, 0 when unsharded) alongside
+#: the report's v7 per-shard serve breakdown.
+MANIFEST_SCHEMA_VERSION = 6
 
 #: Keys every ``report()`` dict must contain, at any version >= 2.
 REQUIRED_REPORT_KEYS = (
@@ -88,7 +93,7 @@ def solver_rollup(counters: dict) -> dict:
         "hit_rate": (hits / looked_up) if looked_up else None,
     }
 
-#: Keys of the ``report["serve"]`` section (schema v4).
+#: Keys of the ``report["serve"]`` section (schema v4; ``shards`` v7).
 REQUIRED_SERVE_KEYS = (
     "requests",
     "admitted",
@@ -104,6 +109,24 @@ REQUIRED_SERVE_KEYS = (
     "latency_p50_s",
     "latency_p95_s",
     "latency_p99_s",
+    "shards",
+)
+
+#: Keys of each entry in ``report["serve"]["shards"]`` (schema v7).
+#: One entry per shard of a :class:`repro.serve.ShardRouter` fleet; the
+#: outcome counters are router-observed (every settle crosses the
+#: router), so they stay correct even when the shard itself crashed and
+#: can no longer report.
+REQUIRED_SHARD_KEYS = (
+    "shard",
+    "condemned",
+    "restarts",
+    "routed",
+    "rerouted",
+    "completed",
+    "expired",
+    "cancelled",
+    "errored",
 )
 
 
@@ -116,7 +139,8 @@ def _percentile(values: list, q: float) -> float | None:
     return ordered[min(max(rank, 1), len(ordered)) - 1]
 
 
-def serve_rollup(counters: dict, latency_samples: list | None = None) -> dict:
+def serve_rollup(counters: dict, latency_samples: list | None = None,
+                 shards: list | None = None) -> dict:
     """Fold the ``serve.*`` counters (and latency samples) into the report.
 
     All-zero (percentiles/mean None) when a run never went through the
@@ -126,6 +150,12 @@ def serve_rollup(counters: dict, latency_samples: list | None = None) -> dict:
     per dispatched batch; latency percentiles are nearest-rank over the
     ``serve.latency_s`` telemetry samples (keys end in ``_s``: wall-clock
     values are volatile and stripped from structural digests).
+
+    ``shards`` (schema v7) is the per-shard outcome breakdown a
+    :class:`repro.serve.ShardRouter` supplies for its merged fleet
+    report; a single unsharded broker's report carries ``[]``, so the
+    key is always present and ``sum over shards == fleet total`` is a
+    checkable identity whenever the list is non-empty.
     """
     samples = list(latency_samples or [])
     prefix = "serve.batch_size."
@@ -148,6 +178,7 @@ def serve_rollup(counters: dict, latency_samples: list | None = None) -> dict:
         "latency_p50_s": _percentile(samples, 0.50),
         "latency_p95_s": _percentile(samples, 0.95),
         "latency_p99_s": _percentile(samples, 0.99),
+        "shards": list(shards or []),
     }
 
 
@@ -272,6 +303,16 @@ def check_report(report: dict) -> None:
     if missing_serve:
         raise SchemaError(
             f"report['serve'] missing keys: {missing_serve}")
+    if not isinstance(serve["shards"], list):
+        raise SchemaError(
+            f"report['serve']['shards'] must be a list, got "
+            f"{type(serve['shards']).__name__}")
+    for i, entry in enumerate(serve["shards"]):
+        missing_shard = [k for k in REQUIRED_SHARD_KEYS if k not in entry]
+        if missing_shard:
+            raise SchemaError(
+                f"report['serve']['shards'][{i}] missing keys: "
+                f"{missing_shard}")
     surrogate = report["surrogate"]
     missing_surrogate = [k for k in REQUIRED_SURROGATE_KEYS
                          if k not in surrogate]

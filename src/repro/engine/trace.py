@@ -331,6 +331,7 @@ def build_manifest(flow: str, engine, seed: int | None = None,
             "serve_expired": report["serve"]["expired"],
             "serve_batches": report["serve"]["batches"],
             "serve_mean_batch_size": report["serve"]["mean_batch_size"],
+            "serve_shards": len(report["serve"]["shards"]),
             "surrogate_fits": report["surrogate"]["fits"],
             "surrogate_predictions": report["surrogate"]["predictions"],
             "surrogate_sims_avoided": report["surrogate"]["sims_avoided"],

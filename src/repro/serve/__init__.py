@@ -10,10 +10,19 @@ dynamic micro-batching into ``map_evaluate``
 token buckets and bounded queues
 (:class:`~repro.serve.admission.AdmissionController`), per-request
 deadlines and cancellation, client :class:`Session` objects with quotas
-and streaming results, a stdlib HTTP facade
-(:mod:`repro.serve.http`), and deterministic :func:`replay` of recorded
-request streams.  Every outcome is counted into the engine's versioned
-report (``report()["serve"]``) — nothing is ever silently dropped.
+and streaming results, two HTTP facades — thread-per-request
+(:mod:`repro.serve.http`) and asyncio (:mod:`repro.serve.http_async`) —
+a typed :class:`ServeClient` over either, and deterministic
+:func:`replay` of recorded request streams.
+
+Past one broker, the layer scales *out*: a :class:`ShardRouter`
+consistent-hashes requests onto N broker/engine worker processes
+(supervised — crashed shards are respawned or condemned, their
+in-flight requests re-routed or settled, never dropped) that share
+results through a content-addressed :class:`SharedStore`.  Every
+outcome is counted into the versioned report (``report()["serve"]``,
+with a per-shard breakdown under ``serve.shards``) — nothing is ever
+silently dropped, fleet-wide.
 """
 
 from repro.engine.config import ServeConfig
@@ -26,26 +35,39 @@ from repro.serve.admission import (
 )
 from repro.serve.batching import MicroBatcher
 from repro.serve.broker import PRIORITY_CLASSES, Broker, ResultHandle, Workload
+from repro.serve.client import ClientHandle, RemoteEngineError, ServeClient
 from repro.serve.http import ServeApp, ServeServer, make_server
+from repro.serve.http_async import AsyncServeServer, make_async_server
 from repro.serve.replay import ReplayReport, replay, result_digest
 from repro.serve.session import Session
+from repro.serve.shard import HashRing, ShardCrashError, ShardRouter
+from repro.serve.store import SharedStore
 
 __all__ = [
     "AdmissionController",
+    "AsyncServeServer",
     "Broker",
+    "ClientHandle",
     "DeadlineExpiredError",
+    "HashRing",
     "MicroBatcher",
     "PRIORITY_CLASSES",
     "RejectedError",
+    "RemoteEngineError",
     "ReplayReport",
     "RequestCancelledError",
     "ResultHandle",
     "ServeApp",
+    "ServeClient",
     "ServeConfig",
     "ServeServer",
     "Session",
+    "SharedStore",
+    "ShardCrashError",
+    "ShardRouter",
     "TokenBucket",
     "Workload",
+    "make_async_server",
     "make_server",
     "replay",
     "result_digest",

@@ -24,15 +24,25 @@ The handler threads only touch the broker's thread-safe surface
 (``submit`` and handle waits); everything engine-side stays on the
 dispatcher thread.  ``ThreadingHTTPServer`` gives one thread per
 in-flight connection, which is what a blocking ``/evaluate`` needs.
+
+This thread-per-request server is the *compat* facade: the asyncio
+front door (:mod:`repro.serve.http_async`) serves the same endpoints
+with the same wire contract (shared via :func:`terminal_reply`) without
+pinning a thread per in-flight request, and is what the sharded fleet
+runs in front of.  Both facades work over a :class:`Broker` or a
+:class:`~repro.serve.shard.ShardRouter` — the app only touches the
+common backend surface.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from repro.engine.config import ServeConfig
 from repro.engine.faults import is_failure
 from repro.serve.admission import (
     DeadlineExpiredError,
@@ -46,6 +56,28 @@ def _json_safe(value: Any) -> Any:
     if is_failure(value):
         return {"eval_failure": value.as_dict()}
     return value
+
+
+def terminal_reply(handle: Any) -> tuple[int, dict]:
+    """Map a *done* handle onto its ``(status, payload)`` wire shape.
+
+    The one place the outcome → HTTP contract lives, shared by the
+    thread-per-request facade and the asyncio front door
+    (:mod:`repro.serve.http_async`) so the two can never drift: 504 for
+    deadline expiry, 409 for cancellation, 500 for a dispatcher-side
+    engine error, 200 with the (JSON-safe) result otherwise.
+    """
+    try:
+        value = handle.result(timeout=0)
+    except DeadlineExpiredError as exc:
+        return 504, {"error": str(exc), "outcome": "expired"}
+    except RequestCancelledError as exc:
+        return 409, {"error": str(exc), "outcome": "cancelled"}
+    except Exception as exc:
+        # The dispatcher failed the batch with the engine's own
+        # exception (handle.outcome == "errored").
+        return 500, {"error": str(exc), "outcome": "errored"}
+    return 200, {"outcome": "completed", "result": _json_safe(value)}
 
 
 class ServeApp:
@@ -101,19 +133,14 @@ class ServeApp:
             # ceiling so a handler thread is never pinned forever.
             timeout = self.broker.config.http_max_wait_s
         try:
-            value = handle.result(timeout=timeout)
-        except DeadlineExpiredError as exc:
-            return 504, {"error": str(exc), "outcome": "expired"}
-        except RequestCancelledError as exc:
-            return 409, {"error": str(exc), "outcome": "cancelled"}
+            handle.result(timeout=timeout)
         except TimeoutError as exc:
-            # The *wait* timed out; the request itself is still live.
-            return 504, {"error": str(exc), "outcome": "pending"}
-        except Exception as exc:
-            # The dispatcher failed the batch with the engine's own
-            # exception (handle.outcome == "errored").
-            return 500, {"error": str(exc), "outcome": "errored"}
-        return 200, {"outcome": "completed", "result": _json_safe(value)}
+            if handle.outcome == "pending":
+                # The *wait* timed out; the request itself is still live.
+                return 504, {"error": str(exc), "outcome": "pending"}
+        except Exception:
+            pass  # terminal: mapped from the done handle below
+        return terminal_reply(handle)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -196,7 +223,54 @@ class ServeServer:
         self.close()
 
 
-def make_server(broker: Broker, host: str = "127.0.0.1", port: int = 0,
+def resolve_server_settings(broker: Any, host: str | None,
+                            port: int | None,
+                            synthesize_workload: str | None,
+                            caller: str) -> tuple[str, int, str | None]:
+    """Shared kwarg-migration shim for the HTTP facades.
+
+    The front-door settings now live on :class:`ServeConfig`
+    (``http_host`` / ``http_port`` / ``synthesize_workload``) so one
+    config object describes the whole service; the scattered
+    ``make_server(...)`` kwargs keep working behind a
+    ``DeprecationWarning``, and setting a knob both ways is a
+    ``ValueError`` — the same migration pattern as
+    :func:`repro.engine.config.resolve_flow_engine`.
+    """
+    config = getattr(broker, "config", None)
+    if config is None:
+        config = ServeConfig()
+    legacy = {name: value for name, value in (
+        ("host", host), ("port", port),
+        ("synthesize_workload", synthesize_workload)) if value is not None}
+    configured = (config.http_host != "127.0.0.1" or config.http_port != 0
+                  or config.synthesize_workload is not None)
+    if legacy and configured:
+        raise ValueError(
+            f"{caller}: pass the HTTP settings either on ServeConfig "
+            f"(http_host/http_port/synthesize_workload) or as the legacy "
+            f"kwargs, not both (got legacy {sorted(legacy)})")
+    if legacy:
+        warnings.warn(
+            f"{caller}: the host=/port=/synthesize_workload= kwargs are "
+            f"deprecated; set ServeConfig.http_host/http_port/"
+            f"synthesize_workload instead",
+            DeprecationWarning, stacklevel=3)
+        return (str(legacy.get("host", "127.0.0.1")),
+                int(legacy.get("port", 0)),
+                legacy.get("synthesize_workload"))
+    return config.http_host, config.http_port, config.synthesize_workload
+
+
+def make_server(broker: Broker, host: str | None = None,
+                port: int | None = None,
                 synthesize_workload: str | None = None) -> ServeServer:
-    """Convenience: wrap a started broker in a ready-to-start server."""
+    """Convenience: wrap a started broker in a ready-to-start server.
+
+    Reads ``http_host`` / ``http_port`` / ``synthesize_workload`` from
+    the broker's :class:`ServeConfig`; the explicit kwargs are the
+    deprecated legacy spelling (see :func:`resolve_server_settings`).
+    """
+    host, port, synthesize_workload = resolve_server_settings(
+        broker, host, port, synthesize_workload, "make_server")
     return ServeServer(ServeApp(broker, synthesize_workload), host, port)

@@ -1,0 +1,270 @@
+"""Asyncio front door: the same four endpoints, no thread per request.
+
+``ThreadingHTTPServer`` (:mod:`repro.serve.http`) pins one OS thread per
+in-flight connection, which caps a saturated ``/evaluate`` endpoint at
+the thread budget long before the engine saturates.  This facade serves
+the identical wire contract over ``asyncio.start_server``: one event
+loop on one background thread holds *all* in-flight requests, each
+parked on an :class:`asyncio.Future` that the backend resolves through
+``handle.add_done_callback`` → ``loop.call_soon_threadsafe`` — the
+broker/router completion callback is the wake-up, not a blocking wait.
+
+Nothing engine-side changes: submission is the backend's ordinary
+thread-safe ``submit``, and the outcome → status-code mapping is shared
+with the legacy facade (:func:`repro.serve.http.terminal_reply`), so the
+two front doors cannot drift apart.  The HTTP itself is a deliberately
+minimal stdlib HTTP/1.1: request line + headers + Content-Length body,
+keep-alive by default — exactly what the JSON endpoints need and
+nothing more.
+
+Works over a :class:`~repro.serve.broker.Broker` or a
+:class:`~repro.serve.shard.ShardRouter`; the sharded smoke test and
+benchmark run this front door.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+
+from repro.serve.admission import RejectedError
+from repro.serve.http import (
+    ServeApp,
+    _json_safe,  # noqa: F401  (re-exported for symmetry in tests)
+    resolve_server_settings,
+    terminal_reply,
+)
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            409: "Conflict", 429: "Too Many Requests",
+            500: "Internal Server Error", 504: "Gateway Timeout"}
+
+
+class AsyncServeApp:
+    """Async request routing over the sync :class:`ServeApp` contract.
+
+    GETs are answered inline (report/healthz are quick, lock-bounded
+    reads); POSTs submit synchronously — admission is deliberately a
+    fast, synchronous refusal — then await the handle without blocking
+    the loop.
+    """
+
+    def __init__(self, app: ServeApp):
+        self.app = app
+
+    async def handle(self, method: str, path: str,
+                     body: bytes) -> tuple[int, dict]:
+        if method == "GET":
+            return self.app.handle_get(path)
+        if method != "POST":
+            return 400, {"error": f"unsupported method {method!r}"}
+        try:
+            payload = json.loads(body or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+        except ValueError as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        if path == "/evaluate":
+            workload = payload.get("workload")
+            if not isinstance(workload, str):
+                return 400, {"error": "body must name a 'workload'"}
+            return await self._run(workload, payload)
+        if path == "/synthesize":
+            if self.app.synthesize_workload is None:
+                return 404, {"error": "no synthesis workload configured"}
+            return await self._run(self.app.synthesize_workload, payload)
+        return 404, {"error": f"unknown path {path!r}"}
+
+    async def _run(self, workload: str, body: dict) -> tuple[int, dict]:
+        broker = self.app.broker
+        if "point" not in body:
+            return 400, {"error": "body must carry a 'point'"}
+        deadline_s = body.get("deadline_s")
+        try:
+            handle = broker.submit(
+                workload, body["point"],
+                client=str(body.get("client", "http")),
+                priority=str(body.get("priority", "interactive")),
+                deadline_s=deadline_s)
+        except RejectedError as exc:
+            return 429, {"error": str(exc), "reason": exc.reason}
+        except (KeyError, ValueError, RuntimeError) as exc:
+            return 400, {"error": str(exc)}
+        timeout = body.get("timeout_s")
+        if (timeout is None and deadline_s is None
+                and broker.config.default_deadline_s is None):
+            timeout = broker.config.http_max_wait_s
+        loop = asyncio.get_running_loop()
+        done: asyncio.Future = loop.create_future()
+
+        def _resolve(_handle: Any) -> None:
+            if not done.done():
+                done.set_result(None)
+
+        def _notify(h: Any) -> None:
+            # Fires under the backend's lock (or immediately): just a
+            # loop wake-up, the outcome is read from the handle after.
+            # Must never raise — this runs inside the dispatcher's
+            # callback chain, and the loop may already be closed if the
+            # request settles after the front door shut down.
+            try:
+                loop.call_soon_threadsafe(_resolve, h)
+            except RuntimeError:
+                pass
+
+        handle.add_done_callback(_notify)
+        try:
+            await asyncio.wait_for(asyncio.shield(done), timeout)
+        except asyncio.TimeoutError as exc:
+            if handle.outcome == "pending":
+                return 504, {"error": "request still in flight",
+                             "outcome": "pending"}
+            del exc  # terminal outcome raced the timeout: fall through
+        return terminal_reply(handle)
+
+
+class AsyncServeServer:
+    """Owns the event loop thread and the asyncio listener.
+
+    Same lifecycle surface as :class:`~repro.serve.http.ServeServer`
+    (``start`` / ``close`` / ``address`` / ``url`` / context manager) so
+    tests and scripts can swap facades with one constructor change.
+    ``port=0`` binds an ephemeral port, read back from ``address``.
+    """
+
+    def __init__(self, app: ServeApp, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.app = app
+        self._async_app = AsyncServeApp(app)
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("server not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "AsyncServeServer":
+        if self._thread is not None:
+            return self
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serve-http-async", daemon=True)
+        self._thread.start()
+        opened = asyncio.run_coroutine_threadsafe(
+            asyncio.start_server(self._serve_connection, self._host,
+                                 self._port),
+            self._loop)
+        self._server = opened.result(timeout=30)
+        return self
+
+    def close(self) -> None:
+        if self._thread is None:
+            return
+        assert self._loop is not None
+
+        async def _shutdown() -> None:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+
+        asyncio.run_coroutine_threadsafe(
+            _shutdown(), self._loop).result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+        self._loop.close()
+        self._thread = None
+        self._loop = None
+        self._server = None
+
+    def __enter__(self) -> "AsyncServeServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- loop side -----------------------------------------------------
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+        # Cancel whatever is still parked (client gone mid-request) so
+        # the loop can close without "task was destroyed" noise.
+        pending = asyncio.all_tasks(self._loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True))
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    return
+                parts = request_line.decode("latin-1").split()
+                if len(parts) < 2:
+                    return
+                method, path = parts[0], parts[1]
+                headers: dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                length = int(headers.get("content-length", 0) or 0)
+                body = await reader.readexactly(length) if length else b""
+                status, payload = await self._async_app.handle(
+                    method, path, body)
+                data = json.dumps(payload, sort_keys=True,
+                                  default=repr).encode()
+                head = (f"HTTP/1.1 {status} "
+                        f"{_REASONS.get(status, 'Unknown')}\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"Content-Length: {len(data)}\r\n"
+                        f"Connection: keep-alive\r\n\r\n")
+                writer.write(head.encode("latin-1") + data)
+                await writer.drain()
+                if headers.get("connection", "").lower() == "close":
+                    return
+        except (asyncio.IncompleteReadError, ConnectionError,
+                asyncio.CancelledError):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+
+def make_async_server(broker: Any, host: str | None = None,
+                      port: int | None = None,
+                      synthesize_workload: str | None = None
+                      ) -> AsyncServeServer:
+    """Asyncio twin of :func:`repro.serve.http.make_server`.
+
+    Settings come from the backend's :class:`ServeConfig`
+    (``http_host`` / ``http_port`` / ``synthesize_workload``); the
+    explicit kwargs are the deprecated legacy spelling, with the same
+    both-at-once ``ValueError`` as the sync facade.
+    """
+    host, port, synthesize_workload = resolve_server_settings(
+        broker, host, port, synthesize_workload, "make_async_server")
+    return AsyncServeServer(ServeApp(broker, synthesize_workload),
+                            host, port)

@@ -72,12 +72,29 @@ class ReplayReport:
                 "mismatched": list(self.mismatched), "ok": self.ok}
 
 
-def _load_records(trace: Any) -> Iterable[dict]:
+def _load_records(trace: Any) -> list[dict]:
+    """Load one trace — or merge several.
+
+    A ``str``/``Path`` reads one JSONL file; an iterable of dicts is an
+    in-memory trace.  An iterable whose elements are themselves traces
+    (paths, or per-shard record lists) is a *multi-shard* request log:
+    each sub-trace is loaded and the records are merged sorted by
+    ``seq`` (recordless rejections last), so replaying an N-shard
+    fleet's logs is deterministic regardless of how the fleet split the
+    work — the digest-equality oath then holds across any shard count.
+    """
     if isinstance(trace, (str, Path)):
         import json
         with open(trace) as fh:
             return [json.loads(line) for line in fh if line.strip()]
-    return list(trace)
+    records = list(trace)
+    if records and not all(isinstance(r, dict) for r in records):
+        merged: list[dict] = []
+        for sub in records:
+            merged.extend(_load_records(sub))
+        merged.sort(key=lambda r: (r.get("seq") is None, r.get("seq") or 0))
+        return merged
+    return records
 
 
 def replay(trace: Any,
@@ -89,8 +106,11 @@ def replay(trace: Any,
     ----------
     trace:
         Path to a ``requests.jsonl`` written by
-        :meth:`Broker.write_request_trace`, or an in-memory iterable of
-        records (e.g. ``broker.request_log``).
+        :meth:`Broker.write_request_trace` (the
+        :class:`~repro.serve.shard.ShardRouter` writes the same format),
+        an in-memory iterable of records (e.g. ``broker.request_log``),
+        or a list of several such traces — the multi-shard case, merged
+        by ``seq`` before replaying (see :func:`_load_records`).
     workloads:
         ``name -> fn`` mapping (a :class:`~repro.serve.broker.Workload`
         is accepted wherever a bare callable is).

@@ -1,0 +1,96 @@
+"""Cross-shard content-addressed artifact store.
+
+The disk layer of :class:`repro.engine.cache.EvalCache` already survives
+across processes; the :class:`SharedStore` promotes that layer into the
+fleet's shared substrate.  Every shard of a :class:`repro.serve.ShardRouter`
+mounts the same store directory as its engine's disk cache, so a result
+computed on shard 2 is a disk hit on shard 5 — the store is the only
+state the shards share, and it is append-mostly content-addressed data,
+which is why sharding needs no coordination protocol beyond the
+filesystem.
+
+Safety rests on two properties inherited from the cache layer:
+
+* **Atomic publishes.**  Writes go through
+  :func:`repro.engine.cache.publish_pickle` — a process-unique staging
+  file renamed into place with ``os.replace`` — so a reader never
+  observes a partial artifact and racing writers of the same key both
+  leave a complete value (the values are content-addressed: both renames
+  carry the same bytes).
+* **Content addressing.**  Keys come from
+  :func:`repro.engine.cache.canonical_key`, a digest of what the
+  simulator would actually see.  There is no invalidation: an artifact
+  is immutable once published, so stale reads cannot exist.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.engine.cache import EvalCache, publish_pickle
+
+_MISS = object()
+
+
+class SharedStore:
+    """Content-addressed pickle store shared by any number of processes.
+
+    A thin, explicit surface over one directory of ``<key>.pkl``
+    artifacts.  Shards normally touch it only indirectly — through the
+    :class:`~repro.engine.cache.EvalCache` built by :meth:`make_cache` —
+    but the direct :meth:`get` / :meth:`put` surface is what replay and
+    the tests use to assert cross-shard visibility.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- direct surface ------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        """Publish ``value`` under ``key`` (atomic, last-writer-wins)."""
+        publish_pickle(self._path(key), value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read the artifact for ``key``; ``default`` when absent.
+
+        A file that vanishes or fails to unpickle mid-read (impossible
+        for a completed publish, possible for a foreign/corrupt file
+        dropped in the directory) reads as absent rather than raising.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return default
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.pkl"))
+
+    def keys(self) -> Iterator[str]:
+        """Published keys, sorted.  Safe during concurrent publishes:
+        staged temp files never match the ``*.pkl`` glob."""
+        for path in sorted(self.root.glob("*.pkl")):
+            yield path.stem
+
+    # -- shard mounting ------------------------------------------------
+    def make_cache(self, max_entries: int = 65536) -> EvalCache:
+        """Build a shard-local :class:`EvalCache` backed by this store.
+
+        Each shard gets its own in-memory LRU (private, per-process) on
+        top of the shared disk layer; ``cache.stats.disk_hits`` on one
+        shard counts results that some other process published.
+        """
+        return EvalCache(max_entries=max_entries, disk_dir=self.root)
+
+    def report(self) -> dict:
+        return {"root": str(self.root), "artifacts": len(self)}
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
