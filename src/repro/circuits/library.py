@@ -190,6 +190,175 @@ def large_cascode_opamp(sizes: dict[str, float] | None = None) -> Circuit:
 
 
 # ----------------------------------------------------------------------
+# Functional building-block stamps (compose grammar primitives)
+# ----------------------------------------------------------------------
+#
+# The opamps above are *canned* topologies; the stamps below expose the
+# same functional blocks (bias references, tail sources, differential
+# pairs, mirror/cascode/resistive loads, class-A/AB output stages,
+# Miller compensation) as reusable primitives so
+# :mod:`repro.synthesis.compose` can enumerate novel compositions.  Each
+# stamp adds devices to an existing :class:`Circuit` and returns the net
+# name downstream blocks attach to.  ``polarity`` names the *channel
+# type of the stamped devices* ("n" or "p"); the complementary rail and
+# bulk connections follow from it.
+
+CASCODE_BIAS_MARGIN = 1.4  # ideal cascode gate bias offset from the rail
+
+
+def _polarity(polarity: str,
+              nmos: MosModel = NMOS_DEFAULT,
+              pmos: MosModel = PMOS_DEFAULT) -> tuple[MosModel, str]:
+    """Return (device model, source rail) for a block polarity."""
+    if polarity == "n":
+        return nmos, VSS
+    if polarity == "p":
+        return pmos, VDD
+    raise ValueError(f"polarity must be 'n' or 'p', got {polarity!r}")
+
+
+def stamp_supply(c: Circuit, vdd: float) -> None:
+    """Ideal supply between the VDD and VSS rails."""
+    c.vsource("vdd_src", VDD, VSS, dc=vdd)
+
+
+def stamp_bias_reference(c: Circuit, polarity: str,
+                         w: float, l: float, i_bias: float) -> str:
+    """Diode-connected mirror reference fed by an ideal current source.
+
+    Returns the bias net whose gate voltage mirrors ``i_bias`` into any
+    same-polarity device of matched length.
+    """
+    model, rail = _polarity(polarity)
+    bias = "nbias" if polarity == "n" else "pbias"
+    if polarity == "n":
+        c.isource("ibias", VDD, bias, dc=i_bias)
+    else:
+        c.isource("ibias", bias, VSS, dc=i_bias)
+    c.mosfet("mb_ref", bias, bias, rail, rail, model, w, l)
+    return bias
+
+
+def stamp_tail_source(c: Circuit, polarity: str, bias: str,
+                      w: float, l: float, vdd: float,
+                      cascode: bool = False) -> str:
+    """Tail current source (optionally cascoded) off a mirror bias net.
+
+    Returns the tail net the differential pair's sources connect to.  The
+    cascode gate is an ideal voltage offset from the rail, the same idiom
+    as :func:`folded_cascode_ota`'s bias ladder.
+    """
+    model, rail = _polarity(polarity)
+    if not cascode:
+        c.mosfet("m_tail", "tail", bias, rail, rail, model, w, l)
+        return "tail"
+    if polarity == "n":
+        c.vsource("v_castail", "vb_tail", VSS, dc=CASCODE_BIAS_MARGIN)
+    else:
+        c.vsource("v_castail", "vb_tail", VSS, dc=vdd - CASCODE_BIAS_MARGIN)
+    c.mosfet("m_tail", "tmid", bias, rail, rail, model, w, l)
+    c.mosfet("m_tailc", "tail", "vb_tail", "tmid", rail, model, w, l)
+    return "tail"
+
+
+def stamp_diff_pair(c: Circuit, polarity: str, tail: str,
+                    out_neg: str, out_pos: str,
+                    w: float, l: float) -> None:
+    """Differential pair: ``inp`` drives ``out_neg``, ``inn`` ``out_pos``."""
+    model, rail = _polarity(polarity)
+    c.mosfet("m_in1", out_neg, "inp", tail, rail, model, w, l)
+    c.mosfet("m_in2", out_pos, "inn", tail, rail, model, w, l)
+
+
+def stamp_mirror_load(c: Circuit, polarity: str, n_diode: str, n_out: str,
+                      w: float, l: float) -> None:
+    """Current-mirror load: diode side on ``n_diode``, mirror on ``n_out``."""
+    model, rail = _polarity(polarity)
+    c.mosfet("m_ld1", n_diode, n_diode, rail, rail, model, w, l)
+    c.mosfet("m_ld2", n_out, n_diode, rail, rail, model, w, l)
+
+
+def stamp_cascode_mirror_load(c: Circuit, polarity: str,
+                              n_diode: str, n_out: str,
+                              w: float, l: float, vdd: float) -> None:
+    """Cascoded mirror load for higher output resistance.
+
+    Mirror devices sit at the rail; cascode devices (ideal gate bias)
+    stand between them and the branch nodes.  The diode connection wraps
+    the cascode so the mirrored current still matches the branch current.
+    """
+    model, rail = _polarity(polarity)
+    if polarity == "n":
+        c.vsource("v_casload", "vb_load", VSS, dc=CASCODE_BIAS_MARGIN)
+    else:
+        c.vsource("v_casload", "vb_load", VSS, dc=vdd - CASCODE_BIAS_MARGIN)
+    c.mosfet("m_ld1", "y1", n_diode, rail, rail, model, w, l)
+    c.mosfet("m_lc1", n_diode, "vb_load", "y1", rail, model, w, l)
+    c.mosfet("m_ld2", "y2", n_diode, rail, rail, model, w, l)
+    c.mosfet("m_lc2", n_out, "vb_load", "y2", rail, model, w, l)
+
+
+def stamp_resistive_load(c: Circuit, polarity: str, n_neg: str, n_pos: str,
+                         r: float) -> None:
+    """Passive resistive load from both branch nodes to the load rail."""
+    _, rail = _polarity(polarity)
+    c.resistor("r_ld1", rail, n_neg, r)
+    c.resistor("r_ld2", rail, n_pos, r)
+
+
+def stamp_diode_load(c: Circuit, polarity: str, n_neg: str, n_pos: str,
+                     w: float, l: float) -> None:
+    """Diode-connected load on both branch nodes: gm-ratio gain, wideband."""
+    model, rail = _polarity(polarity)
+    c.mosfet("m_ld1", n_neg, n_neg, rail, rail, model, w, l)
+    c.mosfet("m_ld2", n_pos, n_pos, rail, rail, model, w, l)
+
+
+def stamp_resistor_tail(c: Circuit, polarity: str, r: float) -> str:
+    """Passive tail: degeneration resistor to the rail sets the current."""
+    _, rail = _polarity(polarity)
+    c.resistor("r_tail", "tail", rail, r)
+    return "tail"
+
+
+def stamp_class_a_stage(c: Circuit, drive_polarity: str, n_drive: str,
+                        bias: str, out: str,
+                        w_drv: float, l_drv: float,
+                        w_sink: float, l_sink: float) -> None:
+    """Class-A common-source second stage with a mirrored current sink.
+
+    ``drive_polarity`` is the channel type of the *driver*; the sink is
+    the complementary device biased from the first stage's mirror net.
+    """
+    drv_model, drv_rail = _polarity(drive_polarity)
+    sink_model, sink_rail = _polarity("p" if drive_polarity == "n" else "n")
+    c.mosfet("m_drv", out, n_drive, drv_rail, drv_rail, drv_model,
+             w_drv, l_drv)
+    c.mosfet("m_sink", out, bias, sink_rail, sink_rail, sink_model,
+             w_sink, l_sink)
+
+
+def stamp_class_ab_stage(c: Circuit, n_drive: str, out: str,
+                         w_p: float, l_p: float,
+                         w_n: float, l_n: float,
+                         nmos: MosModel = NMOS_DEFAULT,
+                         pmos: MosModel = PMOS_DEFAULT) -> None:
+    """Push-pull (class-AB) inverter stage: both gates on ``n_drive``."""
+    c.mosfet("m_drvp", out, n_drive, VDD, VDD, pmos, w_p, l_p)
+    c.mosfet("m_drvn", out, n_drive, VSS, VSS, nmos, w_n, l_n)
+
+
+def stamp_miller_comp(c: Circuit, n_inner: str, out: str,
+                      c_comp: float, r_zero: float | None = None) -> None:
+    """Miller compensation, optionally with a nulling resistor."""
+    if r_zero is None:
+        c.capacitor("c_comp", n_inner, out, c_comp)
+    else:
+        c.resistor("r_zero", n_inner, "cz", r_zero)
+        c.capacitor("c_comp", "cz", out, c_comp)
+
+
+# ----------------------------------------------------------------------
 # Pulse-detector frontend (Table 1 workload)
 # ----------------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.engine.schema import (
     serve_rollup,
     solver_rollup,
     surrogate_rollup,
+    topogen_rollup,
 )
 from repro.engine.telemetry import Telemetry
 from repro.engine.trace import Tracer
@@ -382,6 +383,9 @@ class EvaluationEngine:
         ``serve.shards``: the per-shard outcome breakdown a
         :class:`repro.serve.ShardRouter` fleet report carries — ``[]``
         here, since one engine is by definition one (unsharded) worker.
+        Schema v8 adds ``topogen``: the rollup of the compositional
+        topology-generation funnel's ``topogen.*`` counters
+        (:mod:`repro.synthesis.compose`).
         """
         out = self.telemetry.report()
         out["schema_version"] = REPORT_SCHEMA_VERSION
@@ -398,6 +402,7 @@ class EvaluationEngine:
             self.telemetry.sample_values("surrogate.predict_s"))
         out["kernel"] = kernel_rollup(
             out["counters"], self.telemetry.sample_values("kernel.batch_s"))
+        out["topogen"] = topogen_rollup(out["counters"])
         return out
 
     def close(self) -> None:

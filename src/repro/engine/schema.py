@@ -34,8 +34,11 @@ from typing import Any
 #: kernel's ``kernel.*`` counters and per-group latency samples); v7
 #: adds ``serve.shards`` (per-shard outcome breakdown of a sharded
 #: fleet — ``[]`` for a single unsharded broker) so merged fleet
-#: reports carry the fleet-wide sums *and* who did what.
-REPORT_SCHEMA_VERSION = 7
+#: reports carry the fleet-wide sums *and* who did what; v8 adds
+#: ``topogen`` (rollup of the compositional topology-generation
+#: funnel's ``topogen.*`` counters plus the interval selector's
+#: unproven-pass count).
+REPORT_SCHEMA_VERSION = 8
 
 #: Version of the per-run manifest written by traced flows.
 #: v2 adds the ``solver_*`` rollups sourced from report["solver"];
@@ -43,8 +46,9 @@ REPORT_SCHEMA_VERSION = 7
 #: v4 adds the ``surrogate_*`` rollups sourced from report["surrogate"];
 #: v5 adds the ``kernel_*`` rollups sourced from report["kernel"];
 #: v6 adds ``serve_shards`` (fleet width, 0 when unsharded) alongside
-#: the report's v7 per-shard serve breakdown.
-MANIFEST_SCHEMA_VERSION = 6
+#: the report's v7 per-shard serve breakdown; v7 adds the ``topogen_*``
+#: rollups sourced from report["topogen"].
+MANIFEST_SCHEMA_VERSION = 7
 
 #: Keys every ``report()`` dict must contain, at any version >= 2.
 REQUIRED_REPORT_KEYS = (
@@ -59,6 +63,7 @@ REQUIRED_REPORT_KEYS = (
     "serve",
     "surrogate",
     "kernel",
+    "topogen",
 )
 
 #: Keys of the ``report["solver"]`` section (schema v3).
@@ -264,6 +269,52 @@ def kernel_rollup(counters: dict, batch_samples: list | None = None) -> dict:
     }
 
 
+#: Keys of the ``report["topogen"]`` section (schema v8).
+REQUIRED_TOPOGEN_KEYS = (
+    "generated",
+    "valid",
+    "invalid",
+    "interval_unproven",
+    "symbolic_ranked",
+    "symbolic_fallbacks",
+    "pruned_out",
+    "survivors",
+    "sized",
+    "prune_ratio",
+)
+
+
+def topogen_rollup(counters: dict) -> dict:
+    """Fold the ``topogen.*`` counters into the report section.
+
+    All-zero (``prune_ratio`` None) when a run never touched the
+    compositional topology-generation funnel — the section is always
+    present, like the other rollups, so consumers never need an
+    existence check.  ``interval_unproven`` is the interval selector's
+    unproven-pass count (``topology.interval_unproven``): candidates the
+    funnel let through because their model was not interval-provable.
+    ``prune_ratio`` is ranked-structures / sized-survivors — the cut the
+    symbolic pruning pass achieved before any simulation ran.
+    """
+    ranked = int(counters.get("topogen.symbolic_ranked", 0)) \
+        + int(counters.get("topogen.symbolic_fallbacks", 0))
+    survivors = int(counters.get("topogen.survivors", 0))
+    return {
+        "generated": int(counters.get("topogen.generated", 0)),
+        "valid": int(counters.get("topogen.valid", 0)),
+        "invalid": int(counters.get("topogen.invalid", 0)),
+        "interval_unproven": int(
+            counters.get("topology.interval_unproven", 0)),
+        "symbolic_ranked": int(counters.get("topogen.symbolic_ranked", 0)),
+        "symbolic_fallbacks": int(
+            counters.get("topogen.symbolic_fallbacks", 0)),
+        "pruned_out": int(counters.get("topogen.pruned_out", 0)),
+        "survivors": survivors,
+        "sized": int(counters.get("topogen.sized", 0)),
+        "prune_ratio": (ranked / survivors) if survivors else None,
+    }
+
+
 _SCHEMA_PATH = Path(__file__).with_name("run_manifest_schema.json")
 
 
@@ -324,6 +375,11 @@ def check_report(report: dict) -> None:
     if missing_kernel:
         raise SchemaError(
             f"report['kernel'] missing keys: {missing_kernel}")
+    topogen = report["topogen"]
+    missing_topogen = [k for k in REQUIRED_TOPOGEN_KEYS if k not in topogen]
+    if missing_topogen:
+        raise SchemaError(
+            f"report['topogen'] missing keys: {missing_topogen}")
 
 
 def manifest_schema() -> dict:

@@ -342,6 +342,11 @@ def build_manifest(flow: str, engine, seed: int | None = None,
             "kernel_scalar_points": report["kernel"]["scalar_points"],
             "kernel_mean_batch_points":
                 report["kernel"]["mean_batch_points"],
+            "topogen_generated": report["topogen"]["generated"],
+            "topogen_valid": report["topogen"]["valid"],
+            "topogen_survivors": report["topogen"]["survivors"],
+            "topogen_sized": report["topogen"]["sized"],
+            "topogen_prune_ratio": report["topogen"]["prune_ratio"],
         },
     }
 

@@ -70,6 +70,7 @@ from repro.engine.schema import (
     serve_rollup,
     solver_rollup,
     surrogate_rollup,
+    topogen_rollup,
 )
 from repro.engine.telemetry import Telemetry
 from repro.serve.admission import AdmissionController, RejectedError
@@ -577,6 +578,7 @@ class ShardRouter:
         out["serve"] = serve_rollup(counters, latency, shards=breakdown)
         out["surrogate"] = surrogate_rollup(counters)
         out["kernel"] = kernel_rollup(counters)
+        out["topogen"] = topogen_rollup(counters)
         return out
 
     def _merge_caches(self, caches: list[dict]) -> dict | None:

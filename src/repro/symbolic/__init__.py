@@ -1,6 +1,11 @@
 """ISAAC-style symbolic small-signal circuit analysis."""
 
-from repro.symbolic.analyzer import SymbolicAnalyzer, SymbolicError
+from repro.symbolic.analyzer import (
+    StructureCharacter,
+    SymbolicAnalyzer,
+    SymbolicError,
+    characterize_structure,
+)
 from repro.symbolic.expr import (
     Monomial,
     RationalFunction,
@@ -15,8 +20,10 @@ __all__ = [
     "RationalFunction",
     "SPoly",
     "SignedSum",
+    "StructureCharacter",
     "SymbolicAnalyzer",
     "SymbolicError",
+    "characterize_structure",
     "mono_str",
     "mono_value",
 ]

@@ -19,6 +19,7 @@ complexity" the tutorial cites for ISAAC) stay tractable.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.analysis.dcop import OperatingPoint, dc_operating_point
@@ -362,3 +363,49 @@ def _position(mask: int, index: int) -> int:
     """Rank of ``index`` among the set bits of ``mask`` (for minor signs)."""
     below = mask & ((1 << index) - 1)
     return bin(below).count("1")
+
+
+@dataclass(frozen=True)
+class StructureCharacter:
+    """Symbolic first-order character of one circuit structure.
+
+    The quantities structure-ranking needs before any numeric sizing:
+    low-frequency gain, the dominant pole, and how big the symbolic
+    problem was.  Produced by :func:`characterize_structure` — the
+    "741-complexity" use of symbolic analysis the tutorial describes,
+    where exact H(s) ranks topologies faster than any simulation sweep.
+    """
+
+    gain: float
+    gain_db: float
+    dominant_pole_hz: float
+    n_poles: int
+    term_count: int
+    matrix_size: int
+
+
+def characterize_structure(circuit: Circuit, output: str,
+                           op: OperatingPoint | None = None,
+                           input_source: str | None = None,
+                           prune_tol: float = 0.0) -> StructureCharacter:
+    """One-call symbolic characterization of a circuit structure.
+
+    Builds the analyzer, extracts ``H(s) = V(output)/V(input)``, and
+    condenses it to the scalar figures selection funnels rank on.
+    Raises :class:`SymbolicError` for circuits the symbolic engine cannot
+    take (inductors, no AC input, AC-ground output, singular system).
+    """
+    analyzer = SymbolicAnalyzer(circuit, op=op, input_source=input_source)
+    h = analyzer.transfer_function(output, prune_tol=prune_tol)
+    gain = abs(h.dc_gain())
+    if gain == 0.0 or not math.isfinite(gain):
+        gain_db = float("-inf") if gain == 0.0 else float("inf")
+    else:
+        gain_db = 20.0 * math.log10(gain)
+    poles = h.poles()
+    finite = [abs(p) for p in poles if abs(p) > 0.0]
+    dominant = min(finite) / (2.0 * math.pi) if finite else float("inf")
+    return StructureCharacter(
+        gain=gain, gain_db=gain_db, dominant_pole_hz=dominant,
+        n_poles=len(poles), term_count=h.term_count(),
+        matrix_size=analyzer.matrix_size())

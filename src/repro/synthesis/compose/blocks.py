@@ -1,0 +1,141 @@
+"""The functional-block grammar of the compositional topology generator.
+
+FUBOCO-style structure synthesis: an opamp is a composition of
+*functional blocks* — an input differential pair, a load, a tail current
+source, optionally a second (output) stage, and compensation.  Each
+block contributes devices (stamped by the primitives in
+:mod:`repro.circuits.library`), design variables with bounds, and
+hand-reasonable defaults.  The grammar below is the cartesian product of
+the block choices, restricted by :func:`compatible`:
+
+========  =======================================================
+role      choices
+========  =======================================================
+pair      ``n`` (NMOS input), ``p`` (PMOS input)
+load      ``mirror``, ``cascode_mirror``, ``diode``, ``resistor``
+tail      ``simple``, ``cascode``, ``resistor``
+stage2    ``none``, ``class_a``, ``class_ab``
+comp      ``none``, ``miller``, ``miller_rz``
+========  =======================================================
+
+Compensation requires a second stage (a single-stage OTA is compensated
+by its load capacitor), and a second stage requires compensation — every
+two-stage structure gets a Miller loop, with or without the nulling
+resistor.  That yields 2·4·3·(1 + 2·2) = 120 structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+Bounds = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One functional block: a grammar terminal with its design variables."""
+
+    role: str
+    name: str
+    variables: dict[str, Bounds] = field(default_factory=dict)
+    defaults: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = set(self.variables) - set(self.defaults)
+        if missing:
+            raise ValueError(f"block {self.role}/{self.name} has variables "
+                             f"without defaults: {sorted(missing)}")
+
+
+def _registry(blocks: list[Block]) -> dict[str, Block]:
+    return {b.name: b for b in blocks}
+
+
+# Bounds follow the legacy candidate registry in
+# :func:`repro.synthesis.topology.default_candidates` so generated and
+# canned topologies compete over comparable spaces.
+_W_IN: Bounds = (2e-6, 1000e-6)
+_W_LOAD: Bounds = (2e-6, 500e-6)
+_W_OUT: Bounds = (2e-6, 2000e-6)
+_L: Bounds = (1e-6, 10e-6)
+_L_OUT: Bounds = (1e-6, 5e-6)
+
+PAIRS = _registry([
+    Block("pair", "n", {"w_in": _W_IN, "l_in": _L},
+          {"w_in": 40e-6, "l_in": 2e-6}),
+    Block("pair", "p", {"w_in": _W_IN, "l_in": _L},
+          {"w_in": 80e-6, "l_in": 2e-6}),
+])
+
+LOADS = _registry([
+    Block("load", "mirror", {"w_load": _W_LOAD, "l_load": _L},
+          {"w_load": 20e-6, "l_load": 2e-6}),
+    Block("load", "cascode_mirror", {"w_load": _W_LOAD, "l_load": _L},
+          {"w_load": 40e-6, "l_load": 2e-6}),
+    # Both branch devices diode-connected: low gain (gm ratio), wide band.
+    Block("load", "diode", {"w_load": _W_LOAD, "l_load": _L},
+          {"w_load": 10e-6, "l_load": 2e-6}),
+    Block("load", "resistor", {"r_load": (5e3, 1e6)}, {"r_load": 60e3}),
+])
+
+_I_BIAS: Bounds = (1e-6, 2e-3)
+
+TAILS = _registry([
+    Block("tail", "simple",
+          {"w_tail": _W_LOAD, "l_tail": _L, "i_bias": _I_BIAS},
+          {"w_tail": 30e-6, "l_tail": 2e-6, "i_bias": 20e-6}),
+    Block("tail", "cascode",
+          {"w_tail": _W_LOAD, "l_tail": _L, "i_bias": _I_BIAS},
+          {"w_tail": 60e-6, "l_tail": 2e-6, "i_bias": 20e-6}),
+    # Passive tail: the bias current is set by the input common mode
+    # across ``r_tail`` (no mirror).  A class-A second stage still needs
+    # a mirror reference; the generator adds ``i_bias`` back for it.
+    Block("tail", "resistor", {"r_tail": (5e3, 2e6)}, {"r_tail": 30e3}),
+])
+
+# ``w_p2``/``w_n2`` always name the PMOS/NMOS output device; whether
+# each acts as driver or mirrored sink depends on the input polarity
+# (class A) or neither (class AB push-pull).
+_STAGE2_VARS: dict[str, Bounds] = {
+    "w_p2": _W_OUT, "l_p2": _L_OUT,
+    "w_n2": (2e-6, 1000e-6), "l_n2": _L_OUT,
+}
+_STAGE2_DEFAULTS = {"w_p2": 120e-6, "l_p2": 1.5e-6,
+                    "w_n2": 60e-6, "l_n2": 2e-6}
+
+STAGE2S = _registry([
+    Block("stage2", "none"),
+    Block("stage2", "class_a", dict(_STAGE2_VARS), dict(_STAGE2_DEFAULTS)),
+    Block("stage2", "class_ab", dict(_STAGE2_VARS), dict(_STAGE2_DEFAULTS)),
+])
+
+COMPS = _registry([
+    Block("comp", "none"),
+    Block("comp", "miller", {"c_comp": (0.2e-12, 20e-12)},
+          {"c_comp": 3e-12}),
+    Block("comp", "miller_rz",
+          {"c_comp": (0.2e-12, 20e-12), "r_zero": (500.0, 50e3)},
+          {"c_comp": 3e-12, "r_zero": 3e3}),
+])
+
+ROLES = ("pair", "load", "tail", "stage2", "comp")
+REGISTRIES = {"pair": PAIRS, "load": LOADS, "tail": TAILS,
+              "stage2": STAGE2S, "comp": COMPS}
+
+# Shared fixed parameters of every generated structure.
+FIXED = {"c_load": 2e-12, "vdd": 3.3}
+
+
+def compatible(pair: str, load: str, tail: str,
+               stage2: str, comp: str) -> bool:
+    """Grammar restriction: compensation iff there is a second stage."""
+    if stage2 == "none":
+        return comp == "none"
+    return comp in ("miller", "miller_rz")
+
+
+def enumerate_choices() -> list[tuple[str, str, str, str, str]]:
+    """All valid block combinations, in deterministic sorted order."""
+    axes = [sorted(REGISTRIES[role]) for role in ROLES]
+    return [combo for combo in product(*axes) if compatible(*combo)]

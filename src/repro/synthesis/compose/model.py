@@ -1,0 +1,169 @@
+"""Compositional analytic performance model for generated structures.
+
+The same square-law first-order expressions as
+:mod:`repro.synthesis.models`, assembled *per block* instead of per
+canned topology: the input pair contributes gm, the load its output
+resistance, the tail its current law, the second stage its gain and
+nondominant pole.  Every expression is interval-safe (floats and
+:class:`repro.opt.interval.Interval` flow through identically), which is
+what lets every generated structure participate in boundary-checking
+selection and be bounded for ``max_gain_db`` — phase margin and slew are
+the usual float-only exceptions, guarded the same way as
+:func:`repro.synthesis.models.two_stage_performance`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.circuits.devices import NMOS_DEFAULT, PMOS_DEFAULT, MosModel
+from repro.synthesis.models import (
+    FOUR_KT,
+    db20_value,
+    gds_saturation,
+    gm_saturation,
+    overdrive,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.synthesis.compose.generator import StructureSpec
+
+# Nominal voltage headroom across a resistor tail: the input common mode
+# minus one V_GS (NMOS pair) or the complement of it (PMOS pair).  Kept a
+# constant so interval evaluation stays monotone in r_tail.
+_TAIL_HEADROOM = {"n": 0.6, "p": 0.9}
+
+
+def _sqrt(x):
+    return x.sqrt() if hasattr(x, "sqrt") else math.sqrt(x)
+
+
+def composed_performance(spec: "StructureSpec", sizes: dict,
+                         nmos: MosModel = NMOS_DEFAULT,
+                         pmos: MosModel = PMOS_DEFAULT) -> dict:
+    """First-order performance of one composed structure.
+
+    Metrics: ``gain``, ``gain_db``, ``gbw`` (Hz), ``power`` (W), ``area``
+    (m²), ``swing`` (V), ``input_noise_density`` (V/√Hz), ``vov_in`` (V),
+    plus ``phase_margin`` and ``slew_rate`` on float inputs.
+    """
+    in_model, load_model = (nmos, pmos) if spec.pair == "n" else (pmos, nmos)
+    vdd = sizes.get("vdd", 3.3)
+    c_load = sizes["c_load"]
+
+    # -- tail: bias current --------------------------------------------
+    if spec.tail == "resistor":
+        i_tail = _TAIL_HEADROOM[spec.pair] / sizes["r_tail"]
+        i_ref = sizes.get("i_bias", 0.0)
+        vov_tail = 0.0
+    else:
+        i_tail = sizes["i_bias"]
+        i_ref = sizes["i_bias"]
+        vov_tail = overdrive(in_model.kp, sizes["w_tail"] / sizes["l_tail"],
+                             i_tail)
+        if spec.tail == "cascode":
+            vov_tail = 2.0 * vov_tail
+    i_half = i_tail / 2.0
+
+    # -- input pair ----------------------------------------------------
+    wl_in = sizes["w_in"] / sizes["l_in"]
+    gm_in = gm_saturation(in_model.kp, wl_in, i_half)
+    go_in = gds_saturation(in_model.lambda_, i_half)
+    vov_in = overdrive(in_model.kp, wl_in, i_half)
+
+    # -- load: first-stage output conductance and noise factor ---------
+    if spec.load == "resistor":
+        go_load = 1.0 / sizes["r_load"]
+        noise_factor = 1.2
+        vov_load_drop = 1.0  # nominal IR drop across the load resistor
+    else:
+        wl_load = sizes["w_load"] / sizes["l_load"]
+        go_l = gds_saturation(load_model.lambda_, i_half)
+        gm_l = gm_saturation(load_model.kp, wl_load, i_half)
+        vov_load_drop = overdrive(load_model.kp, wl_load, i_half)
+        noise_factor = 1.0 + gm_l / gm_in
+        if spec.load == "mirror":
+            go_load = go_l
+        elif spec.load == "cascode_mirror":
+            go_load = go_l * go_l / gm_l  # cascode-boosted r_out
+            vov_load_drop = 2.0 * vov_load_drop
+        else:  # diode: the connection makes the load look like 1/gm
+            go_load = gm_l + go_l
+    gain1 = gm_in / (go_in + go_load)
+
+    # -- second stage --------------------------------------------------
+    area = _device_area(spec, sizes)
+    if spec.stage2 == "none":
+        gain = gain1
+        gbw = gm_in / (2.0 * math.pi * c_load)
+        i2 = 0.0
+        gm2 = None
+    else:
+        wl_p2 = sizes["w_p2"] / sizes["l_p2"]
+        wl_n2 = sizes["w_n2"] / sizes["l_n2"]
+        if spec.stage2 == "class_a":
+            # The sink mirrors the reference: 1:1 off a resistor tail
+            # (the reference diode *is* the sink's twin), ratioed off the
+            # tail mirror otherwise.
+            wl_sink = wl_n2 if spec.pair == "n" else wl_p2
+            if spec.tail == "resistor":
+                i2 = sizes["i_bias"]
+            else:
+                wl_tail = sizes["w_tail"] / sizes["l_tail"]
+                i2 = sizes["i_bias"] * wl_sink / wl_tail
+            wl_drv = wl_p2 if spec.pair == "n" else wl_n2
+            drv_model = load_model
+            gm2 = gm_saturation(drv_model.kp, wl_drv, i2)
+        else:  # class_ab: push-pull, both devices transconduct
+            i2 = 0.5 * i_tail * wl_p2 / wl_in
+            gm2 = gm_saturation(pmos.kp, wl_p2, i2) \
+                + gm_saturation(nmos.kp, wl_n2, i2)
+        go2 = gds_saturation(pmos.lambda_, i2) \
+            + gds_saturation(nmos.lambda_, i2)
+        gain2 = gm2 / go2
+        gain = gain1 * gain2
+        gbw = gm_in / (2.0 * math.pi * sizes["c_comp"])
+
+    power = vdd * (i_tail + i_ref + i2)
+    swing = vdd - vov_tail - vov_in - vov_load_drop
+    noise2 = 2.0 * FOUR_KT * (2.0 / 3.0) / gm_in * noise_factor
+    performance = {
+        "gain": gain,
+        "gain_db": db20_value(gain),
+        "gbw": gbw,
+        "power": power,
+        "area": area,
+        "swing": swing,
+        "input_noise_density": _sqrt(noise2),
+        "vov_in": vov_in,
+    }
+    if isinstance(gbw, float):
+        if gm2 is not None and isinstance(gm2, float):
+            p2 = gm2 / (2.0 * math.pi * c_load)
+            performance["phase_margin"] = \
+                90.0 - math.degrees(math.atan(gbw / p2))
+            performance["slew_rate"] = min(
+                i_tail / sizes["c_comp"], i2 / c_load)
+        elif gm2 is None:
+            performance["phase_margin"] = 85.0  # single stage: load pole
+            performance["slew_rate"] = i_tail / c_load
+    return performance
+
+
+def _device_area(spec: "StructureSpec", sizes: dict):
+    """Active area: Σ W·L over stamped devices + MiM-style cap area."""
+    area = 2.0 * sizes["w_in"] * sizes["l_in"]
+    if spec.load in ("mirror", "diode"):
+        area = area + 2.0 * sizes["w_load"] * sizes["l_load"]
+    elif spec.load == "cascode_mirror":
+        area = area + 4.0 * sizes["w_load"] * sizes["l_load"]
+    if spec.tail in ("simple", "cascode"):
+        n_tail = 2.0 if spec.tail == "simple" else 3.0  # + reference diode
+        area = area + n_tail * sizes["w_tail"] * sizes["l_tail"]
+    if spec.stage2 != "none":
+        area = area + sizes["w_p2"] * sizes["l_p2"] \
+            + sizes["w_n2"] * sizes["l_n2"]
+    if spec.comp in ("miller", "miller_rz"):
+        area = area + sizes["c_comp"] / 1e-3  # 1 mF/m² cap density
+    return area * 1.5  # wiring overhead

@@ -1,0 +1,111 @@
+"""Symbolic pruning: rank generated structures before numeric sizing.
+
+The tutorial's "741-complexity" claim is that symbolic analysis can
+characterize an opamp-sized circuit fast enough to *rank* structures
+without a single sizing loop.  This pass runs
+:func:`repro.symbolic.characterize_structure` on each generated
+structure's testbench at its default sizes (exact small-signal gain and
+dominant pole from the symbolic transfer function) and condenses the
+result to a deterministic score:
+
+* achievable gain, capped a fixed margin above the required gain — a
+  structure with 40 dB of *surplus* gain is not better, just hungrier;
+* a gain-bandwidth proxy penalty when the spec asks for more GBW than
+  the analytic model predicts the structure can reach;
+* a power estimate penalty (dB of the analytic power at default sizes).
+
+Structures whose testbenches the symbolic engine declines (and any DC
+failure under it) fall back to the analytic model, counted separately —
+the fallback is visible in ``topogen.symbolic_fallbacks``, never silent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.analysis.dcop import ConvergenceError
+from repro.analysis.mna import SingularCircuitError
+from repro.core.specs import SpecKind, SpecSet
+from repro.symbolic import SymbolicError, characterize_structure
+from repro.synthesis.compose.generator import ComposedTopology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.telemetry import Telemetry
+
+# Gain above requirement + margin buys nothing; power is 10·log10 dB
+# relative to 0.1 mW.
+GAIN_CAP_MARGIN_DB = 20.0
+_POWER_REF_W = 1e-4
+
+
+@dataclass(frozen=True)
+class StructureRank:
+    """One structure's pre-sizing rank."""
+
+    topology: ComposedTopology
+    gain_db: float
+    dominant_pole_hz: float
+    power_estimate: float
+    score: float
+    symbolic: bool  # False: analytic fallback characterized this one
+
+    @property
+    def structure_id(self) -> str:
+        return self.topology.structure_id
+
+
+def _required(specs: SpecSet, name: str) -> float | None:
+    for s in specs.constraints:
+        if s.name == name and s.kind is SpecKind.MIN:
+            return s.value
+    return None
+
+
+def rank_structures(topologies: list[ComposedTopology], specs: SpecSet,
+                    prune_tol: float = 0.05,
+                    telemetry: "Telemetry | None" = None
+                    ) -> list[StructureRank]:
+    """Rank structures best-first by the symbolic/analytic score."""
+    gain_req = _required(specs, "gain_db") or 0.0
+    gbw_req = _required(specs, "gbw")
+    ranks: list[StructureRank] = []
+    for topo in topologies:
+        perf = topo.model(topo.default_sizes())
+        power_est = float(perf["power"])
+        gbw_est = float(perf["gbw"])
+        try:
+            char = characterize_structure(topo.testbench(), "out",
+                                          prune_tol=prune_tol)
+            gain_db = char.gain_db
+            pole = char.dominant_pole_hz
+            symbolic = True
+            if telemetry is not None:
+                telemetry.count("topogen.symbolic_ranked")
+        except (SymbolicError, ConvergenceError, SingularCircuitError,
+                ValueError, KeyError):
+            gain_db = float(perf["gain_db"])
+            pole = gbw_est / max(float(perf["gain"]), 1.0)
+            symbolic = False
+            if telemetry is not None:
+                telemetry.count("topogen.symbolic_fallbacks")
+        score = min(gain_db, gain_req + GAIN_CAP_MARGIN_DB)
+        if gbw_req is not None and gbw_est < gbw_req:
+            score -= 10.0 * math.log10(gbw_req / gbw_est)
+        score -= 10.0 * math.log10(max(power_est, 1e-12) / _POWER_REF_W)
+        ranks.append(StructureRank(
+            topology=topo, gain_db=gain_db, dominant_pole_hz=pole,
+            power_estimate=power_est, score=score, symbolic=symbolic))
+    # Deterministic: score descending, structure id as total tie-break.
+    ranks.sort(key=lambda r: (-r.score, r.structure_id))
+    return ranks
+
+
+def prune_structures(ranks: list[StructureRank],
+                     keep: int | None = None,
+                     ratio: float = 6.0) -> list[StructureRank]:
+    """Keep the top-k survivors (default: a ``ratio``-fold cut)."""
+    if keep is None:
+        keep = max(1, math.ceil(len(ranks) / ratio))
+    return ranks[:keep]

@@ -17,8 +17,9 @@ reproduced here over a shared candidate registry:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.specs import Spec, SpecKind, SpecSet
 from repro.opt.genetic import CategoricalGene, FloatGene, GeneticOptimizer
@@ -35,6 +36,9 @@ from repro.synthesis.models import (
     ota_performance,
     two_stage_performance,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.engine.telemetry import Telemetry
 
 
 @dataclass
@@ -131,9 +135,22 @@ def _required_gain_db(specs: SpecSet) -> float:
         if s.name == "gain_db" and s.kind is SpecKind.MIN:
             return s.value
         if s.name == "gain" and s.kind is SpecKind.MIN:
-            import math
             return 20.0 * math.log10(s.value)
     return 0.0
+
+
+def _cost_improves(challenger: float, incumbent: float) -> bool:
+    """NaN-safe ``challenger < incumbent``.
+
+    A NaN challenger never wins; a NaN incumbent always loses.  Mirrors the
+    NaN-safe acceptance rule in :mod:`repro.opt.anneal` so a NaN-cost first
+    candidate cannot win a selection forever.
+    """
+    if math.isnan(challenger):
+        return False
+    if math.isnan(incumbent):
+        return True
+    return challenger < incumbent
 
 
 # ----------------------------------------------------------------------
@@ -141,7 +158,8 @@ def _required_gain_db(specs: SpecSet) -> float:
 # ----------------------------------------------------------------------
 
 def interval_feasible(candidate: TopologyCandidate,
-                      specs: SpecSet) -> bool:
+                      specs: SpecSet,
+                      telemetry: "Telemetry | None" = None) -> bool:
     """Is any point of the design space possibly spec-compliant?
 
     Evaluates the candidate's performance model with *interval* design
@@ -149,6 +167,11 @@ def interval_feasible(candidate: TopologyCandidate,
     proves infeasibility (the converse is not a proof — interval arithmetic
     over-approximates — which is exactly how [15] used it: as a fast
     pre-filter).
+
+    A model that is not interval-safe yields no proof either way; the
+    candidate passes, but the pass is *unproven* and is counted on
+    ``telemetry`` as ``topology.interval_unproven`` so whole topologies can
+    no longer skip pruning without a trace.
     """
     point: dict[str, object] = {
         name: Interval(lo, hi)
@@ -158,7 +181,10 @@ def interval_feasible(candidate: TopologyCandidate,
     try:
         performance = candidate.model(point)
     except (IntervalError, TypeError, ValueError):
-        return True  # model not interval-safe for this topology: no proof
+        # Model not interval-safe for this topology: no proof.
+        if telemetry is not None:
+            telemetry.count("topology.interval_unproven")
+        return True
     for spec in specs.constraints:
         achieved = performance.get(spec.name)
         if achieved is None or not isinstance(achieved, Interval):
@@ -172,11 +198,47 @@ def interval_feasible(candidate: TopologyCandidate,
     return True
 
 
+class IntervalSelection(list):
+    """Ranked viable-topology names plus which passes were unproven.
+
+    Behaves exactly like the ``list[str]`` the selector used to return, but
+    carries ``unproven``: the candidate names whose models were not
+    interval-safe and therefore passed without an actual feasibility proof.
+    """
+
+    def __init__(self, names: list[str], unproven: tuple[str, ...] = ()):
+        super().__init__(names)
+        self.unproven = unproven
+
+
 def select_interval(specs: SpecSet,
-                    candidates: list[TopologyCandidate]) -> list[str]:
+                    candidates: list[TopologyCandidate],
+                    telemetry: "Telemetry | None" = None) -> IntervalSelection:
     """Filter candidates by interval feasibility, rank by power heuristic."""
-    viable = [c for c in candidates if interval_feasible(c, specs)]
-    return [c.name for c in sorted(viable, key=lambda c: c.relative_power)]
+    viable: list[TopologyCandidate] = []
+    unproven: list[str] = []
+    for cand in candidates:
+        sentinel = _UnprovenSentinel()
+        if interval_feasible(cand, specs, telemetry=sentinel):
+            viable.append(cand)
+            if sentinel.hits:
+                unproven.append(cand.name)
+        if telemetry is not None:
+            for _ in range(sentinel.hits):
+                telemetry.count("topology.interval_unproven")
+    names = [c.name for c in sorted(viable, key=lambda c: c.relative_power)]
+    return IntervalSelection(names, unproven=tuple(unproven))
+
+
+class _UnprovenSentinel:
+    """Minimal Telemetry stand-in to observe unproven interval passes."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+
+    def count(self, name: str, n: int = 1) -> int:
+        self.hits += n
+        return self.hits
 
 
 # ----------------------------------------------------------------------
@@ -218,7 +280,20 @@ def select_genetic(specs: SpecSet, candidates: list[TopologyCandidate],
     result = ga.run(generations=generations)
     winner = by_name[result.best["topology"]]
     point = {v: result.best[v] for v in winner.space.variables}
-    perf = winner.model(winner.space.complete(point))
+    # The winner genome may still be one whose model raises (every genome
+    # scored 1e6); guard the re-evaluation with the same exception
+    # vocabulary as the fitness function and report it as infeasible
+    # rather than crashing the whole selection.
+    try:
+        perf = winner.model(winner.space.complete(point))
+    except (ValueError, ZeroDivisionError, OverflowError):
+        sizing = SizingResult(
+            sizes=winner.space.complete(point), performance={},
+            cost=result.best_fitness, feasible=False,
+            evaluations=result.evaluations, runtime_s=0.0,
+            warnings=["winner model raised during re-evaluation"])
+        return TopologySelectionResult(winner.name, sizing,
+                                       result.evaluations)
     sizing = SizingResult(
         sizes=winner.space.complete(point), performance=perf,
         cost=result.best_fitness,
@@ -246,7 +321,7 @@ def select_enumerate(specs: SpecSet, candidates: list[TopologyCandidate],
         sizer = EquationBasedSizer(cand.model, cand.space, specs, seed=seed)
         result = sizer.run()
         total_evals += result.evaluations
-        if best is None or result.cost < best.sizing.cost:
+        if best is None or _cost_improves(result.cost, best.sizing.cost):
             best = TopologySelectionResult(cand.name, result)
     assert best is not None
     best.evaluations = total_evals

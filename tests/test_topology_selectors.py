@@ -1,0 +1,244 @@
+"""Differential test suite for the four topology selectors.
+
+The four generations of selection (rules, intervals, GA, enumeration) run
+over one shared candidate registry, so they can cross-check each other:
+rule-based picks must survive the interval pre-filter, enumeration is the
+reference optimum, the GA should land within tolerance of it, and every
+selector must be seed-stable.  The regression classes pin the two crashes/
+misrankings the hardening pass fixed: a NaN-cost candidate winning
+``select_enumerate`` forever, and ``select_genetic`` crashing when the
+winning genome's model raises during re-evaluation.
+"""
+
+import math
+
+import pytest
+
+from repro.core.specs import Spec, SpecSet
+from repro.engine.telemetry import Telemetry
+from repro.synthesis.equation_based import DesignSpace, SizingResult
+from repro.synthesis.topology import (
+    IntervalSelection,
+    TopologyCandidate,
+    _cost_improves,
+    default_candidates,
+    interval_feasible,
+    select_enumerate,
+    select_genetic,
+    select_interval,
+    select_rule_based,
+)
+
+EASY = SpecSet([Spec.at_least("gain_db", 40.0),
+                Spec.at_least("gbw", 5e6),
+                Spec.minimize("power", good=1e-4)])
+HARD = SpecSet([Spec.at_least("gain_db", 75.0),
+                Spec.at_least("gbw", 5e6),
+                Spec.minimize("power", good=1e-4)])
+
+
+class TestCostImproves:
+    def test_normal_ordering(self):
+        assert _cost_improves(1.0, 2.0)
+        assert not _cost_improves(2.0, 1.0)
+        assert not _cost_improves(1.0, 1.0)
+
+    def test_nan_challenger_never_wins(self):
+        assert not _cost_improves(float("nan"), 1.0)
+        assert not _cost_improves(float("nan"), float("inf"))
+
+    def test_nan_incumbent_always_loses(self):
+        assert _cost_improves(1.0, float("nan"))
+        assert _cost_improves(float("inf"), float("nan"))
+
+    def test_nan_vs_nan_keeps_incumbent(self):
+        assert not _cost_improves(float("nan"), float("nan"))
+
+
+class TestDifferentialSelectors:
+    """The selectors cross-check each other over the shared registry."""
+
+    @pytest.mark.parametrize("gain_db", [30.0, 45.0, 60.0, 75.0])
+    def test_rule_picks_survive_interval_prefilter(self, gain_db):
+        # Intervals over-approximate the reachable set, so anything the
+        # rules accept must not be interval-rejected.
+        cands = default_candidates()
+        specs = SpecSet([Spec.at_least("gain_db", gain_db)])
+        ruled = set(select_rule_based(specs, cands))
+        interval = set(select_interval(specs, cands))
+        assert ruled <= interval
+
+    def test_enumerate_is_reference_optimum(self):
+        # Enumeration sizes every candidate; its winner's cost must be
+        # no worse than any single candidate sized the same way.
+        cands = default_candidates()
+        best = select_enumerate(EASY, cands, seed=1)
+        assert best.sizing.feasible
+        for cand in cands:
+            single = select_enumerate(EASY, [cand], seed=1)
+            assert best.sizing.cost <= single.sizing.cost + 1e-12
+
+    def test_genetic_within_tolerance_of_enumeration(self):
+        cands = default_candidates()
+        reference = select_enumerate(HARD, cands, seed=1)
+        ga = select_genetic(HARD, cands, generations=25, population=40,
+                            seed=2)
+        assert ga.sizing.feasible
+        # The GA explores topology + sizing jointly with a far smaller
+        # budget; it must land in the same cost regime, not match it.
+        assert ga.sizing.cost <= reference.sizing.cost + 1.0
+
+    def test_selectors_are_seed_stable(self):
+        cands = default_candidates()
+        e1 = select_enumerate(EASY, cands, seed=3)
+        e2 = select_enumerate(EASY, cands, seed=3)
+        assert e1.topology == e2.topology
+        assert e1.sizing.cost == e2.sizing.cost
+        assert e1.sizing.sizes == e2.sizing.sizes
+        g1 = select_genetic(EASY, cands, generations=8, population=16,
+                            seed=5)
+        g2 = select_genetic(EASY, cands, generations=8, population=16,
+                            seed=5)
+        assert g1.topology == g2.topology
+        assert g1.sizing.cost == g2.sizing.cost
+        assert g1.sizing.sizes == g2.sizing.sizes
+
+
+# ----------------------------------------------------------------------
+# Regression: NaN-cost candidate used to win select_enumerate forever
+# ----------------------------------------------------------------------
+
+def _toy_candidate(name, model):
+    return TopologyCandidate(
+        name=name, model=model,
+        space=DesignSpace(variables={"w": (1e-6, 1e-4)}))
+
+
+class _ScriptedSizer:
+    """EquationBasedSizer stand-in returning a scripted cost per model."""
+
+    costs: dict = {}
+
+    def __init__(self, model, space, specs, seed=0, **kwargs):
+        self.model = model
+        self.space = space
+
+    def run(self, x0=None):
+        return SizingResult(
+            sizes={"w": 2e-6}, performance={}, cost=self.costs[self.model],
+            feasible=False, evaluations=1, runtime_s=0.0)
+
+
+class TestEnumerateNanRegression:
+    def test_nan_first_candidate_cannot_win(self, monkeypatch):
+        def nan_model(sizes):
+            return {}
+
+        def good_model(sizes):
+            return {}
+
+        _ScriptedSizer.costs = {nan_model: float("nan"), good_model: 1.0}
+        monkeypatch.setattr("repro.synthesis.topology.EquationBasedSizer",
+                            _ScriptedSizer)
+        result = select_enumerate(
+            SpecSet([Spec.minimize("power", good=1e-4)]),
+            [_toy_candidate("nan_first", nan_model),
+             _toy_candidate("finite", good_model)])
+        # Pre-fix, `cost < nan` is always False and the NaN incumbent
+        # could never be displaced.
+        assert result.topology == "finite"
+        assert result.sizing.cost == 1.0
+
+    def test_all_nan_still_returns_a_result(self, monkeypatch):
+        def nan_model(sizes):
+            return {}
+
+        _ScriptedSizer.costs = {nan_model: float("nan")}
+        monkeypatch.setattr("repro.synthesis.topology.EquationBasedSizer",
+                            _ScriptedSizer)
+        result = select_enumerate(
+            SpecSet([Spec.minimize("power", good=1e-4)]),
+            [_toy_candidate("only", nan_model)])
+        assert result.topology == "only"
+        assert math.isnan(result.sizing.cost)
+
+
+# ----------------------------------------------------------------------
+# Regression: select_genetic crashed when the winner's model raises
+# ----------------------------------------------------------------------
+
+class TestGeneticWinnerCrashRegression:
+    def test_always_raising_model_yields_infeasible_result(self):
+        def broken_model(sizes):
+            raise ValueError("model always raises")
+
+        specs = SpecSet([Spec.at_least("gain_db", 40.0)])
+        result = select_genetic(specs, [_toy_candidate("broken",
+                                                       broken_model)],
+                                generations=3, population=8, seed=1)
+        # Every genome scores the 1e6 penalty; re-evaluating the winner
+        # raises too.  Pre-fix this crashed the whole selection.
+        assert result.topology == "broken"
+        assert result.sizing.feasible is False
+        assert result.sizing.performance == {}
+        assert result.sizing.warnings
+
+    def test_mixed_registry_still_prefers_working_model(self):
+        def broken_model(sizes):
+            raise ValueError("model always raises")
+
+        def working_model(sizes):
+            return {"gain_db": 50.0, "power": 1e-4}
+
+        specs = SpecSet([Spec.at_least("gain_db", 40.0),
+                         Spec.minimize("power", good=1e-4)])
+        result = select_genetic(
+            specs,
+            [_toy_candidate("broken", broken_model),
+             _toy_candidate("working", working_model)],
+            generations=10, population=20, seed=1)
+        assert result.topology == "working"
+        assert result.sizing.feasible
+
+
+# ----------------------------------------------------------------------
+# Interval telemetry: unproven passes are now observable
+# ----------------------------------------------------------------------
+
+def _interval_unsafe_model(sizes):
+    # math.log10 cannot take an Interval — the TypeError is exactly the
+    # "model not interval-safe" path the selector must survive.
+    return {"gain_db": 20.0 * math.log10(sizes["w"] * 1e9)}
+
+
+class TestIntervalUnprovenTelemetry:
+    def test_unsafe_model_passes_but_counts(self):
+        telemetry = Telemetry()
+        cand = _toy_candidate("unsafe", _interval_unsafe_model)
+        assert interval_feasible(cand, SpecSet([]), telemetry=telemetry)
+        assert telemetry.get("topology.interval_unproven") == 1
+
+    def test_selection_surfaces_unproven_names(self):
+        telemetry = Telemetry()
+        unsafe = _toy_candidate("unsafe", _interval_unsafe_model)
+        cands = default_candidates() + [unsafe]
+        specs = SpecSet([Spec.at_least("gain_db", 40.0)])
+        selection = select_interval(specs, cands, telemetry=telemetry)
+        assert isinstance(selection, IntervalSelection)
+        assert "unsafe" in selection
+        assert selection.unproven == ("unsafe",)
+        assert telemetry.get("topology.interval_unproven") == 1
+
+    def test_provable_registry_reports_no_unproven(self):
+        telemetry = Telemetry()
+        specs = SpecSet([Spec.at_least("gain_db", 40.0)])
+        selection = select_interval(specs, default_candidates(),
+                                    telemetry=telemetry)
+        assert selection.unproven == ()
+        assert telemetry.get("topology.interval_unproven") == 0
+
+    def test_selection_still_behaves_like_a_list(self):
+        specs = SpecSet([Spec.at_least("gain_db", 40.0)])
+        selection = select_interval(specs, default_candidates())
+        assert selection == list(selection)
+        assert selection[0] == "five_transistor_ota"
