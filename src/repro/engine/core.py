@@ -32,6 +32,7 @@ from repro.engine.faults import FaultInjector, RetryPolicy, is_failure
 from repro.engine.schema import (
     REPORT_SCHEMA_VERSION,
     kernel_rollup,
+    macro_rollup,
     serve_rollup,
     solver_rollup,
     surrogate_rollup,
@@ -385,7 +386,9 @@ class EvaluationEngine:
         here, since one engine is by definition one (unsharded) worker.
         Schema v8 adds ``topogen``: the rollup of the compositional
         topology-generation funnel's ``topogen.*`` counters
-        (:mod:`repro.synthesis.compose`).
+        (:mod:`repro.synthesis.compose`).  Schema v9 adds ``macro``: the
+        rollup of the memory-macro flow's ``macrogen.*`` counters plus
+        the power grid's width-rejection count (:mod:`repro.macro`).
         """
         out = self.telemetry.report()
         out["schema_version"] = REPORT_SCHEMA_VERSION
@@ -403,6 +406,7 @@ class EvaluationEngine:
         out["kernel"] = kernel_rollup(
             out["counters"], self.telemetry.sample_values("kernel.batch_s"))
         out["topogen"] = topogen_rollup(out["counters"])
+        out["macro"] = macro_rollup(out["counters"])
         return out
 
     def close(self) -> None:

@@ -37,8 +37,10 @@ from typing import Any
 #: reports carry the fleet-wide sums *and* who did what; v8 adds
 #: ``topogen`` (rollup of the compositional topology-generation
 #: funnel's ``topogen.*`` counters plus the interval selector's
-#: unproven-pass count).
-REPORT_SCHEMA_VERSION = 8
+#: unproven-pass count); v9 adds ``macro`` (rollup of the memory-macro
+#: flow's ``macrogen.*`` counters plus the power grid's width-rejection
+#: count).
+REPORT_SCHEMA_VERSION = 9
 
 #: Version of the per-run manifest written by traced flows.
 #: v2 adds the ``solver_*`` rollups sourced from report["solver"];
@@ -47,8 +49,9 @@ REPORT_SCHEMA_VERSION = 8
 #: v5 adds the ``kernel_*`` rollups sourced from report["kernel"];
 #: v6 adds ``serve_shards`` (fleet width, 0 when unsharded) alongside
 #: the report's v7 per-shard serve breakdown; v7 adds the ``topogen_*``
-#: rollups sourced from report["topogen"].
-MANIFEST_SCHEMA_VERSION = 7
+#: rollups sourced from report["topogen"]; v8 adds the ``macro_*``
+#: rollups sourced from report["macro"].
+MANIFEST_SCHEMA_VERSION = 8
 
 #: Keys every ``report()`` dict must contain, at any version >= 2.
 REQUIRED_REPORT_KEYS = (
@@ -64,6 +67,7 @@ REQUIRED_REPORT_KEYS = (
     "surrogate",
     "kernel",
     "topogen",
+    "macro",
 )
 
 #: Keys of the ``report["solver"]`` section (schema v3).
@@ -315,6 +319,49 @@ def topogen_rollup(counters: dict) -> dict:
     }
 
 
+#: Keys of the ``report["macro"]`` section (schema v9).
+REQUIRED_MACRO_KEYS = (
+    "tiled",
+    "units",
+    "rails",
+    "detours",
+    "vias",
+    "blockage_violations",
+    "signoffs",
+    "em_violations",
+    "width_rejected",
+    "detour_rate",
+)
+
+
+def macro_rollup(counters: dict) -> dict:
+    """Fold the ``macrogen.*`` counters into the report section.
+
+    All-zero (``detour_rate`` None) when a run never touched the
+    memory-macro flow — the section is always present, like the other
+    rollups, so consumers never need an existence check.
+    ``width_rejected`` is the power grid's non-positive-width rejection
+    count (``powergrid.width_rejected``); ``detour_rate`` is the
+    fraction of routed rails the mesh router's A* had to jog around a
+    blockage-map keepout.
+    """
+    rails = int(counters.get("macrogen.rails_routed", 0))
+    detours = int(counters.get("macrogen.rail_detours", 0))
+    return {
+        "tiled": int(counters.get("macrogen.tiled", 0)),
+        "units": int(counters.get("macrogen.units", 0)),
+        "rails": rails,
+        "detours": detours,
+        "vias": int(counters.get("macrogen.vias", 0)),
+        "blockage_violations": int(
+            counters.get("macrogen.blockage_violations", 0)),
+        "signoffs": int(counters.get("macrogen.signoffs", 0)),
+        "em_violations": int(counters.get("macrogen.em_violations", 0)),
+        "width_rejected": int(counters.get("powergrid.width_rejected", 0)),
+        "detour_rate": (detours / rails) if rails else None,
+    }
+
+
 _SCHEMA_PATH = Path(__file__).with_name("run_manifest_schema.json")
 
 
@@ -380,6 +427,11 @@ def check_report(report: dict) -> None:
     if missing_topogen:
         raise SchemaError(
             f"report['topogen'] missing keys: {missing_topogen}")
+    macro = report["macro"]
+    missing_macro = [k for k in REQUIRED_MACRO_KEYS if k not in macro]
+    if missing_macro:
+        raise SchemaError(
+            f"report['macro'] missing keys: {missing_macro}")
 
 
 def manifest_schema() -> dict:

@@ -347,6 +347,13 @@ def build_manifest(flow: str, engine, seed: int | None = None,
             "topogen_survivors": report["topogen"]["survivors"],
             "topogen_sized": report["topogen"]["sized"],
             "topogen_prune_ratio": report["topogen"]["prune_ratio"],
+            "macro_tiled": report["macro"]["tiled"],
+            "macro_units": report["macro"]["units"],
+            "macro_rails": report["macro"]["rails"],
+            "macro_vias": report["macro"]["vias"],
+            "macro_signoffs": report["macro"]["signoffs"],
+            "macro_blockage_violations":
+                report["macro"]["blockage_violations"],
         },
     }
 

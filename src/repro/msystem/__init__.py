@@ -44,6 +44,7 @@ from repro.msystem.noise_constraints import (
 )
 from repro.msystem.powergrid import (
     GridSegment,
+    GridWidthError,
     PowerGrid,
     RailResult,
     RailSpec,
@@ -75,6 +76,7 @@ __all__ = [
     "GlobalRoutingError",
     "GlobalRoutingResult",
     "GridSegment",
+    "GridWidthError",
     "PlacedBlock",
     "PowerGrid",
     "RailResult",

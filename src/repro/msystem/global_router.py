@@ -207,25 +207,31 @@ class WrenGlobalRouter:
         return all_tiles
 
     def _nearest_free_tile(self, tile: tuple[int, int]) -> tuple[int, int]:
-        """BFS to the closest unblocked tile (identity when already free)."""
+        """Bounded spiral to the closest unblocked tile.
+
+        Scans Manhattan rings of growing radius (deterministic order:
+        radius, then x, then y) up to the grid diameter; a grid with no
+        free tile at all raises :class:`GlobalRoutingError` instead of
+        silently handing the blocked tile back to the router.
+        """
         if tile not in self.blocked:
             return tile
-        from collections import deque
-        queue = deque([tile])
-        seen = {tile}
-        while queue:
-            current = queue.popleft()
-            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
-                nxt = (current[0] + dx, current[1] + dy)
+        x0, y0 = tile
+        for radius in range(1, self.nx + self.ny):
+            ring = []
+            for dx in range(-radius, radius + 1):
+                dy = radius - abs(dx)
+                ring.append((x0 + dx, y0 + dy))
+                if dy:
+                    ring.append((x0 + dx, y0 - dy))
+            for nxt in sorted(ring):
                 if not (0 <= nxt[0] < self.nx and 0 <= nxt[1] < self.ny):
-                    continue
-                if nxt in seen:
                     continue
                 if nxt not in self.blocked:
                     return nxt
-                seen.add(nxt)
-                queue.append(nxt)
-        return tile  # fully blocked chip: caller will fail gracefully
+        raise GlobalRoutingError(
+            f"no free routing tile anywhere on the {self.nx}x{self.ny} "
+            f"grid (pin tile {tile} and every alternative are blocked)")
 
     def _exposure(self, tiles: list[tuple[int, int]],
                   net_class: str) -> int:

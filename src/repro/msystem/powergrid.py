@@ -43,6 +43,16 @@ DECAP_PER_AMP = 2e-9      # F of local decap per ampere of peak current
 SWITCH_RISE_S = 2e-9      # digital current-edge rise time
 
 
+class GridWidthError(ValueError):
+    """A grid segment sized to a non-positive width.
+
+    Historically ``resistance`` silently clamped ``width_nm`` to 1 nm,
+    which turned a sizing bug into a 40 Ohm/sq segment that quietly
+    dominated every IR/EM metric.  Rejection is counted as
+    ``powergrid.width_rejected`` on the active tracer.
+    """
+
+
 @dataclass
 class GridSegment:
     name: str
@@ -51,9 +61,19 @@ class GridSegment:
     length_nm: int
     width_nm: int
 
+    def __post_init__(self) -> None:
+        if self.width_nm <= 0:
+            from repro.engine.trace import current_tracer
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.count("powergrid.width_rejected")
+            raise GridWidthError(
+                f"segment {self.name!r} has non-positive width "
+                f"{self.width_nm} nm")
+
     @property
     def resistance(self) -> float:
-        return SHEET_RES * self.length_nm / max(self.width_nm, 1)
+        return SHEET_RES * self.length_nm / self.width_nm
 
     @property
     def metal_area(self) -> int:

@@ -67,6 +67,7 @@ from repro.engine.config import EngineConfig, ServeConfig
 from repro.engine.schema import (
     REPORT_SCHEMA_VERSION,
     kernel_rollup,
+    macro_rollup,
     serve_rollup,
     solver_rollup,
     surrogate_rollup,
@@ -579,6 +580,7 @@ class ShardRouter:
         out["surrogate"] = surrogate_rollup(counters)
         out["kernel"] = kernel_rollup(counters)
         out["topogen"] = topogen_rollup(counters)
+        out["macro"] = macro_rollup(counters)
         return out
 
     def _merge_caches(self, caches: list[dict]) -> dict | None:

@@ -186,3 +186,51 @@ class TestCapArrayLayout:
                 assert err < 0.75
             else:
                 assert err < 2.5
+
+
+class TestCapArrayEdgeCases:
+    """Small and odd arrays: the corners the macro tiler leans on."""
+
+    def test_single_capacitor_single_unit(self):
+        result = generate_cap_array({"solo": 1}, 100e-15)
+        assert result.units_of("solo") == 1
+        assert set(result.cell.ports) == {"solo"}
+        assert result.centroid_error["solo"] < 1.5
+
+    def test_single_capacitor_many_units(self):
+        result = generate_cap_array({"solo": 9}, 100e-15)
+        assert result.units_of("solo") == 9
+        # One cap owns every assigned cell, so its centroid is the
+        # centroid of the occupied region — near the array center.
+        assert result.centroid_error["solo"] < 1.0
+
+    def test_odd_unit_counts_conserved(self):
+        units = {"a": 7, "b": 5, "c": 3, "d": 1}
+        result = generate_cap_array(units, 100e-15)
+        for name, count in units.items():
+            assert result.units_of(name) == count
+
+    @given(st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=1, max_value=15).filter(lambda n: n % 2 == 1),
+        min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_odd_counts_centroid_error_bounded(self, units):
+        errors = centroid_errors(common_centroid_assignment(units))
+        side = math.ceil(math.sqrt(sum(units.values())))
+        for name in units:
+            # Odd caps carry one unpaired unit; its offset is bounded by
+            # the array radius, and pairing keeps it well inside that.
+            assert errors[name] <= max(1.5, side / 2.0)
+
+    @given(st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.integers(min_value=1, max_value=12),
+        min_size=1, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_geometry_round_trip_byte_stable(self, units):
+        from repro.layout.gdslite import write_gds
+        first = generate_cap_array(units, 100e-15)
+        second = generate_cap_array(units, 100e-15)
+        assert first.assignment == second.assignment
+        assert write_gds([first.cell]) == write_gds([second.cell])

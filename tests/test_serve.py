@@ -631,7 +631,7 @@ class TestSchemas:
         engine = EvaluationEngine()
         try:
             report = engine.report()
-            assert report["schema_version"] == REPORT_SCHEMA_VERSION == 8
+            assert report["schema_version"] == REPORT_SCHEMA_VERSION == 9
             check_report(report)
             assert report["serve"]["requests"] == 0
             assert report["serve"]["latency_p50_s"] is None
@@ -650,7 +650,7 @@ class TestSchemas:
                 handle.result(timeout=5)
         manifest = build_manifest("serve_session", engine, seed=1,
                                   config=config)
-        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION == 7
+        assert manifest["schema_version"] == MANIFEST_SCHEMA_VERSION == 8
         validate_manifest(manifest)
         rollups = manifest["rollups"]
         assert rollups["serve_requests"] == 5

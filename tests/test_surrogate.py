@@ -508,7 +508,7 @@ class TestSchema:
         report = engine.report()
         engine.close()
         check_report(report)
-        assert report["schema_version"] == 8
+        assert report["schema_version"] == 9
 
     def test_manifest_v4_with_surrogate_rollups(self):
         config = EngineConfig(trace=True, surrogate=SurrogateConfig())
@@ -527,7 +527,7 @@ class TestSchema:
                                   config=config)
         engine.close()
         validate_manifest(manifest)
-        assert manifest["schema_version"] == 7
+        assert manifest["schema_version"] == 8
         assert manifest["rollups"]["surrogate_sims_avoided"] > 0
         assert manifest["run"]["config"]["surrogate"]["min_fit"] == 64
 
